@@ -1,0 +1,175 @@
+package bugnet
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6). Each benchmark regenerates its artifact through internal/bench and
+// prints the rows once, so `go test -bench=. -benchmem` reproduces the
+// whole evaluation at the benchmark scale. cmd/bugnet-bench runs the same
+// experiments at arbitrary scales (-scale 1 = the paper's absolute
+// instruction counts).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"bugnet/internal/bench"
+	"bugnet/internal/bus"
+	"bugnet/internal/core"
+	"bugnet/internal/kernel"
+	"bugnet/internal/workload"
+)
+
+// benchScale divides the paper's instruction counts during `go test
+// -bench`. Override with BUGNET_BENCH_SCALE=NN (1 reproduces the paper's
+// absolute windows; expect minutes of runtime).
+var benchScale = func() int {
+	if v, err := strconv.Atoi(os.Getenv("BUGNET_BENCH_SCALE")); err == nil && v >= 1 {
+		return v
+	}
+	return 1000
+}()
+
+var printOnce sync.Map
+
+// emit prints a table once per benchmark run, keyed by id.
+func emit(b *testing.B, t *bench.Table) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(t.ID+t.Title, true); !dup {
+		fmt.Printf("\n%s\n", t)
+	}
+}
+
+// BenchmarkTable1BugWindows regenerates Table 1: the dynamic distance
+// between each bug's root cause and its crash.
+func BenchmarkTable1BugWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1(benchScale)
+		emit(b, t)
+		b.ReportMetric(float64(len(t.Rows)), "bugs")
+	}
+}
+
+// BenchmarkFigure2BugFLLSizes regenerates Figure 2: FLL bytes needed to
+// replay each bug's window.
+func BenchmarkFigure2BugFLLSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Figure2(benchScale))
+	}
+}
+
+// BenchmarkFigure3IntervalSweep regenerates Figure 3: FLL size for a fixed
+// replay window across checkpoint interval lengths.
+func BenchmarkFigure3IntervalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Figure3(benchScale))
+	}
+}
+
+// BenchmarkFigure4WindowSweep regenerates Figure 4: FLL size versus replay
+// window length.
+func BenchmarkFigure4WindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Figure4(benchScale))
+	}
+}
+
+// BenchmarkFigure5DictionaryHitRate and BenchmarkFigure6CompressionRatio
+// regenerate the dictionary sweep.
+func BenchmarkFigure5DictionaryHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f5, _ := bench.DictSweep(benchScale)
+		emit(b, f5)
+	}
+}
+
+// BenchmarkFigure6CompressionRatio regenerates Figure 6.
+func BenchmarkFigure6CompressionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f6 := bench.DictSweep(benchScale)
+		emit(b, f6)
+	}
+}
+
+// BenchmarkTable2LogSizes regenerates Table 2: BugNet vs FDR log sizes.
+func BenchmarkTable2LogSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Table2(benchScale))
+	}
+}
+
+// BenchmarkTable3HardwareComplexity regenerates Table 3.
+func BenchmarkTable3HardwareComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Table3())
+	}
+}
+
+// BenchmarkOverhead regenerates the §6.3 recording-overhead measurement.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.Overhead(benchScale))
+	}
+}
+
+// BenchmarkAblationPreserveFL measures the paper's §4.4 future-work
+// extension.
+func BenchmarkAblationPreserveFL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.AblationPreserveFL(benchScale))
+	}
+}
+
+// BenchmarkAblationNetzer measures MRL sizes with the transitive
+// reduction disabled.
+func BenchmarkAblationNetzer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.AblationNetzer(benchScale))
+	}
+}
+
+// BenchmarkRecordingThroughput measures raw recording speed: guest
+// instructions per second under full BugNet recording (mcf, the heaviest
+// memory workload).
+func BenchmarkRecordingThroughput(b *testing.B) {
+	w := workload.ByName("mcf")
+	m := w.Machine(w.Warmup, nil)
+	m.Run()
+	rec := core.NewRecorder(m, core.Config{IntervalLength: 1 << 20})
+	b.ResetTimer()
+	m.SetMaxSteps(w.Warmup + uint64(b.N))
+	m.Run()
+	b.StopTimer()
+	rec.Flush()
+	_, total := rec.LoggedOps()
+	b.ReportMetric(float64(total)/float64(b.N), "memops/instr")
+}
+
+// BenchmarkBaselineThroughput measures the same workload without any
+// recorder attached, so the recording slowdown of this simulator can be
+// computed from the two benchmarks.
+func BenchmarkBaselineThroughput(b *testing.B) {
+	w := workload.ByName("mcf")
+	m := w.Machine(w.Warmup, nil)
+	m.Run()
+	b.ResetTimer()
+	m.SetMaxSteps(w.Warmup + uint64(b.N))
+	m.Run()
+}
+
+// BenchmarkBusModel measures the overhead model itself.
+func BenchmarkBusModel(b *testing.B) {
+	model := bus.New(bus.Config{})
+	for i := 0; i < b.N; i++ {
+		model.Instruction()
+		if i&7 == 0 {
+			model.LogBits(39)
+		}
+		if i&1023 == 0 {
+			model.Miss()
+		}
+	}
+}
+
+var _ = kernel.Config{}

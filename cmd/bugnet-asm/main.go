@@ -1,0 +1,68 @@
+// Command bugnet-asm assembles a guest program and prints a listing:
+// symbols, section sizes, and a disassembly that must round-trip through
+// the encoder.
+//
+// Usage:
+//
+//	bugnet-asm prog.s
+//	bugnet-asm -symbols prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bugnet"
+	"bugnet/internal/isa"
+)
+
+func main() {
+	symbolsOnly := flag.Bool("symbols", false, "print only the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bugnet-asm [-symbols] file.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	img, err := bugnet.Assemble(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: text %d bytes at %#x, data %d bytes at %#x, entry %#x\n",
+		img.Name, len(img.Text), img.TextBase, len(img.Data), img.DataBase, img.Entry)
+
+	fmt.Println("\nsymbols:")
+	for _, name := range img.SymbolsSorted() {
+		fmt.Printf("  %08x  %s\n", img.Symbols[name], name)
+	}
+	if *symbolsOnly {
+		return
+	}
+
+	// Reverse symbol map for listing annotations.
+	at := make(map[uint32][]string)
+	for name, addr := range img.Symbols {
+		at[addr] = append(at[addr], name)
+	}
+	fmt.Println("\ndisassembly:")
+	for off := 0; off+4 <= len(img.Text); off += 4 {
+		pc := img.TextBase + uint32(off)
+		for _, name := range at[pc] {
+			fmt.Printf("%s:\n", name)
+		}
+		w := uint32(img.Text[off]) | uint32(img.Text[off+1])<<8 |
+			uint32(img.Text[off+2])<<16 | uint32(img.Text[off+3])<<24
+		fmt.Printf("  %08x:  %08x  %s", pc, w, isa.DisassembleWord(w, pc))
+		if line, ok := img.Lines[pc]; ok {
+			fmt.Printf("   # line %d", line)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,207 @@
+// Command bugnet-debug is the replay debugger the paper motivates: it
+// opens a saved crash report against the matching binary and lets the
+// developer navigate the recorded window deterministically — forward,
+// backward (by deterministic re-execution), with breakpoints and
+// inspection of every memory location the window touched.
+//
+// Usage:
+//
+//	bugnet-debug -dir report/ -bug gzip
+//
+// Commands (stdin, one per line, so sessions can be scripted):
+//
+//	s [n]         step n instructions (default 1)
+//	c             continue to breakpoint / end of window
+//	b <sym|hex>   set a breakpoint
+//	d <sym|hex>   delete a breakpoint
+//	runto <sym>   run to an address once
+//	goto <n>      travel to absolute instruction position n (backwards ok)
+//	reset         back to the start of the window
+//	regs          print the register file
+//	x <sym|hex>   examine a memory word (reports unknown if untouched)
+//	where         print position, pc, symbol and disassembly
+//	q             quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bugnet"
+	"bugnet/internal/cli"
+	"bugnet/internal/core"
+	"bugnet/internal/isa"
+)
+
+func main() {
+	dir := flag.String("dir", "bugnet-report", "crash report directory")
+	bug := flag.String("bug", "", "bug analogue the report was recorded from")
+	spec := flag.String("spec", "", "SPEC analogue the report was recorded from")
+	asmFile := flag.String("asm", "", "assembly source the report was recorded from")
+	scale := flag.Int("scale", 100, "bug-window scale used when recording")
+	tid := flag.Int("tid", -1, "thread to debug (default: the crashing thread)")
+	flag.Parse()
+
+	img, _, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := bugnet.LoadReport(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rep.Binary.TextLen != 0 {
+		if err := rep.Binary.Matches(img); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	t := *tid
+	if t < 0 {
+		if rep.Crash != nil {
+			t = rep.Crash.TID
+		} else {
+			t = 0
+		}
+	}
+	logs := rep.FLLs[t]
+	if len(logs) == 0 {
+		fmt.Fprintf(os.Stderr, "no logs for thread %d\n", t)
+		os.Exit(1)
+	}
+	d, err := core.NewDebugger(img, logs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("replay window: %d instructions of thread %d\n", d.Window(), t)
+	if f := d.Fault(); f != nil {
+		fmt.Printf("recorded crash at %s: %s\n", d.SymbolAt(f.PC), d.Disasm(f.PC))
+	}
+	repl(d, img)
+}
+
+func repl(d *core.Debugger, img *bugnet.Image) {
+	where(d)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(bugnet) ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("(bugnet) ")
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit", "exit":
+			return
+		case "s", "step":
+			n := uint64(1)
+			if len(fields) > 1 {
+				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+					n = v
+				}
+			}
+			reason, err := d.Step(n)
+			report(d, reason, err)
+		case "c", "continue":
+			reason, err := d.Continue()
+			report(d, reason, err)
+		case "b", "break":
+			if pc, ok := resolve(img, fields); ok {
+				d.AddBreak(pc)
+				fmt.Printf("breakpoint at %s\n", d.SymbolAt(pc))
+			}
+		case "d", "delete":
+			if pc, ok := resolve(img, fields); ok {
+				d.ClearBreak(pc)
+			}
+		case "runto":
+			if pc, ok := resolve(img, fields); ok {
+				reason, err := d.RunTo(pc)
+				report(d, reason, err)
+			}
+		case "goto":
+			if len(fields) > 1 {
+				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+					if err := d.Goto(v); err != nil {
+						fmt.Println("error:", err)
+					}
+					where(d)
+				}
+			}
+		case "reset":
+			d.Reset()
+			where(d)
+		case "regs":
+			regs(d)
+		case "x", "examine":
+			if addr, ok := resolve(img, fields); ok {
+				v, known := d.ReadWord(addr)
+				if known {
+					fmt.Printf("%#08x: %#08x (%d)\n", addr, v, int32(v))
+				} else {
+					fmt.Printf("%#08x: unknown — not touched in the recorded window (no core dump in BugNet)\n", addr)
+				}
+			}
+		case "where", "w":
+			where(d)
+		default:
+			fmt.Println("commands: s [n] | c | b <sym> | d <sym> | runto <sym> | goto <n> | reset | regs | x <sym> | where | q")
+		}
+		fmt.Print("(bugnet) ")
+	}
+}
+
+func report(d *core.Debugger, reason core.StopReason, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("stopped: %v\n", reason)
+	where(d)
+	if reason == core.StopEnd && d.Fault() != nil {
+		fmt.Printf("the next instruction is the recorded crash: %s\n", d.Disasm(d.Fault().PC))
+	}
+}
+
+func where(d *core.Debugger) {
+	fmt.Printf("[%d/%d] %s:  %s\n", d.Pos(), d.Window(), d.SymbolAt(d.PC()), d.Disasm(d.PC()))
+}
+
+func regs(d *core.Debugger) {
+	st := d.Registers()
+	fmt.Printf("pc = %#08x\n", st.PC)
+	for i := 0; i < isa.NumRegs; i += 4 {
+		for j := i; j < i+4; j++ {
+			fmt.Printf("%-4s= %#08x  ", isa.RegName(uint8(j)), st.Regs[j])
+		}
+		fmt.Println()
+	}
+}
+
+// resolve turns a symbol name or hex/decimal literal into an address.
+func resolve(img *bugnet.Image, fields []string) (uint32, bool) {
+	if len(fields) < 2 {
+		fmt.Println("need an address or symbol")
+		return 0, false
+	}
+	arg := fields[1]
+	if addr, ok := img.Symbol(arg); ok {
+		return addr, true
+	}
+	if v, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 32); err == nil {
+		return uint32(v), true
+	}
+	if v, err := strconv.ParseUint(arg, 10, 32); err == nil {
+		return uint32(v), true
+	}
+	fmt.Printf("cannot resolve %q\n", arg)
+	return 0, false
+}

@@ -1,0 +1,88 @@
+// Command bugnet-inspect prints the contents of a saved crash report:
+// per-interval First-Load Log headers, Memory Race Log summaries, and
+// aggregate sizes — the developer's first look at what came back from the
+// field.
+//
+// Usage:
+//
+//	bugnet-inspect -dir report/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bugnet"
+	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
+)
+
+func main() {
+	dir := flag.String("dir", "bugnet-report", "crash report directory")
+	entries := flag.Int("entries", 0, "also dump up to N raw first-load records per log")
+	flag.Parse()
+
+	rep, err := bugnet.LoadReport(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("crash report (pid %d)\n", rep.PID)
+	if rep.Crash != nil {
+		fmt.Printf("crash: thread %d, %s at pc=%#x addr=%#x\n",
+			rep.Crash.TID, rep.Crash.Fault.Cause, rep.Crash.Fault.PC, rep.Crash.Fault.Addr)
+	} else {
+		fmt.Println("no crash recorded (window capture)")
+	}
+
+	tids := make([]int, 0, len(rep.FLLs))
+	for tid := range rep.FLLs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+
+	var totalBytes int64
+	var totalInstr uint64
+	for _, tid := range tids {
+		fmt.Printf("\nthread %d: %d first-load logs\n", tid, len(rep.FLLs[tid]))
+		fmt.Printf("  %-5s %-12s %-12s %-10s %-10s %-9s %-16s %s\n",
+			"C-ID", "timestamp", "instructions", "mem ops", "logged", "KB", "end", "fault")
+		for _, l := range rep.FLLs[tid] {
+			faultStr := ""
+			if l.Fault != nil {
+				faultStr = fmt.Sprintf("%s at %#x (interval ic %d)",
+					cpu.FaultCause(l.Fault.Cause), l.Fault.PC, l.Fault.IC)
+			}
+			fmt.Printf("  %-5d %-12d %-12d %-10d %-10d %-9.1f %-16s %s\n",
+				l.CID, l.Timestamp, l.Length, l.Ops, l.NumEntries,
+				float64(l.SizeBytes())/1024, l.End, faultStr)
+			totalBytes += l.SizeBytes()
+			totalInstr += l.Length
+			if *entries > 0 {
+				es, err := l.DumpEntries(*entries)
+				if err != nil {
+					fmt.Printf("      entry dump error: %v\n", err)
+				}
+				for _, e := range es {
+					fmt.Printf("      %s\n", e)
+				}
+			}
+		}
+		if mrls := rep.MRLs[tid]; len(mrls) > 0 {
+			entries := 0
+			var bytes int64
+			for _, m := range mrls {
+				entries += len(m.Entries)
+				bytes += m.SizeBytes()
+			}
+			fmt.Printf("  memory race logs: %d logs, %d entries, %.1f KB\n",
+				len(mrls), entries, float64(bytes)/1024)
+			totalBytes += bytes
+		}
+	}
+	fmt.Printf("\nreplay window: %d instructions in %.1f KB of logs\n",
+		totalInstr, float64(totalBytes)/1024)
+	var _ fll.EndKind
+}

@@ -1,0 +1,63 @@
+// Command bugnet-record runs a guest program under the BugNet recorder
+// and saves the crash report (First-Load Logs and Memory Race Logs) to a
+// directory, like a production BugNet dumping its logs when the OS
+// detects a fault (paper §4.8).
+//
+// Usage:
+//
+//	bugnet-record -bug gzip -out report/           # a Table 1 analogue
+//	bugnet-record -spec mcf -steps 2000000 -out r/ # a SPEC analogue window
+//	bugnet-record -asm prog.s -out report/         # your own program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bugnet"
+	"bugnet/internal/cli"
+)
+
+func main() {
+	bug := flag.String("bug", "", "record a Table 1 bug analogue (bc, gzip, ncompress, ...)")
+	spec := flag.String("spec", "", "record a SPEC analogue (art, bzip2, crafty, gzip, mcf, parser, vpr)")
+	asmFile := flag.String("asm", "", "record an assembly source file")
+	out := flag.String("out", "bugnet-report", "output directory for the crash report")
+	interval := flag.Uint64("interval", 100_000, "checkpoint interval length in instructions")
+	steps := flag.Uint64("steps", 50_000_000, "machine step budget")
+	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
+	flag.Parse()
+
+	img, mcfg, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mcfg.MaxSteps = *steps
+
+	res, rep, rec := bugnet.Record(img, mcfg, bugnet.Config{IntervalLength: *interval})
+	logged, total := rec.LoggedOps()
+	fmt.Printf("executed %d instructions in %d steps; logged %d of %d loggable ops (%.1f%%)\n",
+		res.Instructions, res.Steps, logged, total, 100*float64(logged)/float64(max64(total, 1)))
+	fmt.Printf("FLL bytes retained: %d; MRL bytes retained: %d\n",
+		rec.FLLStore().Stats().RetainedBytes, rec.MRLStore().Stats().RetainedBytes)
+	if res.Crash != nil {
+		fmt.Printf("CRASH: thread %d: %v\n", res.Crash.TID, res.Crash.Fault)
+		fmt.Printf("faulting instruction: %s\n", bugnet.Disassemble(img, res.Crash.Fault.PC))
+	} else {
+		fmt.Printf("clean stop (exit code %d)\n", res.ExitCode)
+	}
+	if err := bugnet.SaveReport(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "saving report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report saved to %s\n", *out)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

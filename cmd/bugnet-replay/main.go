@@ -1,0 +1,79 @@
+// Command bugnet-replay deterministically replays a saved crash report
+// against the same binary, reproducing the exact execution that led to
+// the crash (paper §5).
+//
+// Usage:
+//
+//	bugnet-replay -dir report/ -bug gzip
+//	bugnet-replay -dir report/ -asm prog.s [-races]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bugnet"
+	"bugnet/internal/cli"
+)
+
+func main() {
+	dir := flag.String("dir", "bugnet-report", "crash report directory")
+	bug := flag.String("bug", "", "the Table 1 analogue the report was recorded from")
+	spec := flag.String("spec", "", "the SPEC analogue the report was recorded from")
+	asmFile := flag.String("asm", "", "the assembly source the report was recorded from")
+	scale := flag.Int("scale", 100, "bug-window scale used when recording")
+	races := flag.Bool("races", false, "run multithreaded replay with data-race inference")
+	flag.Parse()
+
+	img, _, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := bugnet.LoadReport(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loading report:", err)
+		os.Exit(1)
+	}
+
+	if *races || len(rep.FLLs) > 1 {
+		mr := bugnet.NewMultiReplayer(img, rep)
+		mr.DetectRaces = *races
+		out, err := mr.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		for tid, tr := range out.Threads {
+			describe(img, tid, tr)
+		}
+		fmt.Printf("applied %d ordering constraints (%d dropped outside the window)\n",
+			out.Constraints, out.DroppedConstraints)
+		for _, r := range out.Races {
+			fmt.Println(r)
+		}
+		if *races && len(out.Races) == 0 {
+			fmt.Println("no data races inferred")
+		}
+		return
+	}
+
+	for tid, logs := range rep.FLLs {
+		rr, err := bugnet.NewReplayer(img, logs).Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		describe(img, tid, rr)
+	}
+}
+
+func describe(img *bugnet.Image, tid int, rr *bugnet.ReplayResult) {
+	fmt.Printf("thread %d: replayed %d instructions over %d checkpoint intervals (%d first-load injections)\n",
+		tid, rr.Instructions, rr.Intervals, rr.Injected)
+	if rr.Fault != nil {
+		fmt.Printf("  crash at pc=%#x: %s\n", rr.Fault.PC, bugnet.Disassemble(img, rr.Fault.PC))
+		fmt.Printf("  state before the crash: pc=%#x\n", rr.Final.PC)
+	}
+}

@@ -1,0 +1,43 @@
+// Logsizes: reproduce the paper's core size claim interactively — how the
+// first-load optimization and the checkpoint interval length determine
+// how many bytes BugNet must ship to replay a window of execution
+// (Figures 3 and 4 in miniature).
+package main
+
+import (
+	"fmt"
+
+	"bugnet"
+	"bugnet/internal/core"
+	"bugnet/internal/workload"
+)
+
+func main() {
+	const window = 200_000 // steady-state instructions to record
+
+	fmt.Printf("FLL bytes to replay a %d-instruction window of each workload:\n\n", window)
+	fmt.Printf("%-8s  %12s  %12s  %12s  %10s\n", "workload", "interval=1K", "interval=10K", "interval=100K", "logged/ops")
+	for _, w := range workload.SPEC() {
+		var cells []string
+		var logged, total uint64
+		for _, interval := range []uint64{1_000, 10_000, 100_000} {
+			m := w.Machine(w.Warmup, nil)
+			m.Run() // warm up unrecorded
+			rec := bugnet.NewRecorder(m, bugnet.Config{IntervalLength: interval})
+			m.SetMaxSteps(w.Warmup + window)
+			m.Run()
+			flushRecorder(rec)
+			cells = append(cells, fmt.Sprintf("%d", rec.FLLStore().Stats().RetainedBytes))
+			logged, total = rec.LoggedOps()
+		}
+		fmt.Printf("%-8s  %12s  %12s  %12s  %6.1f%%\n",
+			w.Name, cells[0], cells[1], cells[2], 100*float64(logged)/float64(total))
+	}
+	fmt.Println("\nLonger checkpoint intervals let the first-load bits filter more loads")
+	fmt.Println("(paper Figure 3). The logged/ops column shows the filter's character:")
+	fmt.Println("streaming kernels (art, mcf) log almost every load — no reuse inside an")
+	fmt.Println("interval — while reuse-heavy kernels (parser, gzip) drop 75-85% of theirs.")
+}
+
+// flushRecorder finalizes open intervals (the window ended mid-interval).
+func flushRecorder(rec *core.Recorder) { rec.Flush() }

@@ -1,0 +1,581 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"bugnet/internal/isa"
+)
+
+// encodeInstruction expands one (pseudo)instruction into machine words.
+func (a *assembler) encodeInstruction(it *item) ([]uint32, error) {
+	enc := func(ins isa.Instruction) ([]uint32, error) {
+		w, err := isa.Encode(ins)
+		if err != nil {
+			return nil, a.errf(it.line, "%v", err)
+		}
+		return []uint32{w}, nil
+	}
+
+	switch it.mnem {
+	case "nop":
+		return enc(isa.Instruction{Op: isa.OpADDI})
+	case "li":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		v64, err := a.number(it.args[1], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return a.expandLI(it, rd, int32(v64))
+	case "la":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 2 {
+			return nil, a.errf(it.line, "la wants rd, symbol")
+		}
+		addr, err := a.value(it.args[1], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return a.expandLUIADDI(it, rd, int32(addr), true)
+	case "mv":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpADDI, Rd: rd, Rs1: rs})
+	case "not":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSUB, Rd: rd, Rs2: rs})
+	case "seqz":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSLTU, Rd: rd, Rs2: rs})
+	case "subi":
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.number(it.args[2], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpADDI, Rd: rd, Rs1: rs, Imm: int32(-v)})
+	case "call":
+		if len(it.args) != 1 {
+			return nil, a.errf(it.line, "call wants a target label")
+		}
+		off, err := a.relTarget(it.args[0], it.addr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpJAL, Imm: off})
+	case "ret":
+		return enc(isa.Instruction{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: isa.RegRA})
+	case "jr":
+		rs, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: rs})
+	case "beqz", "bnez", "bltz", "bgez", "bgtz", "blez":
+		rs, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 2 {
+			return nil, a.errf(it.line, "%s wants rs, label", it.mnem)
+		}
+		off, err := a.relTarget(it.args[1], it.addr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		var ins isa.Instruction
+		switch it.mnem {
+		case "beqz":
+			ins = isa.Instruction{Op: isa.OpBEQ, Rs1: rs, Rs2: isa.RegZero}
+		case "bnez":
+			ins = isa.Instruction{Op: isa.OpBNE, Rs1: rs, Rs2: isa.RegZero}
+		case "bltz":
+			ins = isa.Instruction{Op: isa.OpBLT, Rs1: rs, Rs2: isa.RegZero}
+		case "bgez":
+			ins = isa.Instruction{Op: isa.OpBGE, Rs1: rs, Rs2: isa.RegZero}
+		case "bgtz": // rs > 0  <=>  0 < rs
+			ins = isa.Instruction{Op: isa.OpBLT, Rs1: isa.RegZero, Rs2: rs}
+		case "blez": // rs <= 0 <=>  0 >= ... BGE zero, rs
+			ins = isa.Instruction{Op: isa.OpBGE, Rs1: isa.RegZero, Rs2: rs}
+		}
+		ins.Imm = off
+		return enc(ins)
+	case "ble", "bgt", "bleu", "bgtu":
+		r1, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 3 {
+			return nil, a.errf(it.line, "%s wants rs1, rs2, label", it.mnem)
+		}
+		off, err := a.relTarget(it.args[2], it.addr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		var ins isa.Instruction
+		switch it.mnem {
+		case "ble": // a <= b  <=>  b >= a
+			ins = isa.Instruction{Op: isa.OpBGE, Rs1: r2, Rs2: r1}
+		case "bgt": // a > b   <=>  b < a
+			ins = isa.Instruction{Op: isa.OpBLT, Rs1: r2, Rs2: r1}
+		case "bleu":
+			ins = isa.Instruction{Op: isa.OpBGEU, Rs1: r2, Rs2: r1}
+		case "bgtu":
+			ins = isa.Instruction{Op: isa.OpBLTU, Rs1: r2, Rs2: r1}
+		}
+		ins.Imm = off
+		return enc(ins)
+	}
+
+	op, ok := isa.OpcodeByName(it.mnem)
+	if !ok {
+		return nil, a.errf(it.line, "unknown instruction %q", it.mnem)
+	}
+	switch {
+	case op == isa.OpSYSCALL || op == isa.OpBREAK:
+		return enc(isa.Instruction{Op: op})
+	case op.IsLoad() || op.IsStore():
+		// op rd, imm(rs1)   — rd is the value register for stores too.
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 2 {
+			return nil, a.errf(it.line, "%s wants rd, offset(base)", it.mnem)
+		}
+		imm, base, err := a.memOperand(it.args[1], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Rs1: base, Imm: imm})
+	case op.IsAMO():
+		// op rd, rs2, (rs1)
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 3 {
+			return nil, a.errf(it.line, "%s wants rd, rs2, (rs1)", it.mnem)
+		}
+		addr := strings.TrimSuffix(strings.TrimPrefix(it.args[2], "("), ")")
+		rs1, ok := isa.RegByName(addr)
+		if !ok {
+			return nil, a.errf(it.line, "bad address register %q", it.args[2])
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case op.IsBranch():
+		r1, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 3 {
+			return nil, a.errf(it.line, "%s wants rs1, rs2, label", it.mnem)
+		}
+		off, err := a.relTarget(it.args[2], it.addr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Rs1: r1, Rs2: r2, Imm: off})
+	case op == isa.OpJAL || op == isa.OpJ:
+		if len(it.args) != 1 {
+			return nil, a.errf(it.line, "%s wants a target label", it.mnem)
+		}
+		off, err := a.relTarget(it.args[0], it.addr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Imm: off})
+	case op == isa.OpJALR:
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		var imm int64
+		if len(it.args) == 3 {
+			imm, err = a.number(it.args[2], it.line)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+	case op == isa.OpLUI:
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.number(it.args[1], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Imm: int32(v)})
+	case op.Format() == isa.FormatR:
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(it.args, 2, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case op.Format() == isa.FormatI:
+		rd, err := a.reg(it.args, 0, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(it.args, 1, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if len(it.args) != 3 {
+			return nil, a.errf(it.line, "%s wants rd, rs1, imm", it.mnem)
+		}
+		v, err := a.number(it.args[2], it.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)})
+	}
+	return nil, a.errf(it.line, "cannot encode %q", it.mnem)
+}
+
+// expandLI emits the shortest sequence loading the 32-bit constant v.
+func (a *assembler) expandLI(it *item, rd uint8, v int32) ([]uint32, error) {
+	if v >= isa.MinImm16 && v <= isa.MaxImm16 {
+		w, err := isa.Encode(isa.Instruction{Op: isa.OpADDI, Rd: rd, Imm: v})
+		if err != nil {
+			return nil, a.errf(it.line, "%v", err)
+		}
+		return []uint32{w}, nil
+	}
+	return a.expandLUIADDI(it, rd, v, false)
+}
+
+// expandLUIADDI emits lui+addi computing v. If forcePair is true the addi is
+// emitted even when it would be a no-op, to keep pass-1 sizing label-free.
+func (a *assembler) expandLUIADDI(it *item, rd uint8, v int32, forcePair bool) ([]uint32, error) {
+	lo := int32(int16(uint16(uint32(v))))
+	hi := (v - lo) >> 16 // the 16 bits LUI must place in the upper half
+	luiw, err := isa.Encode(isa.Instruction{Op: isa.OpLUI, Rd: rd, Imm: int32(int16(uint16(hi)))})
+	if err != nil {
+		return nil, a.errf(it.line, "%v", err)
+	}
+	if lo == 0 && !forcePair {
+		return []uint32{luiw}, nil
+	}
+	addiw, err := isa.Encode(isa.Instruction{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	if err != nil {
+		return nil, a.errf(it.line, "%v", err)
+	}
+	return []uint32{luiw, addiw}, nil
+}
+
+// reg parses the idx'th operand as a register name.
+func (a *assembler) reg(args []string, idx int, line int) (uint8, error) {
+	if idx >= len(args) {
+		return 0, a.errf(line, "missing register operand %d", idx+1)
+	}
+	r, ok := isa.RegByName(args[idx])
+	if !ok {
+		return 0, a.errf(line, "unknown register %q", args[idx])
+	}
+	return r, nil
+}
+
+// memOperand parses "offset(base)" or "(base)" or "symbol(base)".
+func (a *assembler) memOperand(s string, line int) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf(line, "bad memory operand %q; want offset(base)", s)
+	}
+	base, ok := isa.RegByName(s[open+1 : len(s)-1])
+	if !ok {
+		return 0, 0, a.errf(line, "bad base register in %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, base, nil
+	}
+	v, err := a.number(offStr, line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(v), base, nil
+}
+
+// relTarget resolves a label (or absolute expression) to a PC-relative byte
+// offset from the instruction's successor.
+func (a *assembler) relTarget(arg string, pc uint32, line int) (int32, error) {
+	v, err := a.value(arg, line)
+	if err != nil {
+		return 0, err
+	}
+	return int32(uint32(v) - (pc + isa.WordSize)), nil
+}
+
+// number evaluates a purely numeric expression (literal or .equ constant,
+// with optional +/- literal suffix). It rejects label references.
+func (a *assembler) number(s string, line int) (int64, error) {
+	v, isLabel, err := a.eval(s, line)
+	if err != nil {
+		return 0, err
+	}
+	if isLabel {
+		return 0, a.errf(line, "label reference %q not allowed here", s)
+	}
+	return v, nil
+}
+
+// value evaluates an expression that may reference a label.
+func (a *assembler) value(s string, line int) (int64, error) {
+	v, _, err := a.eval(s, line)
+	return v, err
+}
+
+// eval evaluates "term" or "term+term" or "term-term" where terms are
+// integer literals, character literals, .equ constants, or labels.
+func (a *assembler) eval(s string, line int) (val int64, usedLabel bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false, a.errf(line, "empty expression")
+	}
+	// Find a top-level +/- (not the leading sign).
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			if s[i-1] == 'x' || s[i-1] == 'X' || s[i-1] == '+' || s[i-1] == '-' {
+				continue
+			}
+			l, ll, err := a.eval(s[:i], line)
+			if err != nil {
+				return 0, false, err
+			}
+			r, rl, err := a.eval(s[i+1:], line)
+			if err != nil {
+				return 0, false, err
+			}
+			if s[i] == '+' {
+				return l + r, ll || rl, nil
+			}
+			return l - r, ll || rl, nil
+		}
+	}
+	return a.term(s, line)
+}
+
+func (a *assembler) term(s string, line int) (int64, bool, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false, a.errf(line, "empty term")
+	}
+	// Character literal.
+	if strings.HasPrefix(s, "'") {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) == 0 {
+			return 0, false, a.errf(line, "bad character literal %s", s)
+		}
+		return int64(r[0]), false, nil
+	}
+	// Integer literal (decimal, hex, octal, binary per Go syntax).
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, false, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v), false, nil
+	}
+	// Equate.
+	if v, ok := a.equates[s]; ok {
+		return v, false, nil
+	}
+	// Label.
+	if addr, ok := a.symbols[s]; ok {
+		return int64(addr), true, nil
+	}
+	return 0, false, a.errf(line, "undefined symbol %q", s)
+}
+
+// --- lexical helpers ---
+
+// stripComment removes '#', '//' and ';' comments, respecting string
+// literals so ".asciiz "a#b"" survives.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '#' || c == ';':
+			return s[:i]
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of a leading label's ':' or -1. It only
+// considers a ':' before any whitespace-separated second token containing
+// quotes or parens, to avoid misreading operands.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ':':
+			return i
+		case c == '"' || c == '(' || c == ',' || c == ' ' || c == '\t':
+			return -1
+		}
+	}
+	return -1
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitFirst splits off the first whitespace-delimited token.
+func splitFirst(s string) (first, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// splitArgs splits a comma-separated operand list, respecting string and
+// character literals.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var args []string
+	depth := 0
+	inStr, inChar := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testScale keeps unit tests fast; the root-level benchmarks and the CLI
+// run the meaningful scales.
+const testScale = 2000
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Note("footnote %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== x: demo ==", "333", "note: footnote 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if kb(2048) != "2.0" || mb(3<<20) != "3.00" {
+		t.Error("size formatters broken")
+	}
+	cases := map[uint64]string{10_000: "10K", 1_000_000: "1M", 1_000_000_000: "1B", 123: "123"}
+	for n, want := range cases {
+		if human(n) != want {
+			t.Errorf("human(%d) = %s; want %s", n, human(n), want)
+		}
+	}
+	if pct(0.5) != "50.0%" {
+		t.Errorf("pct = %s", pct(0.5))
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	if scaled(100, 1000) != 10 {
+		t.Errorf("scaled floor = %d", scaled(100, 1000))
+	}
+	if scaled(paperBillion, 1) != paperBillion {
+		t.Error("scale 1 must be identity")
+	}
+}
+
+func TestFigure3ShapeMonotone(t *testing.T) {
+	tb := Figure3(testScale)
+	if len(tb.Rows) != 8 { // 7 workloads + Avg
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The paper's claim: FLL size decreases as interval length grows.
+	// Check the Avg row is non-increasing (within 1% slack for ties).
+	avg := tb.Rows[len(tb.Rows)-1]
+	var prev float64 = -1
+	for i := 1; i < len(avg); i++ {
+		v, err := strconv.ParseFloat(avg[i], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", avg[i])
+		}
+		if prev >= 0 && v > prev*1.01 {
+			t.Errorf("Figure 3 Avg not decreasing: %v", avg[1:])
+			break
+		}
+		prev = v
+	}
+}
+
+func TestFigure4ShapeIncreasing(t *testing.T) {
+	tb := Figure4(testScale)
+	avg := tb.Rows[len(tb.Rows)-1]
+	var prev float64 = -1
+	for i := 1; i < len(avg); i++ {
+		v, _ := strconv.ParseFloat(avg[i], 64)
+		if prev >= 0 && v < prev {
+			t.Errorf("Figure 4 Avg not increasing: %v", avg[1:])
+			break
+		}
+		prev = v
+	}
+}
+
+func TestDictSweepShapes(t *testing.T) {
+	fig5, fig6 := DictSweep(testScale)
+	// Hit rate and ratio must not decrease with dictionary size, and the
+	// 64-entry column should show meaningful compression on average.
+	avg5 := fig5.Rows[len(fig5.Rows)-1]
+	var prev float64 = -1
+	for i := 1; i < len(avg5); i++ {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(avg5[i], "%"), 64)
+		if prev >= 0 && v < prev-2 { // small non-monotonic jitter tolerated
+			t.Errorf("Figure 5 Avg decreasing: %v", avg5[1:])
+			break
+		}
+		prev = v
+	}
+	avg6 := fig6.Rows[len(fig6.Rows)-1]
+	v64, _ := strconv.ParseFloat(avg6[4], 64) // the 64-entry column
+	if v64 < 1.0 {
+		t.Errorf("64-entry compression ratio = %v; want > 1", v64)
+	}
+}
+
+func TestTable2HasAllPaperRows(t *testing.T) {
+	tb := Table2(testScale)
+	wantRows := []string{"FLL", "Memory race log", "Cache chk-pnt", "Mem chk-pnt",
+		"Core dump", "Interrupt log", "Prg I/O log", "DMA log"}
+	if len(tb.Rows) != len(wantRows) {
+		t.Fatalf("rows = %d; want %d", len(tb.Rows), len(wantRows))
+	}
+	for i, want := range wantRows {
+		if !strings.HasPrefix(tb.Rows[i][0], want) {
+			t.Errorf("row %d = %q; want prefix %q", i, tb.Rows[i][0], want)
+		}
+	}
+	// BugNet's 1B column must be larger than its 10M column.
+	v10, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	v1b, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+	if v1b < v10 {
+		t.Errorf("FLL 1B (%v) < 10M (%v)", v1b, v10)
+	}
+	// FDR must carry a core dump; BugNet must not.
+	if tb.Rows[4][1] != "NIL" || tb.Rows[4][3] == "NIL" {
+		t.Error("core dump attribution wrong")
+	}
+}
+
+func TestTable3Static(t *testing.T) {
+	tb := Table3()
+	s := tb.String()
+	for _, want := range []string{"48.0", "1416.0", "64-entry CAM", "LZ HW"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOverheadTiny(t *testing.T) {
+	tb := Overhead(testScale)
+	for _, row := range tb.Rows {
+		ov := strings.TrimSuffix(row[len(row)-1], "%")
+		v, err := strconv.ParseFloat(ov, 64)
+		if err != nil {
+			t.Fatalf("bad overhead cell %q", row[len(row)-1])
+		}
+		if v > 0.1 {
+			t.Errorf("%s overhead = %v%%; paper claims < 0.01%%", row[0], v)
+		}
+	}
+}
+
+func TestAblationNetzerReduces(t *testing.T) {
+	tb := AblationNetzer(testScale)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	with, _ := strconv.Atoi(tb.Rows[0][1])
+	without, _ := strconv.Atoi(tb.Rows[1][1])
+	if with >= without || without == 0 {
+		t.Errorf("reduction ineffective: with=%d without=%d", with, without)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("bogus", testScale); err == nil {
+		t.Error("unknown id accepted")
+	}
+	tabs, err := ByID("table3", testScale)
+	if err != nil || len(tabs) != 1 {
+		t.Errorf("ByID(table3) = %v, %v", tabs, err)
+	}
+	for _, id := range IDs() {
+		if id == "all" {
+			continue
+		}
+		// All ids must at least be recognized (not all are cheap to run).
+		switch id {
+		case "table3":
+			if _, err := ByID(id, testScale); err != nil {
+				t.Errorf("ByID(%s): %v", id, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package bits provides bit-granular stream writers and readers.
+//
+// BugNet's First-Load Log entries are not byte aligned: an entry is
+// (LC-Type:1 bit, L-Count:5 or 32 bits, LV-Type:1 bit, value:6 or 32 bits),
+// so logs must be packed at bit granularity to reproduce the paper's log
+// sizes. Bits are written MSB-first within each byte, which makes hex dumps
+// of logs readable left-to-right.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnderflow is returned when a read requests more bits than remain.
+var ErrUnderflow = errors.New("bits: read past end of stream")
+
+// Writer accumulates a bit stream into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit uint64 // total bits written
+}
+
+// WriteBits appends the low n bits of v to the stream, most significant of
+// those n bits first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits width %d > 64", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		bitPos := w.nbit & 7
+		if bitPos == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v>>uint(i)&1 != 0 {
+			w.buf[len(w.buf)-1] |= 0x80 >> bitPos
+		}
+		w.nbit++
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Align pads the stream with zero bits to the next byte boundary.
+func (w *Writer) Align() {
+	if r := w.nbit & 7; r != 0 {
+		w.WriteBits(0, uint(8-r))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() uint64 { return w.nbit }
+
+// Bytes returns the packed stream. The final byte is zero-padded in its low
+// bits if the stream is not byte aligned. The returned slice aliases the
+// writer's buffer; it remains valid but may change if more bits are written.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset discards all written bits, retaining the allocation.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes a bit stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  uint64 // bits consumed
+	nbit uint64 // total readable bits
+}
+
+// NewReader returns a Reader over the given bytes, exposing len(buf)*8 bits.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf, nbit: uint64(len(buf)) * 8}
+}
+
+// NewReaderBits returns a Reader over buf that exposes exactly n bits.
+func NewReaderBits(buf []byte, n uint64) *Reader {
+	if max := uint64(len(buf)) * 8; n > max {
+		n = max
+	}
+	return &Reader{buf: buf, nbit: n}
+}
+
+// ReadBits consumes n bits and returns them in the low bits of the result,
+// in the order they were written. n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: ReadBits width %d > 64", n))
+	}
+	if r.pos+uint64(n) > r.nbit {
+		return 0, ErrUnderflow
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitPos := r.pos & 7
+		bit := r.buf[byteIdx] >> (7 - bitPos) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit consumes a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v != 0, err
+}
+
+// Align skips to the next byte boundary.
+func (r *Reader) Align() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+		if r.pos > r.nbit {
+			r.pos = r.nbit
+		}
+	}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() uint64 { return r.nbit - r.pos }
+
+// Offset returns the number of bits consumed so far.
+func (r *Reader) Offset() uint64 { return r.pos }

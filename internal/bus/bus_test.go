@@ -1,0 +1,107 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoLoggingNoOverhead(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 10000; i++ {
+		m.Instruction()
+	}
+	m.Miss()
+	s := m.Stats()
+	if s.Overhead() != 0 {
+		t.Errorf("overhead = %v without logging", s.Overhead())
+	}
+	if s.Cycles != 10000+200 {
+		t.Errorf("cycles = %d", s.Cycles)
+	}
+	if s.MissStall != 200 {
+		t.Errorf("miss stall = %d", s.MissStall)
+	}
+}
+
+func TestModestLoggingDrainsFree(t *testing.T) {
+	// A few bits per instruction drain on idle cycles: zero overhead.
+	m := New(Config{})
+	for i := 0; i < 100000; i++ {
+		m.Instruction()
+		if i%10 == 0 {
+			m.LogBits(39) // one incompressible FLL entry
+		}
+	}
+	s := m.Stats()
+	if s.Overhead() != 0 {
+		t.Errorf("overhead = %v for modest logging", s.Overhead())
+	}
+	if s.PeakCBBytes > 64 {
+		t.Errorf("peak CB = %d bytes; should stay tiny", s.PeakCBBytes)
+	}
+}
+
+func TestBurstOverflowsCB(t *testing.T) {
+	m := New(Config{CBBytes: 1024})
+	// A burst far beyond CB capacity with no idle cycles to drain.
+	m.LogBits(1024*8 + 64000)
+	s := m.Stats()
+	if s.LogStallCycles == 0 {
+		t.Error("CB overflow caused no stall")
+	}
+	if s.PeakCBBytes < 1024 {
+		t.Errorf("peak CB = %d", s.PeakCBBytes)
+	}
+}
+
+func TestMissIdleCyclesDrain(t *testing.T) {
+	// A miss stalls 200 cycles but only 8 carry the block; the rest drain
+	// the CB.
+	m := New(Config{CBBytes: 16 << 10})
+	m.LogBits(10000 * 8)
+	m.Miss()
+	s := m.Stats()
+	// Drained: (200-8) idle cycles * 8 B = 1536 bytes at least.
+	if m.cbBits > (10000-1500)*8 {
+		t.Errorf("cb after miss = %d bits; drain ineffective", m.cbBits)
+	}
+	if s.Overhead() != 0 {
+		t.Error("miss drain should avoid log stalls here")
+	}
+}
+
+// TestPropertyConservation: bits in = bits drained + bits resident.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{CBBytes: 512})
+		for i := 0; i < 5000; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				m.Instruction()
+			case 1:
+				m.LogBits(uint64(rng.Intn(200)))
+			case 2:
+				m.Miss()
+			}
+			if m.drainedBits+m.cbBits != m.totalBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadFraction(t *testing.T) {
+	s := Stats{Cycles: 1000, LogStallCycles: 1}
+	if s.Overhead() != 0.001 {
+		t.Errorf("overhead = %v", s.Overhead())
+	}
+	if (Stats{}).Overhead() != 0 {
+		t.Error("zero-cycle overhead should be 0")
+	}
+}

@@ -1,0 +1,335 @@
+// Package cache models the two-level cache hierarchy that holds BugNet's
+// first-load (FL) bits (paper §4.3).
+//
+// BugNet associates one FL bit with every word in the L1 and L2 caches. A
+// load whose word has the bit clear is a "first load" and must be logged;
+// the bit is then set. Stores set the bit without logging. The bits follow
+// blocks around the hierarchy:
+//
+//   - filling an L1 block from L2 copies the L2 block's FL bits into L1;
+//   - evicting an L1 block stores its FL bits back into the L2 copy;
+//   - evicting a block from L2 loses its FL bits (cleared), so re-accessed
+//     words get re-logged — this is what makes log size sensitive to cache
+//     geometry and working-set size;
+//   - an external invalidation (coherence or DMA write) removes the block
+//     and its FL bits, forcing the externally written values to be logged
+//     on the next load.
+//
+// The model is functional, not timed: it tracks presence, recency and FL
+// bits, plus the hit/miss/traffic counters the bus-overhead model consumes.
+// Data values live in the authoritative mem.Memory.
+package cache
+
+import "fmt"
+
+// maxWordsPerBlock bounds block size so FL bits fit a uint64 per line.
+const maxWordsPerBlock = 64
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	SizeBytes  int // total capacity
+	BlockBytes int // line size; power of two, 4..256
+	Assoc      int // ways per set
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c LevelConfig) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
+
+func (c LevelConfig) validate(name string) error {
+	if c.BlockBytes < 4 || c.BlockBytes > 4*maxWordsPerBlock || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: %s block size %d invalid", name, c.BlockBytes)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: %s associativity %d invalid", name, c.Assoc)
+	}
+	s := c.Sets()
+	if s < 1 || s&(s-1) != 0 || s*c.BlockBytes*c.Assoc != c.SizeBytes {
+		return fmt.Errorf("cache: %s geometry %d/%d/%d does not divide into power-of-two sets",
+			name, c.SizeBytes, c.BlockBytes, c.Assoc)
+	}
+	return nil
+}
+
+// Config describes the two-level private hierarchy of one processor.
+type Config struct {
+	L1 LevelConfig
+	L2 LevelConfig
+}
+
+// DefaultConfig mirrors a typical 2005-era core: 32 KB 4-way L1 and 1 MB
+// 8-way L2, both with 64-byte blocks (the geometry FDR assumes as well).
+func DefaultConfig() Config {
+	return Config{
+		L1: LevelConfig{SizeBytes: 32 << 10, BlockBytes: 64, Assoc: 4},
+		L2: LevelConfig{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 8},
+	}
+}
+
+// Stats counts cache events for the experiment harness and bus model.
+type Stats struct {
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64 // memory fetches
+	L1Evictions   uint64
+	L2Evictions   uint64
+	Invalidations uint64 // external (coherence/DMA) block invalidations that hit
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	fl    uint64 // first-load bits, one per word in the block
+	tick  uint64 // LRU timestamp
+}
+
+type level struct {
+	cfg       LevelConfig
+	sets      [][]line
+	setMask   uint32
+	blockMask uint32
+	wordBits  uint // log2(words per block)
+}
+
+func newLevel(cfg LevelConfig) *level {
+	l := &level{cfg: cfg}
+	n := cfg.Sets()
+	l.sets = make([][]line, n)
+	for i := range l.sets {
+		l.sets[i] = make([]line, cfg.Assoc)
+	}
+	l.setMask = uint32(n - 1)
+	l.blockMask = ^uint32(cfg.BlockBytes - 1)
+	for w := cfg.BlockBytes / 4; w > 1; w >>= 1 {
+		l.wordBits++
+	}
+	return l
+}
+
+func (l *level) index(addr uint32) (set uint32, tag uint32) {
+	block := addr & l.blockMask
+	set = (block / uint32(l.cfg.BlockBytes)) & l.setMask
+	return set, block
+}
+
+// find returns the way holding addr's block, or -1.
+func (l *level) find(addr uint32) (uint32, int) {
+	set, tag := l.index(addr)
+	for w := range l.sets[set] {
+		if l.sets[set][w].valid && l.sets[set][w].tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// victim returns the LRU way of the set.
+func (l *level) victim(set uint32) int {
+	ways := l.sets[set]
+	v := 0
+	for w := 1; w < len(ways); w++ {
+		if !ways[w].valid {
+			return w
+		}
+		if ways[w].tick < ways[v].tick {
+			v = w
+		}
+	}
+	return v
+}
+
+// wordBit returns the FL bit mask of addr's word within its block.
+func (l *level) wordBit(addr uint32) uint64 {
+	word := (addr &^ l.blockMask) >> 2
+	return 1 << word
+}
+
+func (l *level) clearAllFL() {
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			l.sets[s][w].fl = 0
+		}
+	}
+}
+
+// Hierarchy is one processor's private L1+L2 with FL-bit tracking.
+type Hierarchy struct {
+	l1, l2 *level
+	tick   uint64
+	stats  Stats
+}
+
+// New builds a hierarchy. It panics on invalid geometry (configuration is a
+// programming decision, not runtime input). L1 and L2 must share a block
+// size so FL bits transfer 1:1 between levels, as the paper assumes.
+func New(cfg Config) *Hierarchy {
+	if err := cfg.L1.validate("L1"); err != nil {
+		panic(err)
+	}
+	if err := cfg.L2.validate("L2"); err != nil {
+		panic(err)
+	}
+	if cfg.L1.BlockBytes != cfg.L2.BlockBytes {
+		panic("cache: L1 and L2 block sizes must match for FL-bit transfer")
+	}
+	return &Hierarchy{l1: newLevel(cfg.L1), l2: newLevel(cfg.L2)}
+}
+
+// BlockBytes returns the block size shared by both levels.
+func (h *Hierarchy) BlockBytes() int { return h.l1.cfg.BlockBytes }
+
+// Stats returns the event counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// touch brings addr's block into L1 (and L2, by inclusion), returning the
+// set and way of the L1 line. This is the access path shared by loads and
+// stores.
+func (h *Hierarchy) touch(addr uint32) (set uint32, way int) {
+	h.tick++
+	set, way = h.l1.find(addr)
+	if way >= 0 {
+		h.stats.L1Hits++
+		h.l1.sets[set][way].tick = h.tick
+		return set, way
+	}
+	h.stats.L1Misses++
+
+	// L2 lookup.
+	s2, w2 := h.l2.find(addr)
+	if w2 >= 0 {
+		h.stats.L2Hits++
+		h.l2.sets[s2][w2].tick = h.tick
+	} else {
+		h.stats.L2Misses++
+		w2 = h.l2.victim(s2)
+		if h.l2.sets[s2][w2].valid {
+			h.evictL2(s2, w2)
+		}
+		_, tag := h.l2.index(addr)
+		h.l2.sets[s2][w2] = line{tag: tag, valid: true, tick: h.tick}
+	}
+
+	// Fill L1, copying the L2 block's FL bits.
+	way = h.l1.victim(set)
+	if h.l1.sets[set][way].valid {
+		h.evictL1(set, way)
+	}
+	_, tag := h.l1.index(addr)
+	h.l1.sets[set][way] = line{tag: tag, valid: true, fl: h.l2.sets[s2][w2].fl, tick: h.tick}
+	return set, way
+}
+
+// evictL1 writes the line's FL bits back to its L2 copy and drops it.
+func (h *Hierarchy) evictL1(set uint32, way int) {
+	h.stats.L1Evictions++
+	ln := &h.l1.sets[set][way]
+	if s2, w2 := h.l2.find(ln.tag); w2 >= 0 {
+		h.l2.sets[s2][w2].fl = ln.fl
+	}
+	ln.valid = false
+}
+
+// evictL2 drops an L2 line, losing its FL bits, and invalidates the L1 copy
+// to preserve inclusion.
+func (h *Hierarchy) evictL2(set uint32, way int) {
+	h.stats.L2Evictions++
+	ln := &h.l2.sets[set][way]
+	if s1, w1 := h.l1.find(ln.tag); w1 >= 0 {
+		h.l1.sets[s1][w1].valid = false
+	}
+	ln.valid = false
+}
+
+// LoadTestAndSetFL performs the first-load check for a loggable operation
+// on the word containing addr: it brings the block in, returns whether the
+// word's FL bit was already set, and sets it. A false result means "this is
+// a first load — log the word's value".
+func (h *Hierarchy) LoadTestAndSetFL(addr uint32) (wasSet bool) {
+	set, way := h.touch(addr)
+	ln := &h.l1.sets[set][way]
+	bit := h.l1.wordBit(addr)
+	wasSet = ln.fl&bit != 0
+	ln.fl |= bit
+	return wasSet
+}
+
+// StoreSetFL performs the store-side rule for a full-word store: bring the
+// block in and set the word's FL bit without logging (the stored value is
+// regenerated by replay).
+func (h *Hierarchy) StoreSetFL(addr uint32) {
+	set, way := h.touch(addr)
+	h.l1.sets[set][way].fl |= h.l1.wordBit(addr)
+}
+
+// InvalidateBlock removes the block containing addr from both levels,
+// discarding its FL bits. Coherence invalidations and DMA writes use this
+// so externally modified words are re-logged on next access (paper §4.5,
+// §4.6). It reports whether any copy was present.
+func (h *Hierarchy) InvalidateBlock(addr uint32) bool {
+	present := false
+	if s, w := h.l1.find(addr); w >= 0 {
+		h.l1.sets[s][w].valid = false
+		present = true
+	}
+	if s, w := h.l2.find(addr); w >= 0 {
+		h.l2.sets[s][w].valid = false
+		present = true
+	}
+	if present {
+		h.stats.Invalidations++
+	}
+	return present
+}
+
+// InvalidateRange invalidates every block overlapping [addr, addr+size).
+func (h *Hierarchy) InvalidateRange(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	bs := uint32(h.BlockBytes())
+	first := addr &^ (bs - 1)
+	last := (addr + size - 1) &^ (bs - 1)
+	for b := first; ; b += bs {
+		h.InvalidateBlock(b)
+		if b == last {
+			break
+		}
+	}
+}
+
+// ClearAllFL zeroes every FL bit in both levels without evicting blocks.
+// The recorder calls this at each checkpoint-interval start (paper §4.3:
+// "At the start of a checkpoint interval all these bits will be cleared").
+func (h *Hierarchy) ClearAllFL() {
+	h.l1.clearAllFL()
+	h.l2.clearAllFL()
+}
+
+// FLSet reports whether the FL bit for addr's word is currently set,
+// without touching LRU state. Intended for tests and debugging.
+func (h *Hierarchy) FLSet(addr uint32) bool {
+	if s, w := h.l1.find(addr); w >= 0 {
+		return h.l1.sets[s][w].fl&h.l1.wordBit(addr) != 0
+	}
+	if s, w := h.l2.find(addr); w >= 0 {
+		return h.l2.sets[s][w].fl&h.l2.wordBit(addr) != 0
+	}
+	return false
+}
+
+// Present reports whether addr's block is cached at either level. Intended
+// for tests.
+func (h *Hierarchy) Present(addr uint32) bool {
+	if _, w := h.l1.find(addr); w >= 0 {
+		return true
+	}
+	_, w := h.l2.find(addr)
+	return w >= 0
+}
+
+// FLBitsStorageBytes returns the SRAM cost of the FL bits across both
+// levels: one bit per cached word. Used in the Table 3 hardware-complexity
+// accounting.
+func (h *Hierarchy) FLBitsStorageBytes() int {
+	return (h.l1.cfg.SizeBytes + h.l2.cfg.SizeBytes) / 4 / 8
+}

@@ -1,0 +1,87 @@
+// Package cli holds the logic shared by the command-line tools: resolving
+// the program a report was recorded from (a bug analogue, a SPEC analogue,
+// or an assembly source file) — replay requires the exact binary (paper
+// §5.1), so all replay-side tools resolve images the same way.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/kernel"
+	"bugnet/internal/workload"
+)
+
+// Selection names a program source; exactly one field may be set.
+type Selection struct {
+	Bug   string // Table 1 analogue name
+	Spec  string // SPEC analogue name
+	Asm   string // path to an assembly source file
+	Scale int    // bug-window scale for Bug selections
+}
+
+// Pick resolves the selection to an image and the machine configuration it
+// should run under (inputs, cores).
+func Pick(sel Selection) (*asm.Image, kernel.Config, error) {
+	set := 0
+	for _, s := range []string{sel.Bug, sel.Spec, sel.Asm} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, kernel.Config{}, fmt.Errorf("exactly one of -bug, -spec, -asm is required")
+	}
+	switch {
+	case sel.Bug != "":
+		b := workload.BugByName(sel.Bug, sel.Scale)
+		if b == nil {
+			return nil, kernel.Config{}, fmt.Errorf("unknown bug %q; known: %s", sel.Bug, names(bugNames()))
+		}
+		return b.Image, b.Kernel, nil
+	case sel.Spec != "":
+		w := workload.ByName(sel.Spec)
+		if w == nil {
+			return nil, kernel.Config{}, fmt.Errorf("unknown SPEC workload %q; known: %s", sel.Spec, names(specNames()))
+		}
+		return w.Image, w.Kernel, nil
+	default:
+		src, err := os.ReadFile(sel.Asm)
+		if err != nil {
+			return nil, kernel.Config{}, err
+		}
+		img, err := asm.Assemble(sel.Asm, string(src))
+		if err != nil {
+			return nil, kernel.Config{}, err
+		}
+		return img, kernel.Config{}, nil
+	}
+}
+
+func bugNames() []string {
+	var out []string
+	for _, b := range workload.Bugs(1) {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func specNames() []string {
+	var out []string
+	for _, w := range workload.SPEC() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+func names(ns []string) string {
+	s := ""
+	for i, n := range ns {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

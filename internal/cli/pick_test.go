@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPickBug(t *testing.T) {
+	img, kcfg, err := Pick(Selection{Bug: "gzip", Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img == nil || len(img.Text) == 0 {
+		t.Fatal("no image")
+	}
+	if kcfg.Inputs == nil {
+		t.Error("gzip bug needs its over-long input")
+	}
+}
+
+func TestPickMTBugGetsCores(t *testing.T) {
+	_, kcfg, err := Pick(Selection{Bug: "gaim", Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcfg.Cores < 2 {
+		t.Errorf("multithreaded bug picked with %d cores", kcfg.Cores)
+	}
+}
+
+func TestPickSpec(t *testing.T) {
+	img, _, err := Pick(Selection{Spec: "mcf"})
+	if err != nil || img == nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestPickAsmFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.s")
+	os.WriteFile(path, []byte("main: li a7, 1\nsyscall\n"), 0o644)
+	img, _, err := Pick(Selection{Asm: path})
+	if err != nil || img == nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestPickErrors(t *testing.T) {
+	if _, _, err := Pick(Selection{}); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, _, err := Pick(Selection{Bug: "x", Spec: "y"}); err == nil {
+		t.Error("double selection accepted")
+	}
+	if _, _, err := Pick(Selection{Bug: "nosuch"}); err == nil ||
+		!strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown bug error unhelpful: %v", err)
+	}
+	if _, _, err := Pick(Selection{Spec: "nosuch"}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	if _, _, err := Pick(Selection{Asm: "/does/not/exist.s"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte("bogus instruction\n"), 0o644)
+	if _, _, err := Pick(Selection{Asm: bad}); err == nil {
+		t.Error("unassemblable file accepted")
+	}
+}

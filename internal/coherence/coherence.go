@@ -1,0 +1,158 @@
+// Package coherence models the directory-based cache-coherence protocol of
+// the shared-memory multiprocessor BugNet assumes (paper §4.6.1).
+//
+// The model is an MSI directory at cache-block granularity. It is
+// functional rather than timed: its job is to tell the recorder which
+// remote threads send coherence replies for each memory operation, because
+// those replies are what (a) invalidate remote first-load bits, forcing
+// remotely written values to be re-logged, and (b) piggy-back the remote
+// execution state captured in Memory Race Log entries.
+//
+// Reply rules (matching FDR's scheme, which BugNet adopts):
+//
+//   - a load that finds the block Modified in another processor receives a
+//     data reply from that owner (the owner downgrades to Shared);
+//   - a store invalidates every other sharer and receives one invalidation
+//     acknowledgment from each; a Modified remote owner likewise replies;
+//   - loads and stores to blocks in non-shared or exclusive state receive
+//     no replies and generate no MRL entries (paper §4.6.3).
+//
+// The directory deliberately does not track cache evictions (real
+// directories are similarly conservative); a stale sharer entry only causes
+// a harmless extra invalidation message.
+package coherence
+
+// Directory tracks the global sharing state of every touched block.
+type Directory struct {
+	blockMask uint32
+	nodes     int
+	blocks    map[uint32]*blockState
+	stats     Stats
+}
+
+type blockState struct {
+	sharers  uint64 // bitmask of nodes holding the block
+	owner    int    // meaningful when modified
+	modified bool
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Loads         uint64
+	Stores        uint64
+	DataReplies   uint64 // owner-to-requester replies on loads
+	Invalidations uint64 // invalidation acknowledgments on stores
+}
+
+// New creates a directory for up to nodes processors (max 64) and the
+// given block size (power of two).
+func New(nodes int, blockBytes int) *Directory {
+	if nodes < 1 || nodes > 64 {
+		panic("coherence: node count out of range")
+	}
+	if blockBytes < 4 || blockBytes&(blockBytes-1) != 0 {
+		panic("coherence: block size must be a power of two >= 4")
+	}
+	return &Directory{
+		blockMask: ^uint32(blockBytes - 1),
+		nodes:     nodes,
+		blocks:    make(map[uint32]*blockState),
+	}
+}
+
+// Stats returns protocol event counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// Load records node tid reading addr and returns the remote nodes that
+// send coherence replies (at most one: the modified owner).
+func (d *Directory) Load(tid int, addr uint32) []int {
+	d.stats.Loads++
+	b := d.block(addr)
+	var replies []int
+	if b.modified && b.owner != tid {
+		replies = append(replies, b.owner)
+		d.stats.DataReplies++
+		b.modified = false
+	}
+	b.sharers |= 1 << uint(tid)
+	return replies
+}
+
+// Store records node tid writing addr and returns the remote nodes that
+// send invalidation acknowledgments (every other sharer). After a store
+// the writer is the exclusive modified owner.
+func (d *Directory) Store(tid int, addr uint32) []int {
+	d.stats.Stores++
+	b := d.block(addr)
+	var replies []int
+	others := b.sharers &^ (1 << uint(tid))
+	for n := 0; others != 0; n++ {
+		if others&(1<<uint(n)) != 0 {
+			replies = append(replies, n)
+			others &^= 1 << uint(n)
+			d.stats.Invalidations++
+		}
+	}
+	b.sharers = 1 << uint(tid)
+	b.owner = tid
+	b.modified = true
+	return replies
+}
+
+// ExternalWrite records a non-processor write (kernel copy-in or DMA) to
+// addr: all cached copies are invalidated and the directory forgets the
+// block. It returns the nodes that held the block so the caller can
+// invalidate their caches (no MRL entries result — the writer is not a
+// thread).
+func (d *Directory) ExternalWrite(addr uint32) []int {
+	key := addr & d.blockMask
+	b, ok := d.blocks[key]
+	if !ok {
+		return nil
+	}
+	var held []int
+	for n := 0; n < d.nodes; n++ {
+		if b.sharers&(1<<uint(n)) != 0 {
+			held = append(held, n)
+		}
+	}
+	delete(d.blocks, key)
+	return held
+}
+
+// ExternalWriteRange applies ExternalWrite to every block overlapping
+// [addr, addr+size) and returns the union of holders.
+func (d *Directory) ExternalWriteRange(addr, size uint32) []int {
+	if size == 0 {
+		return nil
+	}
+	bs := ^d.blockMask + 1
+	first := addr & d.blockMask
+	last := (addr + size - 1) & d.blockMask
+	seen := make(map[int]bool)
+	for b := first; ; b += bs {
+		for _, n := range d.ExternalWrite(b) {
+			seen[n] = true
+		}
+		if b == last {
+			break
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := 0; n < d.nodes; n++ {
+		if seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *Directory) block(addr uint32) *blockState {
+	key := addr & d.blockMask
+	b, ok := d.blocks[key]
+	if !ok {
+		b = &blockState{}
+		d.blocks[key] = b
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/kernel"
+)
+
+func TestBinaryIDDetectsVersionSkew(t *testing.T) {
+	imgA := asm.MustAssemble("v1.s", "main: li a0, 1\nli a7, 1\nsyscall\n")
+	imgB := asm.MustAssemble("v2.s", "main: li a0, 2\nli a7, 1\nsyscall\n")
+
+	_, rep, _ := Record(imgA, kernel.Config{}, Config{Cache: tinyCache()})
+	if rep.Binary.TextLen == 0 || rep.Binary.TextCRC == 0 {
+		t.Fatalf("report has no binary identity: %+v", rep.Binary)
+	}
+	if err := rep.Binary.Matches(imgA); err != nil {
+		t.Fatalf("identity rejects the recording binary: %v", err)
+	}
+	if err := rep.Binary.Matches(imgB); err == nil {
+		t.Fatal("identity accepted a different binary")
+	}
+
+	// The multithreaded replayer refuses a mismatched binary up front.
+	mr := NewMultiReplayer(imgB, rep)
+	if _, err := mr.Run(); err == nil {
+		t.Fatal("MultiReplayer ran against the wrong binary")
+	}
+}
+
+func TestBinaryIDNameIrrelevant(t *testing.T) {
+	// The same program assembled under two file names is the same binary.
+	src := "main: li a0, 3\nli a7, 1\nsyscall\n"
+	a := asm.MustAssemble("one.s", src)
+	b := asm.MustAssemble("two.s", src)
+	if err := IdentifyBinary(a).Matches(b); err != nil {
+		t.Fatalf("content-identical binaries rejected: %v", err)
+	}
+	if errors.Is(ErrDiverged, IdentifyBinary(a).Matches(b)) {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
+	"bugnet/internal/isa"
+)
+
+// Debugger is the developer-side tool the paper motivates: deterministic
+// replay debugging over the recorded window (§1, §5). It wraps the replay
+// state machine with breakpoints, single-stepping, register and memory
+// inspection, and travel back in time by re-executing from the window
+// start (replay is deterministic, so going back is just running forward
+// again — the Ronsse/De Bosschere style the paper cites).
+//
+// Memory inspection follows the paper's §7.1 semantics: BugNet logs carry
+// no core dump, so only locations the replayed window actually touched
+// (injected first loads or replayed stores) have known values; reading
+// anything else reports unknown. "We expect that the memory addresses
+// untouched by the program's execution prior to the crash were not
+// responsible for the faulty behavior."
+type Debugger struct {
+	img  *asm.Image
+	logs []*fll.Log
+
+	st     *state
+	pos    uint64 // instructions executed so far
+	total  uint64 // window length (sum of log lengths)
+	known  map[uint32]bool
+	breaks map[uint32]bool
+	done   bool
+}
+
+// StopReason tells why the debugger returned control.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopStep  StopReason = iota // requested step count exhausted
+	StopBreak                   // hit a breakpoint
+	StopEnd                     // reached the end of the recorded window
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopStep:
+		return "step"
+	case StopBreak:
+		return "breakpoint"
+	case StopEnd:
+		return "end-of-window"
+	}
+	return "unknown"
+}
+
+// NewDebugger opens one thread's logs for interactive replay.
+func NewDebugger(img *asm.Image, logs []*fll.Log) (*Debugger, error) {
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("core: debugger needs at least one log")
+	}
+	d := &Debugger{
+		img:    img,
+		logs:   logs,
+		breaks: make(map[uint32]bool),
+	}
+	for _, l := range logs {
+		d.total += l.Length
+	}
+	d.reset()
+	return d, nil
+}
+
+// reset rebuilds the replay state at the start of the window.
+func (d *Debugger) reset() {
+	r := NewReplayer(d.img, d.logs)
+	d.known = make(map[uint32]bool)
+	r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
+		d.known[wordAddr] = true
+	}
+	d.st = r.newState()
+	d.pos = 0
+	d.done = !d.st.next()
+}
+
+// Reset travels back to the beginning of the recorded window.
+func (d *Debugger) Reset() { d.reset() }
+
+// Window returns the total instructions the retained logs cover.
+func (d *Debugger) Window() uint64 { return d.total }
+
+// Pos returns the number of instructions executed so far.
+func (d *Debugger) Pos() uint64 { return d.pos }
+
+// Done reports whether the window is exhausted.
+func (d *Debugger) Done() bool { return d.done }
+
+// PC returns the current program counter.
+func (d *Debugger) PC() uint32 { return d.st.c.PC }
+
+// Registers returns the current architectural state.
+func (d *Debugger) Registers() cpu.Snapshot { return d.st.c.State() }
+
+// Fault returns the crash record of the final log, if any.
+func (d *Debugger) Fault() *fll.FaultRecord {
+	return d.logs[len(d.logs)-1].Fault
+}
+
+// AddBreak sets a breakpoint at pc.
+func (d *Debugger) AddBreak(pc uint32) { d.breaks[pc] = true }
+
+// ClearBreak removes a breakpoint.
+func (d *Debugger) ClearBreak(pc uint32) { delete(d.breaks, pc) }
+
+// Breakpoints returns the current breakpoint set.
+func (d *Debugger) Breakpoints() []uint32 {
+	out := make([]uint32, 0, len(d.breaks))
+	for pc := range d.breaks {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// step advances exactly one instruction, handling interval transitions.
+func (d *Debugger) step() error {
+	for d.st.intervalDone() {
+		if err := d.st.finishInterval(); err != nil {
+			return err
+		}
+		if !d.st.next() {
+			d.done = true
+			return nil
+		}
+	}
+	if err := d.st.step(); err != nil {
+		return err
+	}
+	d.pos++
+	for d.st.intervalDone() {
+		if err := d.st.finishInterval(); err != nil {
+			return err
+		}
+		if !d.st.next() {
+			d.done = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// Step executes up to n instructions, stopping early at a breakpoint or
+// the end of the window.
+func (d *Debugger) Step(n uint64) (StopReason, error) {
+	for i := uint64(0); i < n; i++ {
+		if d.done {
+			return StopEnd, nil
+		}
+		if err := d.step(); err != nil {
+			return StopEnd, err
+		}
+		// The breakpoint check precedes the end check: the window's final
+		// PC is the faulting instruction, and a breakpoint there must
+		// report as hit.
+		if d.breaks[d.st.c.PC] {
+			return StopBreak, nil
+		}
+		if d.done {
+			return StopEnd, nil
+		}
+	}
+	return StopStep, nil
+}
+
+// Continue runs until a breakpoint or the end of the window (where the
+// faulting instruction, if any, is next).
+func (d *Debugger) Continue() (StopReason, error) {
+	for {
+		if d.done {
+			return StopEnd, nil
+		}
+		if err := d.step(); err != nil {
+			return StopEnd, err
+		}
+		if d.breaks[d.st.c.PC] {
+			return StopBreak, nil
+		}
+		if d.done {
+			return StopEnd, nil
+		}
+	}
+}
+
+// RunTo places a temporary breakpoint at pc and continues.
+func (d *Debugger) RunTo(pc uint32) (StopReason, error) {
+	had := d.breaks[pc]
+	d.breaks[pc] = true
+	reason, err := d.Continue()
+	if !had {
+		delete(d.breaks, pc)
+	}
+	return reason, err
+}
+
+// Goto travels to an absolute instruction position in the window,
+// re-executing from the start if the target lies in the past.
+func (d *Debugger) Goto(pos uint64) error {
+	if pos < d.pos {
+		d.reset()
+	}
+	for d.pos < pos && !d.done {
+		if err := d.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWord inspects replayed memory. known is false for locations the
+// recorded window never touched — their values were not logged and cannot
+// be examined (paper §7.1).
+func (d *Debugger) ReadWord(addr uint32) (value uint32, known bool) {
+	wordAddr := addr &^ 3
+	if !d.known[wordAddr] {
+		// Text is always known: the developer has the binary.
+		if wordAddr >= d.img.TextBase && int(wordAddr-d.img.TextBase)+4 <= len(d.img.Text) {
+			v, err := d.st.mem.LoadWord(wordAddr)
+			if err == nil {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	v, err := d.st.mem.LoadWord(wordAddr)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Disasm renders the instruction at pc.
+func (d *Debugger) Disasm(pc uint32) string {
+	off := pc - d.img.TextBase
+	if pc < d.img.TextBase || int(off)+4 > len(d.img.Text) {
+		return "<outside text>"
+	}
+	w := uint32(d.img.Text[off]) | uint32(d.img.Text[off+1])<<8 |
+		uint32(d.img.Text[off+2])<<16 | uint32(d.img.Text[off+3])<<24
+	return isa.DisassembleWord(w, pc)
+}
+
+// SymbolAt returns the closest preceding symbol and offset for an address,
+// for human-readable locations.
+func (d *Debugger) SymbolAt(pc uint32) string {
+	bestName := ""
+	bestAddr := uint32(0)
+	for name, addr := range d.img.Symbols {
+		if addr <= pc && (bestName == "" || addr > bestAddr ||
+			(addr == bestAddr && name < bestName)) {
+			bestName, bestAddr = name, addr
+		}
+	}
+	if bestName == "" {
+		return fmt.Sprintf("%#x", pc)
+	}
+	if bestAddr == pc {
+		return bestName
+	}
+	return fmt.Sprintf("%s+%#x", bestName, pc-bestAddr)
+}

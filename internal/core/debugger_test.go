@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/isa"
+	"bugnet/internal/kernel"
+)
+
+// debugProgram: a crash with an identifiable history — i counts up, each
+// value is stored to a slot, the crash dereferences a corrupted pointer.
+const debugProgram = `
+        .data
+slots:  .space 64
+ptr:    .word 0
+        .text
+main:   li   s0, 0
+        la   s1, slots
+fill:   slli t0, s0, 2
+        add  t0, s1, t0
+mark:   sw   s0, (t0)
+        addi s0, s0, 1
+        li   t1, 16
+        blt  s0, t1, fill
+        la   t2, ptr
+        lw   t3, (t2)
+boom:   lw   a0, (t3)
+`
+
+func newTestDebugger(t *testing.T) (*Debugger, *asm.Image) {
+	t.Helper()
+	img := asm.MustAssemble("dbg.s", debugProgram)
+	res, rep, _ := Record(img, kernel.Config{}, Config{Cache: tinyCache()})
+	if res.Crash == nil {
+		t.Fatal("program did not crash")
+	}
+	d, err := NewDebugger(img, rep.FLLs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, img
+}
+
+func TestDebuggerStepAndInspect(t *testing.T) {
+	d, img := newTestDebugger(t)
+	if d.Pos() != 0 || d.Done() {
+		t.Fatal("fresh debugger not at window start")
+	}
+	if d.PC() != img.Entry {
+		t.Fatalf("initial pc = %#x", d.PC())
+	}
+	reason, err := d.Step(5)
+	if err != nil || reason != StopStep {
+		t.Fatalf("step: %v, %v", reason, err)
+	}
+	if d.Pos() != 5 {
+		t.Errorf("pos = %d", d.Pos())
+	}
+}
+
+func TestDebuggerBreakpoint(t *testing.T) {
+	d, img := newTestDebugger(t)
+	mark := img.MustSymbol("mark")
+	d.AddBreak(mark)
+	reason, err := d.Continue()
+	if err != nil || reason != StopBreak {
+		t.Fatalf("continue: %v, %v", reason, err)
+	}
+	if d.PC() != mark {
+		t.Fatalf("stopped at %#x; want %#x", d.PC(), mark)
+	}
+	// s0 at the first store is 0.
+	if got := d.Registers().Regs[isa.RegS0]; got != 0 {
+		t.Errorf("s0 at first hit = %d", got)
+	}
+	// Continue again: second iteration, s0 == 1.
+	if _, err := d.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Registers().Regs[isa.RegS0]; got != 1 {
+		t.Errorf("s0 at second hit = %d", got)
+	}
+	if len(d.Breakpoints()) != 1 {
+		t.Error("breakpoint list wrong")
+	}
+	d.ClearBreak(mark)
+	if reason, _ := d.Continue(); reason != StopEnd {
+		t.Errorf("after clearing: %v", reason)
+	}
+}
+
+func TestDebuggerRunsToCrash(t *testing.T) {
+	d, img := newTestDebugger(t)
+	reason, err := d.Continue()
+	if err != nil || reason != StopEnd {
+		t.Fatalf("continue to end: %v, %v", reason, err)
+	}
+	if d.Fault() == nil || d.Fault().PC != img.MustSymbol("boom") {
+		t.Fatalf("fault = %+v", d.Fault())
+	}
+	// The corrupt pointer is in t3, visible in the final state.
+	if d.Registers().Regs[28] != 0 { // t3
+		t.Errorf("t3 = %#x; want 0", d.Registers().Regs[28])
+	}
+}
+
+func TestDebuggerMemoryKnownness(t *testing.T) {
+	d, img := newTestDebugger(t)
+	if _, err := d.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	slots := img.MustSymbol("slots")
+	// Stored slots are known with the stored values.
+	for i := uint32(0); i < 16; i++ {
+		v, known := d.ReadWord(slots + i*4)
+		if !known || v != i {
+			t.Fatalf("slot %d = %d (known %v); want %d", i, v, known, i)
+		}
+	}
+	// An address the window never touched is unknown (paper §7.1).
+	if _, known := d.ReadWord(0x30000000); known {
+		t.Error("untouched memory reported known")
+	}
+	// Text is always known (the developer has the binary).
+	if _, known := d.ReadWord(img.Entry); !known {
+		t.Error("text reported unknown")
+	}
+}
+
+func TestDebuggerTimeTravel(t *testing.T) {
+	d, img := newTestDebugger(t)
+	if _, err := d.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	end := d.Pos()
+	// Travel back to instruction 10 and confirm the state is reproduced.
+	if err := d.Goto(10); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pos() != 10 {
+		t.Fatalf("pos = %d; want 10", d.Pos())
+	}
+	pcAt10 := d.PC()
+	regsAt10 := d.Registers()
+	// Forward again, then back once more: identical state.
+	if err := d.Goto(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Goto(10); err != nil {
+		t.Fatal(err)
+	}
+	if d.PC() != pcAt10 || d.Registers() != regsAt10 {
+		t.Error("time travel did not reproduce the state")
+	}
+	_ = img
+}
+
+func TestDebuggerRunTo(t *testing.T) {
+	d, img := newTestDebugger(t)
+	boom := img.MustSymbol("boom")
+	reason, err := d.RunTo(boom)
+	if err != nil || reason != StopBreak {
+		t.Fatalf("RunTo: %v, %v", reason, err)
+	}
+	if d.PC() != boom {
+		t.Fatalf("pc = %#x", d.PC())
+	}
+	if len(d.Breakpoints()) != 0 {
+		t.Error("temporary breakpoint leaked")
+	}
+}
+
+func TestDebuggerSymbolsAndDisasm(t *testing.T) {
+	d, img := newTestDebugger(t)
+	if got := d.SymbolAt(img.MustSymbol("mark")); got != "mark" {
+		t.Errorf("SymbolAt(mark) = %q", got)
+	}
+	if got := d.SymbolAt(img.MustSymbol("mark") + 4); got != "mark+0x4" {
+		t.Errorf("SymbolAt(mark+4) = %q", got)
+	}
+	if got := d.Disasm(img.MustSymbol("boom")); got != "lw a0, 0(t3)" {
+		t.Errorf("Disasm(boom) = %q", got)
+	}
+	if d.Disasm(4) != "<outside text>" {
+		t.Error("out-of-text disasm")
+	}
+	if d.Window() == 0 {
+		t.Error("window length zero")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/dict"
+	"bugnet/internal/kernel"
+)
+
+// TestDictOptionsMismatchDiverges: recording with a non-default dictionary
+// geometry and replaying with the default must fail loudly (the two table
+// simulations disagree), while replaying with the matching options
+// succeeds. This guards the "replay must mirror the choice" contract of
+// the ablation.
+func TestDictOptionsMismatchDiverges(t *testing.T) {
+	// A value-diverse program so dictionary replacement decisions differ
+	// between geometries (uniform small alphabets would mask the
+	// mismatch).
+	img := asm.MustAssemble("do.s", `
+        .data
+tbl:    .space 4096
+        .text
+main:   li   s1, 0x1234567
+        la   s2, tbl
+        li   s3, 1024
+init:   slli t0, s1, 13
+        xor  s1, s1, t0
+        srli t0, s1, 17
+        xor  s1, s1, t0
+        slli t0, s1, 5
+        xor  s1, s1, t0
+        andi t1, s1, 255
+        sw   t1, (s2)
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, init
+        # read everything back: logged first loads with dictionary churn
+        la   s2, tbl
+        li   s3, 1024
+        li   a7, 7
+        syscall              # interval boundary: clears FL bits
+        li   s5, 0
+rd:     lw   t2, (s2)
+        add  s5, s5, t2      # the sum depends on every injected value
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, rd
+        mv   a0, s5
+        li   a7, 1
+        syscall
+`)
+	opts := dict.Options{CounterBits: 1, InsertAtTop: true}
+	res, rep, _ := Record(img, kernel.Config{}, Config{
+		IntervalLength: 100_000,
+		DictSize:       8, // small: heavy replacement traffic
+		DictOptions:    opts,
+		Cache:          tinyCache(),
+	})
+
+	// Matching options: replay reproduces the recorded sum exactly.
+	r := NewReplayer(img, rep.FLLs[0])
+	r.DictOptions = opts
+	rr, err := r.Run()
+	if err != nil {
+		t.Fatalf("matching options: %v", err)
+	}
+	wantSum := uint32(res.ExitCode)
+	if rr.Final.Regs[10] != wantSum {
+		t.Fatalf("matching replay sum = %d; recorded %d", rr.Final.Regs[10], wantSum)
+	}
+
+	// Default options: the dictionary simulations disagree, so the replay
+	// must either fail loudly or decode different values — it must NOT
+	// silently reproduce the recording.
+	r2 := NewReplayer(img, rep.FLLs[0])
+	rr2, err := r2.Run()
+	if err == nil && rr2.Final.Regs[10] == wantSum {
+		t.Fatal("mismatched dictionary options silently reproduced the recording")
+	}
+}

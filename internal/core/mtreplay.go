@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bugnet/internal/asm"
+)
+
+// constraint is one cross-thread ordering requirement derived from an MRL
+// entry, with instruction counts rebased to replay-local indices (counted
+// from the start of each thread's retained window).
+type constraint struct {
+	local  uint64 // local instructions committed before the synchronizing op
+	remote int    // remote thread id
+	rIC    uint64 // required remote progress (replay-local)
+}
+
+// MultiReplayResult summarizes a multithreaded replay (paper §5.2).
+type MultiReplayResult struct {
+	// Threads holds each thread's single-thread replay result.
+	Threads map[int]*ReplayResult
+	// Order is the reconstructed valid sequential interleaving, as
+	// (thread id) per executed instruction, retained only when
+	// CollectOrder was set (it is O(total instructions)).
+	Order []int
+	// Constraints is the number of ordering constraints applied.
+	Constraints int
+	// DroppedConstraints counts constraints referencing checkpoints that
+	// fell out of the retained window (treated as already satisfied).
+	DroppedConstraints int
+	// Races holds the data races inferred during replay.
+	Races []Race
+}
+
+// MultiReplayer replays every thread of a crash report and reconstructs a
+// valid sequential order of the memory operations across threads from the
+// Memory Race Logs, as described in paper §5.2. Each thread replays
+// independently (its FLLs are self-contained); the MRLs only constrain the
+// interleaving.
+type MultiReplayer struct {
+	img    *asm.Image
+	report *CrashReport
+
+	// CollectOrder retains the full interleaving in the result.
+	CollectOrder bool
+	// DetectRaces runs the synchronization-aware race analysis during
+	// replay (see racedetect.go).
+	DetectRaces bool
+	// LogCodeLoads must match the recording configuration.
+	LogCodeLoads bool
+}
+
+// NewMultiReplayer builds a replayer over all threads in the report.
+func NewMultiReplayer(img *asm.Image, report *CrashReport) *MultiReplayer {
+	return &MultiReplayer{img: img, report: report}
+}
+
+// threadCtx is one thread's replay machinery plus its constraint queue.
+type threadCtx struct {
+	tid         int
+	st          *state
+	constraints []constraint
+	nextCon     int
+	progress    uint64 // instructions replayed (replay-local)
+	done        bool
+}
+
+// Run replays all threads under the MRL ordering constraints.
+func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
+	if m.report.Binary.TextLen != 0 {
+		if err := m.report.Binary.Matches(m.img); err != nil {
+			return nil, err
+		}
+	}
+	tids := make([]int, 0, len(m.report.FLLs))
+	for tid := range m.report.FLLs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	if len(tids) == 0 {
+		return &MultiReplayResult{Threads: map[int]*ReplayResult{}}, nil
+	}
+	maxTID := tids[len(tids)-1]
+
+	res := &MultiReplayResult{Threads: make(map[int]*ReplayResult)}
+	ctxs := make([]*threadCtx, maxTID+1)
+	var det *raceDetector
+	if m.DetectRaces {
+		det = newRaceDetector(m.img, maxTID+1)
+	}
+
+	// Replay-local base index of each (tid, cid) interval.
+	base := make(map[int]map[uint32]uint64)
+	for _, tid := range tids {
+		base[tid] = make(map[uint32]uint64)
+		var cum uint64
+		for _, l := range m.report.FLLs[tid] {
+			base[tid][l.CID] = cum
+			cum += l.Length
+		}
+	}
+
+	// Build per-thread constraint lists from the MRLs.
+	for _, tid := range tids {
+		tc := &threadCtx{tid: tid}
+		ctxs[tid] = tc
+		for _, ml := range m.report.MRLs[tid] {
+			localBase, ok := base[tid][ml.CID]
+			if !ok {
+				res.DroppedConstraints += len(ml.Entries)
+				continue // the paired FLL fell out of the window
+			}
+			for _, e := range ml.Entries {
+				rt := int(e.RemoteTID)
+				var remoteBase uint64
+				haveRemote := false
+				if rt <= maxTID && base[rt] != nil {
+					remoteBase, haveRemote = base[rt][e.RemoteCID]
+				}
+				if !haveRemote {
+					// The remote interval precedes the retained window:
+					// everything in it happened before replay starts, so
+					// the constraint is vacuously satisfied.
+					res.DroppedConstraints++
+					continue
+				}
+				tc.constraints = append(tc.constraints, constraint{
+					local:  localBase + e.LocalIC,
+					remote: rt,
+					rIC:    remoteBase + e.RemoteIC,
+				})
+			}
+		}
+		sort.Slice(tc.constraints, func(i, j int) bool {
+			return tc.constraints[i].local < tc.constraints[j].local
+		})
+		res.Constraints += len(tc.constraints)
+	}
+
+	// Build the replay states.
+	for _, tid := range tids {
+		tc := ctxs[tid]
+		r := NewReplayer(m.img, m.report.FLLs[tid])
+		r.LogCodeLoads = m.LogCodeLoads
+		if det != nil {
+			tcc := tc
+			r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
+				det.access(tcc.tid, tcc.progress, pc, wordAddr, isWrite)
+			}
+		}
+		tc.st = r.newState()
+		if !tc.st.next() {
+			tc.done = true
+		}
+	}
+
+	// Interleave, honoring constraints.
+	active := 0
+	for _, tid := range tids {
+		if !ctxs[tid].done {
+			active++
+		}
+	}
+	for active > 0 {
+		progressed := false
+		for _, tid := range tids {
+			tc := ctxs[tid]
+			if tc.done || !m.satisfied(tc, ctxs) {
+				continue
+			}
+			executed, err := m.stepThread(tc)
+			if err != nil {
+				return nil, fmt.Errorf("thread %d: %w", tid, err)
+			}
+			if executed {
+				progressed = true
+				if m.CollectOrder {
+					res.Order = append(res.Order, tid)
+				}
+			}
+			if tc.done {
+				active--
+				progressed = true
+			}
+		}
+		if !progressed && active > 0 {
+			return nil, fmt.Errorf("core: multithreaded replay deadlocked (inconsistent or truncated MRLs)")
+		}
+	}
+
+	for _, tid := range tids {
+		res.Threads[tid] = ctxs[tid].st.result()
+	}
+	if det != nil {
+		res.Races = det.races()
+	}
+	return res, nil
+}
+
+// satisfied reports whether tc may execute its next instruction: every
+// constraint gating the instruction at the current progress index must see
+// the remote thread far enough along.
+func (m *MultiReplayer) satisfied(tc *threadCtx, ctxs []*threadCtx) bool {
+	for tc.nextCon < len(tc.constraints) && tc.constraints[tc.nextCon].local == tc.progress {
+		c := tc.constraints[tc.nextCon]
+		rc := ctxs[c.remote]
+		if rc == nil {
+			tc.nextCon++ // remote thread left no logs at all: vacuous
+			continue
+		}
+		if rc.progress < c.rIC {
+			return false // must wait for the remote thread
+		}
+		tc.nextCon++
+	}
+	return true
+}
+
+// stepThread advances one thread by at most one instruction, handling
+// interval transitions. It reports whether an instruction executed.
+func (m *MultiReplayer) stepThread(tc *threadCtx) (bool, error) {
+	st := tc.st
+	for st.intervalDone() {
+		if err := st.finishInterval(); err != nil {
+			return false, err
+		}
+		if !st.next() {
+			tc.done = true
+			return false, nil
+		}
+	}
+	if err := st.step(); err != nil {
+		return false, err
+	}
+	tc.progress++
+	// Close out trailing finished intervals so done is observed promptly.
+	for st.intervalDone() {
+		if err := st.finishInterval(); err != nil {
+			return true, err
+		}
+		if !st.next() {
+			tc.done = true
+			break
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/cache"
+	"bugnet/internal/coherence"
+	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
+	"bugnet/internal/fll"
+	"bugnet/internal/kernel"
+	"bugnet/internal/logstore"
+	"bugnet/internal/mrl"
+)
+
+// Recorder is the BugNet hardware model. It implements kernel.Hooks and
+// installs per-CPU hooks on every thread the machine starts; everything it
+// produces lands in the two memory-backed log stores.
+type Recorder struct {
+	cfg Config
+	m   *kernel.Machine
+
+	threads []*threadRec
+	dir     *coherence.Directory // nil on uniprocessors
+	red     *mrl.Reducer
+
+	flls *logstore.Store
+	mrls *logstore.Store
+
+	// loggedOps / totalOps give the first-load filter rate for the
+	// experiment harness.
+	loggedOps uint64
+	totalOps  uint64
+}
+
+// threadRec is the per-processor recording state: the structures of the
+// paper's Figure 1 that exist once per core.
+type threadRec struct {
+	tid     int
+	c       *cpu.CPU
+	cache   *cache.Hierarchy
+	dict    *dict.Table
+	cid     uint32
+	nextCID uint32
+	startIC uint64
+	w       *fll.Writer
+	mw      *mrl.Writer
+	trace   *traceRing
+	started bool
+
+	// bus-model sampling state
+	prevBits   uint64
+	prevMisses uint64
+}
+
+// NewRecorder attaches a BugNet recorder to the machine. It must be called
+// before machine.Run.
+func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
+	cfg.fillDefaults()
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = len(m.Threads)
+	}
+	r := &Recorder{
+		cfg:     cfg,
+		m:       m,
+		threads: make([]*threadRec, len(m.Threads)),
+		flls:    logstore.New(cfg.FLLBudget),
+		mrls:    logstore.New(cfg.MRLBudget),
+	}
+	if len(m.Threads) > 1 {
+		r.dir = coherence.New(len(m.Threads), cfg.Cache.L1.BlockBytes)
+		r.red = mrl.NewReducer(len(m.Threads))
+	}
+	m.SetHooks(r)
+	// Attaching to a running machine (recording starts mid-execution, as
+	// continuous recording does after a warm-up): treat every live thread
+	// as newly started.
+	if m.Started() {
+		for _, th := range m.Threads {
+			if th.State == kernel.ThreadRunnable {
+				r.OnThreadStart(th.ID)
+			}
+		}
+	}
+	return r
+}
+
+// Flush finalizes all open checkpoint intervals. Call it when recording
+// ends without a fault or exit (for example when an experiment's step
+// budget expires) so the final partial intervals land in the log stores.
+func (r *Recorder) Flush() {
+	for _, t := range r.threads {
+		if t != nil {
+			r.endInterval(t, fll.EndExit, nil)
+		}
+	}
+}
+
+// Config returns the recorder's effective configuration.
+func (r *Recorder) Config() Config { return r.cfg }
+
+// FLLStore returns the First-Load Log store (the CB's memory region).
+func (r *Recorder) FLLStore() *logstore.Store { return r.flls }
+
+// MRLStore returns the Memory Race Log store (the MRB's memory region).
+func (r *Recorder) MRLStore() *logstore.Store { return r.mrls }
+
+// LoggedOps returns (logged, total) loggable-operation counts: the
+// effectiveness of the first-load filter (paper §4.3).
+func (r *Recorder) LoggedOps() (logged, total uint64) { return r.loggedOps, r.totalOps }
+
+// CacheStats returns the cache event counters of one thread's hierarchy.
+func (r *Recorder) CacheStats(tid int) cache.Stats {
+	if t := r.threads[tid]; t != nil {
+		return t.cache.Stats()
+	}
+	return cache.Stats{}
+}
+
+// DictStats returns the dictionary hit statistics of one thread.
+func (r *Recorder) DictStats(tid int) dict.Stats {
+	if t := r.threads[tid]; t != nil {
+		return t.dict.Stats()
+	}
+	return dict.Stats{}
+}
+
+// Trace returns the verification trace of a thread (oldest first), empty
+// unless Config.TraceDepth was set.
+func (r *Recorder) Trace(tid int) []TraceEntry {
+	if t := r.threads[tid]; t != nil && t.trace != nil {
+		return t.trace.entries()
+	}
+	return nil
+}
+
+// --- kernel.Hooks implementation ---
+
+// OnThreadStart builds the per-core recording state and begins the first
+// checkpoint interval.
+func (r *Recorder) OnThreadStart(tid int) {
+	t := &threadRec{
+		tid:   tid,
+		c:     r.m.Threads[tid].CPU,
+		cache: cache.New(r.cfg.Cache),
+		dict:  dict.NewWithOptions(r.cfg.DictSize, r.cfg.DictOptions),
+	}
+	r.threads[tid] = t
+	t.c.OnLoggable = func(wordAddr uint32, isWrite bool) { r.loggable(t, wordAddr, isWrite) }
+	t.c.OnWordStore = func(wordAddr uint32) { r.wordStore(t, wordAddr) }
+	if r.cfg.TraceDepth > 0 {
+		t.trace = newTraceRing(r.cfg.TraceDepth)
+	}
+	if t.trace != nil || r.cfg.LogCodeLoads || r.cfg.Bus != nil {
+		t.c.OnFetch = func(pc uint32) { r.fetch(t, pc) }
+	}
+	t.started = true
+	r.startInterval(t)
+}
+
+// OnInterrupt terminates the thread's checkpoint interval before the
+// kernel runs (paper §4.4: "prematurely terminating the current checkpoint
+// interval on encountering an interrupt").
+func (r *Recorder) OnInterrupt(tid int, kind kernel.InterruptKind) {
+	end := fll.EndTimer
+	if kind == kernel.IntSyscall {
+		end = fll.EndSyscall
+	}
+	r.endInterval(r.threads[tid], end, nil)
+}
+
+// OnInterruptReturn starts a fresh interval when control returns to user
+// code, capturing the post-interrupt architectural state in the header.
+func (r *Recorder) OnInterruptReturn(tid int) {
+	r.startInterval(r.threads[tid])
+}
+
+// OnKernelWrite invalidates cached copies (and their first-load bits) of
+// memory the kernel wrote, so the new values are logged on next load
+// (paper §4.5).
+func (r *Recorder) OnKernelWrite(tid int, addr uint32, n uint32) {
+	r.externalWrite(addr, n)
+}
+
+// OnDMAWrite handles asynchronous DMA completions the same way: the
+// directory-based protocol invalidates cached blocks, resetting FL bits
+// (paper §4.5).
+func (r *Recorder) OnDMAWrite(addr uint32, n uint32) {
+	r.externalWrite(addr, n)
+}
+
+// OnKernelPreWrite and OnDMAPreWrite are pre-image hooks for undo-logging
+// recorders; BugNet needs nothing before the write happens.
+func (r *Recorder) OnKernelPreWrite(tid int, addr uint32, n uint32) {}
+
+// OnDMAPreWrite implements kernel.Hooks.
+func (r *Recorder) OnDMAPreWrite(addr uint32, n uint32) {}
+
+func (r *Recorder) externalWrite(addr, n uint32) {
+	for _, t := range r.threads {
+		if t != nil {
+			t.cache.InvalidateRange(addr, n)
+		}
+	}
+	if r.dir != nil {
+		r.dir.ExternalWriteRange(addr, n)
+	}
+}
+
+// OnThreadExit finalizes the thread's last interval.
+func (r *Recorder) OnThreadExit(tid int) {
+	r.endInterval(r.threads[tid], fll.EndExit, nil)
+}
+
+// OnFault is the crash path (paper §4.8): the OS records the interval
+// instruction count and faulting PC in the current FLL, then collects all
+// logs. Other threads' intervals are finalized so the whole window stays
+// replayable.
+func (r *Recorder) OnFault(tid int, f *cpu.FaultInfo) {
+	t := r.threads[tid]
+	rec := &fll.FaultRecord{
+		IC:    t.c.IC - t.startIC,
+		PC:    f.PC,
+		Cause: uint8(f.Cause),
+	}
+	r.endInterval(t, fll.EndFault, rec)
+	for _, o := range r.threads {
+		if o != nil && o != t {
+			r.endInterval(o, fll.EndExit, nil)
+		}
+	}
+}
+
+// --- per-CPU hooks ---
+
+// loggable implements the first-load logging decision for one loggable
+// memory operation (paper §4.3).
+func (r *Recorder) loggable(t *threadRec, wordAddr uint32, isWrite bool) {
+	r.maybeRotate(t)
+	if r.dir != nil {
+		if isWrite {
+			r.replies(t, wordAddr, r.dir.Store(t.tid, wordAddr), true)
+		} else {
+			r.replies(t, wordAddr, r.dir.Load(t.tid, wordAddr), false)
+		}
+	}
+	wasSet := t.cache.LoadTestAndSetFL(wordAddr)
+	val, err := r.m.Mem.LoadWord(wordAddr)
+	if err != nil {
+		// The CPU validated the access before the hook; this is a bug.
+		panic(fmt.Sprintf("core: recorder read of validated word %#x failed: %v", wordAddr, err))
+	}
+	t.w.Op(val, !wasSet)
+	r.totalOps++
+	if !wasSet {
+		r.loggedOps++
+	}
+	r.feedBus(t)
+}
+
+// wordStore implements the store rule: set the first-load bit, log nothing
+// (paper §4.3: "the stores will be generated by the execution of
+// instructions during replay").
+func (r *Recorder) wordStore(t *threadRec, wordAddr uint32) {
+	r.maybeRotate(t)
+	if r.dir != nil {
+		r.replies(t, wordAddr, r.dir.Store(t.tid, wordAddr), true)
+	}
+	t.cache.StoreSetFL(wordAddr)
+	r.feedBus(t)
+}
+
+// feedBus forwards newly produced log bits and demand misses to the bus
+// overhead model.
+func (r *Recorder) feedBus(t *threadRec) {
+	if r.cfg.Bus == nil {
+		return
+	}
+	if t.w != nil {
+		if bits := t.w.Bits(); bits > t.prevBits {
+			r.cfg.Bus.LogBits(bits - t.prevBits)
+			t.prevBits = bits
+		}
+	}
+	if misses := t.cache.Stats().L2Misses; misses > t.prevMisses {
+		for i := t.prevMisses; i < misses; i++ {
+			r.cfg.Bus.Miss()
+		}
+		t.prevMisses = misses
+	}
+}
+
+// fetch handles the OnFetch hook: verification tracing and, under the
+// LogCodeLoads extension, first-load logging of instruction words.
+func (r *Recorder) fetch(t *threadRec, pc uint32) {
+	if r.cfg.Bus != nil {
+		r.cfg.Bus.Instruction()
+	}
+	if t.trace != nil {
+		t.trace.push(TraceEntry{PC: pc, RegHash: hashRegs(&t.c.Regs)})
+	}
+	if r.cfg.LogCodeLoads {
+		wordAddr := pc &^ 3
+		if !r.m.Mem.Mapped(wordAddr) {
+			return // the fetch is about to fault; nothing to log
+		}
+		r.maybeRotate(t)
+		wasSet := t.cache.LoadTestAndSetFL(wordAddr)
+		val, _ := r.m.Mem.LoadWord(wordAddr)
+		t.w.Op(val, !wasSet)
+		r.totalOps++
+		if !wasSet {
+			r.loggedOps++
+		}
+	}
+}
+
+// replies processes coherence replies for an operation: writes invalidate
+// the remote copies (clearing their FL bits, §4.6), and every reply
+// carries remote state recorded as an MRL entry unless Netzer reduction
+// proves it redundant (§4.6.3).
+func (r *Recorder) replies(t *threadRec, addr uint32, remotes []int, isWrite bool) {
+	for _, rt := range remotes {
+		o := r.threads[rt]
+		if o == nil {
+			continue
+		}
+		if isWrite {
+			o.cache.InvalidateBlock(addr)
+		}
+		if !r.cfg.DisableNetzer && !r.red.Observe(t.tid, t.c.IC, rt, o.c.IC) {
+			continue
+		}
+		t.mw.Add(mrl.Entry{
+			LocalIC:   t.c.IC - t.startIC,
+			RemoteTID: uint32(rt),
+			RemoteCID: o.cid,
+			RemoteIC:  o.c.IC - o.startIC,
+		})
+	}
+}
+
+// --- interval lifecycle ---
+
+// maybeRotate ends the interval at the configured length. The check sits
+// on the loggable-operation path, so an interval may exceed the limit by
+// the length of an operation-free instruction stretch; the recorded Length
+// is always exact, so replay is unaffected.
+func (r *Recorder) maybeRotate(t *threadRec) {
+	if t.c.IC-t.startIC >= r.cfg.IntervalLength {
+		r.endInterval(t, fll.EndIntervalFull, nil)
+		r.startInterval(t)
+	}
+}
+
+// startInterval creates a new checkpoint: assign a C-ID, snapshot the
+// architectural state into a fresh FLL header, clear FL bits (unless the
+// PreserveFLBits extension is on), empty the dictionary, and open the
+// paired MRL (paper §4.2, §4.6.3).
+func (r *Recorder) startInterval(t *threadRec) {
+	t.cid = t.nextCID
+	t.nextCID++
+	t.startIC = t.c.IC
+	t.dict.Reset()
+	if !r.cfg.PreserveFLBits {
+		t.cache.ClearAllFL()
+	}
+	hdr := fll.Header{
+		PID:           r.cfg.PID,
+		TID:           uint32(t.tid),
+		CID:           t.cid,
+		Timestamp:     r.m.Now(),
+		IntervalLimit: r.cfg.IntervalLength,
+		DictSize:      uint32(r.cfg.DictSize),
+		State:         t.c.State(),
+	}
+	t.w = fll.NewWriter(hdr, t.dict)
+	t.prevBits = 0
+	if r.cfg.Bus != nil {
+		r.cfg.Bus.LogBits(fll.HeaderBytes * 8)
+	}
+	if r.dir != nil {
+		t.mw = mrl.NewWriter(mrl.Header{
+			PID: r.cfg.PID, TID: uint32(t.tid), CID: t.cid, Timestamp: hdr.Timestamp,
+		}, r.cfg.IntervalLength, uint32(r.cfg.MaxThreads))
+	}
+}
+
+// endInterval finalizes the thread's current FLL (and MRL) into the log
+// stores.
+func (r *Recorder) endInterval(t *threadRec, end fll.EndKind, fault *fll.FaultRecord) {
+	if t == nil || t.w == nil {
+		return
+	}
+	length := t.c.IC - t.startIC
+	log := t.w.Close(length, end, fault)
+	t.w = nil
+	r.flls.Append(logstore.Item{
+		TID:          t.tid,
+		CID:          t.cid,
+		Timestamp:    log.Timestamp,
+		Bytes:        log.SizeBytes(),
+		Instructions: length,
+		Payload:      log,
+	})
+	if t.mw != nil {
+		ml := t.mw.Close()
+		t.mw = nil
+		r.mrls.Append(logstore.Item{
+			TID:       t.tid,
+			CID:       t.cid,
+			Timestamp: ml.Timestamp,
+			Bytes:     ml.SizeBytes(),
+			Payload:   ml,
+		})
+	}
+}
+
+// --- results ---
+
+// BinaryID identifies the exact program a report was recorded from.
+// Replay requires the same binaries loaded at the same addresses (paper
+// §5.1, §5.3: the "binary starting address log"); checking the id catches
+// version skew before a confusing divergence error does.
+type BinaryID struct {
+	Name     string
+	TextBase uint32
+	Entry    uint32
+	TextLen  uint32
+	TextCRC  uint32
+}
+
+// IdentifyBinary computes the id of an image.
+func IdentifyBinary(img *asm.Image) BinaryID {
+	return BinaryID{
+		Name:     img.Name,
+		TextBase: img.TextBase,
+		Entry:    img.Entry,
+		TextLen:  uint32(len(img.Text)),
+		TextCRC:  crc32.ChecksumIEEE(img.Text),
+	}
+}
+
+// Matches reports whether img is the binary this id was recorded from.
+func (b BinaryID) Matches(img *asm.Image) error {
+	got := IdentifyBinary(img)
+	got.Name = b.Name // names may differ (paths); identity is content
+	if got != b {
+		return fmt.Errorf("core: binary mismatch: report recorded from %q (text %d bytes, crc %#x at %#x), given image has text %d bytes, crc %#x at %#x",
+			b.Name, b.TextLen, b.TextCRC, b.TextBase, got.TextLen, got.TextCRC, got.TextBase)
+	}
+	return nil
+}
+
+// CrashReport is what BugNet ships back to the developer: the retained
+// logs of every thread plus the crash identity. The developer combines it
+// with the exact same binaries to replay (paper §5.1).
+type CrashReport struct {
+	PID    uint32
+	Binary BinaryID
+	Crash  *kernel.CrashInfo // nil if the program did not crash
+	FLLs   map[int][]*fll.Log
+	MRLs   map[int][]*mrl.Log
+}
+
+// Report collects the retained logs. Call after machine.Run returns.
+func (r *Recorder) Report() *CrashReport {
+	rep := &CrashReport{
+		PID:    r.cfg.PID,
+		Binary: IdentifyBinary(r.m.Img),
+		Crash:  r.m.Crash(),
+		FLLs:   make(map[int][]*fll.Log),
+		MRLs:   make(map[int][]*mrl.Log),
+	}
+	for _, it := range r.flls.All() {
+		rep.FLLs[it.TID] = append(rep.FLLs[it.TID], it.Payload.(*fll.Log))
+	}
+	for _, it := range r.mrls.All() {
+		rep.MRLs[it.TID] = append(rep.MRLs[it.TID], it.Payload.(*mrl.Log))
+	}
+	return rep
+}
+
+// Record is the one-call convenience path: build a machine for img, attach
+// a recorder, run to completion, and return the machine result, the crash
+// report, and the recorder for statistics.
+func Record(img *asm.Image, kcfg kernel.Config, rcfg Config) (*kernel.Result, *CrashReport, *Recorder) {
+	m := kernel.New(img, kcfg, nil)
+	rec := NewRecorder(m, rcfg)
+	res := m.Run()
+	return res, rec.Report(), rec
+}

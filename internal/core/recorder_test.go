@@ -1,0 +1,297 @@
+package core
+
+import (
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/cache"
+	"bugnet/internal/fll"
+	"bugnet/internal/isa"
+	"bugnet/internal/kernel"
+)
+
+// tinyCache keeps tests fast and eviction paths hot.
+func tinyCache() cache.Config {
+	return cache.Config{
+		L1: cache.LevelConfig{SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 2},
+		L2: cache.LevelConfig{SizeBytes: 8 << 10, BlockBytes: 32, Assoc: 4},
+	}
+}
+
+func record(t *testing.T, src string, kcfg kernel.Config, rcfg Config) (*kernel.Result, *CrashReport, *Recorder, *asm.Image) {
+	t.Helper()
+	img, err := asm.Assemble("rec.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, rep, rec := Record(img, kcfg, rcfg)
+	return res, rep, rec, img
+}
+
+const sumProgram = `
+        .data
+arr:    .space 256
+        .text
+main:   la   t0, arr
+        li   t1, 0          # i
+        li   t2, 64
+init:   slli t3, t1, 2
+        add  t3, t0, t3
+        sw   t1, (t3)
+        addi t1, t1, 1
+        blt  t1, t2, init
+        li   t1, 0
+        li   a0, 0
+sum:    slli t3, t1, 2
+        add  t3, t0, t3
+        lw   t4, (t3)
+        add  a0, a0, t4
+        addi t1, t1, 1
+        blt  t1, t2, sum
+        li   a7, 1          # exit(sum)
+        syscall
+`
+
+func TestRecordBasicCounts(t *testing.T) {
+	res, rep, rec, _ := record(t, sumProgram, kernel.Config{},
+		Config{IntervalLength: 1000, DictSize: 64, Cache: tinyCache()})
+	if res.Crash != nil {
+		t.Fatalf("crash: %v", res.Crash)
+	}
+	if res.ExitCode != 2016 { // sum 0..63
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	logs := rep.FLLs[0]
+	if len(logs) == 0 {
+		t.Fatal("no FLLs recorded")
+	}
+	// All stores first (first-load bits set by stores), so the sum loop's
+	// loads must NOT be logged: first access to every array word was the
+	// sw, within one interval. With interval 1000 the whole run fits one
+	// or two intervals.
+	var totalLen uint64
+	for _, l := range logs {
+		totalLen += l.Length
+	}
+	if totalLen != res.Instructions {
+		t.Errorf("FLL lengths sum %d != %d instructions", totalLen, res.Instructions)
+	}
+	logged, total := rec.LoggedOps()
+	if total == 0 {
+		t.Fatal("no loggable ops observed")
+	}
+	if logged*2 > total {
+		t.Errorf("first-load filter logged %d of %d ops; expected < half for store-then-load", logged, total)
+	}
+	// Final log ends at the exit syscall.
+	last := logs[len(logs)-1]
+	if last.End != fll.EndSyscall {
+		t.Errorf("last interval end = %v", last.End)
+	}
+}
+
+func TestIntervalRotation(t *testing.T) {
+	_, rep, _, _ := record(t, sumProgram, kernel.Config{},
+		Config{IntervalLength: 100, DictSize: 64, Cache: tinyCache()})
+	logs := rep.FLLs[0]
+	if len(logs) < 4 {
+		t.Fatalf("expected several intervals at length 100; got %d", len(logs))
+	}
+	var full int
+	for i, l := range logs {
+		if l.CID != uint32(i) {
+			t.Errorf("log %d has CID %d; want sequential", i, l.CID)
+		}
+		if l.End == fll.EndIntervalFull {
+			full++
+			if l.Length < 100 {
+				t.Errorf("full interval length %d < limit", l.Length)
+			}
+		}
+	}
+	if full == 0 {
+		t.Error("no interval terminated by the length limit")
+	}
+	// Headers must chain: each interval's state PC is a real text address.
+	for _, l := range logs {
+		if l.State.PC < 0x400000 {
+			t.Errorf("header PC %#x outside text", l.State.PC)
+		}
+	}
+}
+
+func TestSyscallTerminatesInterval(t *testing.T) {
+	_, rep, _, _ := record(t, `
+main:   li a7, 7          # SysTime
+        syscall
+        li a7, 7
+        syscall
+        li a0, 0
+        li a7, 1
+        syscall
+`, kernel.Config{}, Config{IntervalLength: 1 << 20, Cache: tinyCache()})
+	logs := rep.FLLs[0]
+	if len(logs) != 3 {
+		t.Fatalf("intervals = %d; want 3 (one per syscall)", len(logs))
+	}
+	if logs[0].End != fll.EndSyscall || logs[1].End != fll.EndSyscall {
+		t.Errorf("ends = %v, %v", logs[0].End, logs[1].End)
+	}
+}
+
+func TestTimerTerminatesInterval(t *testing.T) {
+	_, rep, _, _ := record(t, `
+main:   li t0, 2000
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        li a7, 1
+        syscall
+`, kernel.Config{TimerInterval: 500}, Config{IntervalLength: 1 << 20, Cache: tinyCache()})
+	logs := rep.FLLs[0]
+	timer := 0
+	for _, l := range logs {
+		if l.End == fll.EndTimer {
+			timer++
+		}
+	}
+	if timer < 5 {
+		t.Errorf("timer-terminated intervals = %d; want ≥5", timer)
+	}
+}
+
+func TestCrashProducesFaultFooter(t *testing.T) {
+	res, rep, _, _ := record(t, `
+main:   li t0, 10
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        lw a0, (zero)     # crash
+`, kernel.Config{}, Config{IntervalLength: 1 << 20, Cache: tinyCache()})
+	if res.Crash == nil {
+		t.Fatal("no crash")
+	}
+	logs := rep.FLLs[0]
+	last := logs[len(logs)-1]
+	if last.End != fll.EndFault || last.Fault == nil {
+		t.Fatalf("last log end=%v fault=%+v", last.End, last.Fault)
+	}
+	if last.Fault.PC != res.Crash.Fault.PC {
+		t.Errorf("fault PC %#x != crash PC %#x", last.Fault.PC, res.Crash.Fault.PC)
+	}
+	if last.Fault.IC != last.Length {
+		t.Errorf("fault IC %d != interval length %d", last.Fault.IC, last.Length)
+	}
+}
+
+func TestFirstLoadFilterLogsExternalInput(t *testing.T) {
+	// Data arriving via read() is captured by first loads in the interval
+	// after the syscall, not by logging the syscall itself.
+	_, rep, rec, _ := record(t, `
+        .data
+buf:    .space 64
+        .text
+main:   li a0, 0
+        la a1, buf
+        li a2, 64
+        li a7, 3          # read
+        syscall
+        la t0, buf
+        li t1, 0
+        li t2, 16
+rd:     lw t3, (t0)
+        add t1, t1, t3
+        addi t0, t0, 4
+        addi t2, t2, -1
+        bnez t2, rd
+        li a7, 1
+        mv a0, t1
+        syscall
+`, kernel.Config{Inputs: map[string][]byte{"stdin": make([]byte, 64)}},
+		Config{IntervalLength: 1 << 20, Cache: tinyCache()})
+	logged, _ := rec.LoggedOps()
+	if logged < 16 {
+		t.Errorf("logged ops = %d; the 16 post-read loads must all be first loads", logged)
+	}
+	if len(rep.FLLs[0]) < 2 {
+		t.Error("read syscall should have split the run into ≥2 intervals")
+	}
+}
+
+func TestReportShapes(t *testing.T) {
+	_, rep, _, _ := record(t, sumProgram, kernel.Config{}, Config{Cache: tinyCache()})
+	if len(rep.FLLs) != 1 {
+		t.Errorf("threads with FLLs = %d", len(rep.FLLs))
+	}
+	if len(rep.MRLs) != 0 {
+		t.Errorf("uniprocessor run produced MRLs: %d", len(rep.MRLs))
+	}
+	if rep.Crash != nil {
+		t.Error("unexpected crash")
+	}
+}
+
+func TestWindowEvictionUnderBudget(t *testing.T) {
+	_, rep, rec, _ := record(t, sumProgram, kernel.Config{},
+		Config{IntervalLength: 50, Cache: tinyCache(), FLLBudget: 2000})
+	st := rec.FLLStore().Stats()
+	if st.EvictedCount == 0 {
+		t.Fatal("budget produced no evictions")
+	}
+	if st.RetainedBytes > 2000 && st.RetainedCount > 1 {
+		t.Errorf("retained %d bytes over budget", st.RetainedBytes)
+	}
+	// The replay window shrank accordingly: the retained logs are a
+	// contiguous suffix of the CID sequence.
+	logs := rep.FLLs[0]
+	for i := 1; i < len(logs); i++ {
+		if logs[i].CID != logs[i-1].CID+1 {
+			t.Error("retained window is not contiguous")
+		}
+	}
+	if logs[0].CID == 0 {
+		t.Error("oldest checkpoint should have been evicted")
+	}
+}
+
+func TestMaxThreadsDefaultsToCores(t *testing.T) {
+	img := asm.MustAssemble("t.s", "main: li a7, 1\nsyscall\n")
+	m := kernel.New(img, kernel.Config{Cores: 3}, nil)
+	rec := NewRecorder(m, Config{Cache: tinyCache()})
+	if rec.Config().MaxThreads != 3 {
+		t.Errorf("MaxThreads = %d", rec.Config().MaxThreads)
+	}
+	m.Run()
+}
+
+func TestDictStatsExposed(t *testing.T) {
+	// Loads of never-stored data are first loads, so they reach the
+	// dictionary lookup on the logging path.
+	_, _, rec, _ := record(t, `
+        .data
+tbl:    .word 1, 1, 1, 2, 2, 1, 1, 3
+        .text
+main:   la t0, tbl
+        li t1, 8
+        li a0, 0
+loop:   lw t2, (t0)
+        add a0, a0, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, loop
+        li a7, 1
+        syscall
+`, kernel.Config{}, Config{Cache: tinyCache()})
+	ds := rec.DictStats(0)
+	if ds.Lookups < 8 {
+		t.Errorf("dictionary lookups = %d; want ≥8 (one per logged load)", ds.Lookups)
+	}
+	if ds.Hits == 0 {
+		t.Error("repeated value 1 never hit the dictionary")
+	}
+	cs := rec.CacheStats(0)
+	if cs.L1Hits+cs.L1Misses == 0 {
+		t.Error("cache saw no accesses")
+	}
+	if isa.NumRegs != 32 {
+		t.Error("sanity")
+	}
+}

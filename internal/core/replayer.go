@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
+	"bugnet/internal/fll"
+	"bugnet/internal/mem"
+)
+
+// ErrDiverged reports that replay did not reproduce the recorded execution
+// — an invariant violation in the recorder/replayer pair.
+var ErrDiverged = errors.New("core: replay diverged from recording")
+
+// ReplayResult summarizes a single-thread replay.
+type ReplayResult struct {
+	// TID is the replayed thread.
+	TID int
+	// Final is the architectural state after the last replayed
+	// instruction — the state the developer inspects at the crash.
+	Final cpu.Snapshot
+	// Instructions is the number of replayed instructions (the replay
+	// window actually covered).
+	Instructions uint64
+	// Intervals is the number of FLLs consumed.
+	Intervals int
+	// Injected is the number of first-load values taken from the logs.
+	Injected uint64
+	// Fault carries the crash record from the final FLL, if any: the
+	// faulting PC is where the developer's investigation starts.
+	Fault *fll.FaultRecord
+	// Trace is the verification trace (only with TraceDepth > 0).
+	Trace []TraceEntry
+}
+
+// Replayer deterministically re-executes one thread from its First-Load
+// Logs, as in paper §5.1: load the same binary at the same addresses,
+// clear data memory, restore the header's architectural state, then run —
+// taking first-load values from the log and everything else from replayed
+// computation. Synchronous interrupts become NOPs; execution continues
+// into the next FLL.
+type Replayer struct {
+	img  *asm.Image
+	logs []*fll.Log
+
+	// TraceDepth mirrors the recorder option for divergence checking.
+	TraceDepth int
+	// LogCodeLoads must match the recording configuration.
+	LogCodeLoads bool
+	// DictOptions must match the recording configuration (relevant only
+	// for design-space ablations; the zero value is the paper design).
+	DictOptions dict.Options
+
+	// OnAccess, if set, is called for every loggable operation and word
+	// store with the observed word value; the multithreaded replayer uses
+	// it for race inference.
+	OnAccess func(pc uint32, wordAddr uint32, isWrite bool)
+}
+
+// NewReplayer builds a replayer for one thread's logs, which must be in
+// recording order (as CrashReport delivers them).
+func NewReplayer(img *asm.Image, logs []*fll.Log) *Replayer {
+	return &Replayer{img: img, logs: logs}
+}
+
+// Run replays all logs to completion.
+func (r *Replayer) Run() (*ReplayResult, error) {
+	st := r.newState()
+	for st.next() {
+		for !st.intervalDone() {
+			if err := st.step(); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.finishInterval(); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(), nil
+}
+
+// state is the incremental replay machine, also driven step-by-step by the
+// multithreaded replayer.
+type state struct {
+	r   *Replayer
+	mem *mem.Memory
+	c   *cpu.CPU
+
+	logs     []*fll.Log
+	idx      int // current log index (idx-1 after next())
+	cur      *fll.Log
+	reader   *fll.Reader
+	d        *dict.Table
+	executed uint64 // instructions executed within the current interval
+
+	total    uint64
+	injected uint64
+	trace    *traceRing
+	err      error
+}
+
+func (r *Replayer) newState() *state {
+	m := mem.New()
+	if len(r.img.Text) > 0 {
+		m.Map(r.img.TextBase, uint32(len(r.img.Text)))
+		if err := m.StoreBytes(r.img.TextBase, r.img.Text); err != nil {
+			panic(err)
+		}
+	}
+	c := cpu.New(m)
+	c.AutoMap = true
+	st := &state{r: r, mem: m, c: c, logs: r.logs}
+	if r.TraceDepth > 0 {
+		st.trace = newTraceRing(r.TraceDepth)
+	}
+	c.OnLoggable = st.onLoggable
+	if r.OnAccess != nil {
+		c.OnWordStore = func(wordAddr uint32) { r.OnAccess(c.PC, wordAddr, true) }
+	}
+	if st.trace != nil || r.LogCodeLoads {
+		c.OnFetch = st.onFetch
+	}
+	return st
+}
+
+// next advances to the next FLL; false when all are consumed.
+func (st *state) next() bool {
+	if st.idx >= len(st.logs) {
+		return false
+	}
+	st.cur = st.logs[st.idx]
+	st.idx++
+	st.executed = 0
+	st.d = dict.NewWithOptions(int(st.cur.DictSize), st.r.DictOptions)
+	st.reader = fll.NewReader(st.cur, st.d)
+	st.c.Restore(st.cur.State)
+	st.c.Halted = false
+	st.c.Fault = nil
+	return true
+}
+
+func (st *state) intervalDone() bool { return st.executed >= st.cur.Length }
+
+// step executes one instruction of the current interval.
+func (st *state) step() error {
+	if st.err != nil {
+		return st.err
+	}
+	switch ev := st.c.Step(); ev {
+	case cpu.EventStep, cpu.EventSyscall:
+		// Syscalls are NOPs during replay (paper §5.1): the kernel's
+		// effects are reconstructed from the next FLL header and the
+		// logged first-loads.
+		st.executed++
+		st.total++
+	case cpu.EventFault:
+		st.err = fmt.Errorf("%w: unexpected %v at replay instruction %d of interval C%d",
+			ErrDiverged, st.c.Fault, st.executed, st.cur.CID)
+		return st.err
+	case cpu.EventHalted:
+		st.err = fmt.Errorf("%w: core halted mid-interval C%d", ErrDiverged, st.cur.CID)
+		return st.err
+	}
+	if st.err != nil { // a hook (reader error) may have failed the step
+		return st.err
+	}
+	return nil
+}
+
+// finishInterval validates that the log was fully consumed.
+func (st *state) finishInterval() error {
+	if st.err != nil {
+		return st.err
+	}
+	if err := st.reader.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrDiverged, err)
+	}
+	if !st.reader.Exhausted() {
+		return fmt.Errorf("%w: interval C%d ended with unconsumed log entries", ErrDiverged, st.cur.CID)
+	}
+	return nil
+}
+
+// onLoggable injects logged first-load values before each loggable
+// operation.
+func (st *state) onLoggable(wordAddr uint32, isWrite bool) {
+	cur, err := st.mem.LoadWord(wordAddr)
+	if err != nil {
+		st.err = fmt.Errorf("%w: replay memory read %#x: %v", ErrDiverged, wordAddr, err)
+		return
+	}
+	v, injected, err := st.reader.Op(cur)
+	if err != nil {
+		st.err = fmt.Errorf("%w: %v", ErrDiverged, err)
+		return
+	}
+	if injected {
+		st.injected++
+		if err := st.mem.StoreWord(wordAddr, v); err != nil {
+			st.err = fmt.Errorf("%w: inject at %#x: %v", ErrDiverged, wordAddr, err)
+			return
+		}
+	}
+	if st.r.OnAccess != nil {
+		st.r.OnAccess(st.c.PC, wordAddr, isWrite)
+	}
+}
+
+// onFetch mirrors the recorder's fetch hook: verification tracing and
+// code-load injection under the self-modifying-code extension.
+func (st *state) onFetch(pc uint32) {
+	if st.trace != nil {
+		st.trace.push(TraceEntry{PC: pc, RegHash: hashRegs(&st.c.Regs)})
+	}
+	if st.r.LogCodeLoads {
+		wordAddr := pc &^ 3
+		st.mem.Map(wordAddr, 4)
+		cur, _ := st.mem.LoadWord(wordAddr)
+		v, injected, err := st.reader.Op(cur)
+		if err != nil {
+			st.err = fmt.Errorf("%w: code load: %v", ErrDiverged, err)
+			return
+		}
+		if injected {
+			st.injected++
+			st.mem.StoreWord(wordAddr, v)
+			st.c.InvalidateFetchCache()
+		}
+	}
+}
+
+// result builds the final summary.
+func (st *state) result() *ReplayResult {
+	res := &ReplayResult{
+		Final:        st.c.State(),
+		Instructions: st.total,
+		Intervals:    st.idx,
+		Injected:     st.injected,
+	}
+	if len(st.logs) > 0 {
+		last := st.logs[len(st.logs)-1]
+		res.TID = int(last.TID)
+		res.Fault = last.Fault
+	}
+	if st.trace != nil {
+		res.Trace = st.trace.entries()
+	}
+	return res
+}

@@ -1,0 +1,212 @@
+// Package dict implements BugNet's dictionary-based load-value compressor
+// (paper §4.3.1).
+//
+// A small fully-associative table captures frequently occurring load values.
+// When a value about to be logged hits in the table, the recorder emits a
+// log2(size)-bit rank instead of the full 32-bit value. The table is emptied
+// at the start of every checkpoint interval and updated on *every* executed
+// load — including loads whose values are not logged — so the replayer can
+// regenerate the identical table state by applying the same updates, and a
+// rank recorded at any point decodes to the right value.
+//
+// Update rule (from the paper): each entry has a 3-bit saturating counter.
+// On a hit the counter increments; if it becomes greater than or equal to
+// the counter of the entry ranked immediately above, the two entries swap
+// positions, percolating hot values toward rank 0. On a miss the value is
+// inserted over the entry with the smallest counter, ties broken toward the
+// lowest-ranked (bottom) position.
+//
+// The paper leaves two details unspecified; we fix them deterministically
+// (both recorder and replayer share this code, so any consistent choice
+// preserves correctness): a newly inserted value starts with counter 1, and
+// while the table is not yet full new values fill the first free slot.
+package dict
+
+import "fmt"
+
+// DefaultSize is the table size evaluated in the paper's main results.
+const DefaultSize = 64
+
+// defaultCounterBits is the paper's saturating-counter width.
+const defaultCounterBits = 3
+
+type entry struct {
+	val   uint32
+	count uint8
+}
+
+// Stats counts dictionary activity across interval boundaries. Figure 5 of
+// the paper reports Hits/Lookups for various table sizes.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+}
+
+// HitRate returns the fraction of lookups that hit, in [0,1].
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Options tune the geometry details the paper fixes implicitly; the
+// defaults reproduce §4.3.1 exactly. Changing them is only meaningful for
+// the design-space ablations — both recorder and replayer must use the
+// same options.
+type Options struct {
+	// CounterBits is the saturating-counter width (paper: 3).
+	CounterBits int
+	// InsertAtTop inserts missing values over the *highest*-ranked entry
+	// among counter ties instead of the paper's lowest-position rule.
+	InsertAtTop bool
+}
+
+// Table is the dictionary table. It is not safe for concurrent use; each
+// simulated processor owns one.
+type Table struct {
+	entries    []entry
+	used       int
+	bits       uint
+	counterMax uint8
+	insertTop  bool
+	stats      Stats
+}
+
+// New returns an empty table with the given size, which must be a power of
+// two between 2 and 65536 so ranks have a fixed bit width.
+func New(size int) *Table {
+	return NewWithOptions(size, Options{})
+}
+
+// NewWithOptions returns a table with explicit geometry options.
+func NewWithOptions(size int, opts Options) *Table {
+	if size < 2 || size > 1<<16 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("dict: size %d must be a power of two in [2, 65536]", size))
+	}
+	if opts.CounterBits == 0 {
+		opts.CounterBits = defaultCounterBits
+	}
+	if opts.CounterBits < 1 || opts.CounterBits > 8 {
+		panic(fmt.Sprintf("dict: counter width %d out of range [1, 8]", opts.CounterBits))
+	}
+	bits := uint(0)
+	for 1<<bits < size {
+		bits++
+	}
+	return &Table{
+		entries:    make([]entry, size),
+		bits:       bits,
+		counterMax: uint8(1<<opts.CounterBits - 1),
+		insertTop:  opts.InsertAtTop,
+	}
+}
+
+// Size returns the table capacity.
+func (t *Table) Size() int { return len(t.entries) }
+
+// IndexBits returns the width of an encoded rank: log2(Size).
+func (t *Table) IndexBits() uint { return t.bits }
+
+// Reset empties the table, as required at the start of each checkpoint
+// interval. Statistics are preserved across resets.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.used = 0
+}
+
+// Lookup searches for v and returns its current rank. It counts toward
+// statistics but does not modify the table; callers follow it with Update.
+func (t *Table) Lookup(v uint32) (rank int, hit bool) {
+	t.stats.Lookups++
+	for i := 0; i < t.used; i++ {
+		if t.entries[i].val == v {
+			t.stats.Hits++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ValueAt returns the value currently holding the given rank. The replayer
+// uses it to decode a logged rank; callers follow it with Update.
+func (t *Table) ValueAt(rank int) (uint32, error) {
+	if rank < 0 || rank >= t.used {
+		return 0, fmt.Errorf("dict: rank %d out of range (used %d)", rank, t.used)
+	}
+	return t.entries[rank].val, nil
+}
+
+// Update applies the paper's table-update rule for an executed load of
+// value v. It must be called exactly once per executed loggable operation,
+// in both recording and replay, to keep the two table states identical.
+func (t *Table) Update(v uint32) {
+	for i := 0; i < t.used; i++ {
+		if t.entries[i].val != v {
+			continue
+		}
+		if t.entries[i].count < t.counterMax {
+			t.entries[i].count++
+		}
+		if i > 0 && t.entries[i].count >= t.entries[i-1].count {
+			t.entries[i], t.entries[i-1] = t.entries[i-1], t.entries[i]
+		}
+		return
+	}
+	// Miss: fill a free slot, else replace the smallest counter (ties
+	// toward the bottom of the table).
+	if t.used < len(t.entries) {
+		t.entries[t.used] = entry{val: v, count: 1}
+		t.used++
+		return
+	}
+	victim := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].count >= t.entries[victim].count {
+			continue
+		}
+		victim = i
+	}
+	if !t.insertTop {
+		// The paper's rule: the lowest-positioned entry among ties.
+		for i := len(t.entries) - 1; i > victim; i-- {
+			if t.entries[i].count == t.entries[victim].count {
+				victim = i
+				break
+			}
+		}
+	}
+	t.entries[victim] = entry{val: v, count: 1}
+}
+
+// Stats returns cumulative lookup statistics.
+func (t *Table) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the cumulative statistics.
+func (t *Table) ResetStats() { t.stats = Stats{} }
+
+// Snapshot returns the current (value, counter) contents in rank order, for
+// tests and debugging tools.
+func (t *Table) Snapshot() []uint32 {
+	out := make([]uint32, t.used)
+	for i := 0; i < t.used; i++ {
+		out[i] = t.entries[i].val
+	}
+	return out
+}
+
+// Equal reports whether two tables hold identical contents and ordering —
+// the invariant linking recorder and replayer.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.entries) != len(o.entries) || t.used != o.used {
+		return false
+	}
+	for i := 0; i < t.used; i++ {
+		if t.entries[i] != o.entries[i] {
+			return false
+		}
+	}
+	return true
+}

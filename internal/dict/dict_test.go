@@ -1,0 +1,248 @@
+package dict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidSizes(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024, 65536} {
+		tb := New(n)
+		if tb.Size() != n {
+			t.Errorf("Size = %d; want %d", tb.Size(), n)
+		}
+	}
+	wantBits := map[int]uint{8: 3, 16: 4, 32: 5, 64: 6, 128: 7, 256: 8, 1024: 10}
+	for n, b := range wantBits {
+		if got := New(n).IndexBits(); got != b {
+			t.Errorf("IndexBits(%d) = %d; want %d", n, got, b)
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 63, 1 << 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestLookupUpdateBasics(t *testing.T) {
+	tb := New(8)
+	if _, hit := tb.Lookup(42); hit {
+		t.Fatal("hit in empty table")
+	}
+	tb.Update(42)
+	rank, hit := tb.Lookup(42)
+	if !hit || rank != 0 {
+		t.Fatalf("after insert: rank=%d hit=%v", rank, hit)
+	}
+	v, err := tb.ValueAt(0)
+	if err != nil || v != 42 {
+		t.Fatalf("ValueAt(0) = %d, %v", v, err)
+	}
+	if _, err := tb.ValueAt(1); err == nil {
+		t.Error("ValueAt past used succeeded")
+	}
+}
+
+func TestPercolation(t *testing.T) {
+	tb := New(8)
+	tb.Update(1) // rank 0, count 1
+	tb.Update(2) // rank 1, count 1
+	// Hitting 2 increments its count to 2 >= count(1)=1, so they swap.
+	tb.Update(2)
+	if r, _ := tb.Lookup(2); r != 0 {
+		t.Errorf("rank of 2 = %d; want 0 after percolation", r)
+	}
+	if r, _ := tb.Lookup(1); r != 1 {
+		t.Errorf("rank of 1 = %d; want 1", r)
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	tb := New(2)
+	for i := 0; i < 100; i++ {
+		tb.Update(7)
+	}
+	// Nothing observable should break; 7 stays at rank 0.
+	if r, hit := tb.Lookup(7); !hit || r != 0 {
+		t.Errorf("after saturation: rank=%d hit=%v", r, hit)
+	}
+}
+
+func TestReplacementPolicy(t *testing.T) {
+	tb := New(2)
+	tb.Update(10) // count 1
+	tb.Update(10) // count 2
+	tb.Update(20) // count 1
+	tb.Update(30) // replaces the smallest counter: 20 (rank 1)
+	if _, hit := tb.Lookup(10); !hit {
+		t.Error("hot value 10 evicted")
+	}
+	if _, hit := tb.Lookup(20); hit {
+		t.Error("cold value 20 survived")
+	}
+	if _, hit := tb.Lookup(30); !hit {
+		t.Error("new value 30 not inserted")
+	}
+}
+
+func TestReplacementTieBreaksLow(t *testing.T) {
+	tb := New(4)
+	tb.Update(1)
+	tb.Update(2)
+	tb.Update(3)
+	tb.Update(4) // all count 1
+	tb.Update(5) // tie on counter; lowest position (rank 3 = value 4) replaced
+	if _, hit := tb.Lookup(4); hit {
+		t.Error("tie-break should have evicted the bottom entry")
+	}
+	for _, v := range []uint32{1, 2, 3, 5} {
+		if _, hit := tb.Lookup(v); !hit {
+			t.Errorf("value %d missing", v)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := New(8)
+	tb.Update(1)
+	tb.Update(2)
+	tb.Lookup(1)
+	before := tb.Stats()
+	tb.Reset()
+	if _, hit := tb.Lookup(1); hit {
+		t.Error("hit after Reset")
+	}
+	if tb.Stats().Lookups != before.Lookups+1 {
+		t.Error("Reset cleared statistics; it must preserve them")
+	}
+	tb.ResetStats()
+	if tb.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	tb := New(8)
+	tb.Update(5)
+	tb.Lookup(5) // hit
+	tb.Lookup(6) // miss
+	s := tb.Stats()
+	if s.Lookups != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+// TestRecorderReplayerLockstep drives a "recorder" table with the paper's
+// record flow (Lookup then Update) and a "replayer" table with the decode
+// flow (ValueAt then Update), checking that every encoded rank decodes to
+// the original value and the two tables remain identical.
+func TestRecorderReplayerLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rec := New(16)
+	rep := New(16)
+	// A skewed value distribution, like real load values.
+	pool := []uint32{0, 1, 0xFFFFFFFF, 4096, 7, 0, 0, 1, 8, 0}
+	for i := 0; i < 5000; i++ {
+		var v uint32
+		if rng.Intn(4) == 0 {
+			v = rng.Uint32()
+		} else {
+			v = pool[rng.Intn(len(pool))]
+		}
+		rank, hit := rec.Lookup(v)
+		rec.Update(v)
+		if hit {
+			got, err := rep.ValueAt(rank)
+			if err != nil || got != v {
+				t.Fatalf("step %d: decode rank %d = %d, %v; want %d", i, rank, got, err, v)
+			}
+			rep.Update(got)
+		} else {
+			rep.Update(v)
+		}
+		if !rec.Equal(rep) {
+			t.Fatalf("step %d: tables diverged\nrec=%v\nrep=%v", i, rec.Snapshot(), rep.Snapshot())
+		}
+	}
+}
+
+// TestPropertyDeterminism: identical update sequences yield identical
+// tables regardless of interleaved lookups (lookups must not mutate).
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(8), New(8)
+		for i := 0; i < 2000; i++ {
+			v := uint32(rng.Intn(24)) // small domain to force collisions/evictions
+			a.Lookup(uint32(rng.Intn(24)))
+			a.Update(v)
+			b.Update(v)
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyHotValueRises: a value updated far more often than any other
+// ends at rank 0.
+func TestPropertyHotValueRises(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New(8)
+		hot := uint32(777)
+		for i := 0; i < 3000; i++ {
+			if rng.Intn(3) != 0 {
+				tb.Update(hot)
+			} else {
+				tb.Update(uint32(rng.Intn(1000)) + 1000)
+			}
+		}
+		r, hit := tb.Lookup(hot)
+		return hit && r == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tb := New(DefaultSize)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint32, 1024)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(128))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Update(vals[i&1023])
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New(DefaultSize)
+	for i := 0; i < DefaultSize; i++ {
+		tb.Update(uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint32(i & 127))
+	}
+}

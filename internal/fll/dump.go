@@ -1,0 +1,79 @@
+package fll
+
+import (
+	"fmt"
+
+	"bugnet/internal/bits"
+)
+
+// RawEntry is one structurally decoded First-Load Log record. Dictionary
+// ranks are reported as ranks: resolving them to values requires replaying
+// the interval (the dictionary state at each entry depends on every
+// preceding loggable operation), which is the replayer's job, not the
+// inspector's.
+type RawEntry struct {
+	Skip     uint64 // L-Count: loggable ops skipped since the last entry
+	LongLC   bool   // encoded with the full-width L-Count form
+	FromDict bool   // value is a dictionary rank
+	Rank     uint32 // when FromDict
+	Value    uint32 // when !FromDict
+}
+
+func (e RawEntry) String() string {
+	if e.FromDict {
+		return fmt.Sprintf("skip=%d dict[%d]", e.Skip, e.Rank)
+	}
+	return fmt.Sprintf("skip=%d value=%#08x", e.Skip, e.Value)
+}
+
+// DumpEntries structurally decodes up to max entries (max <= 0 means all).
+// It validates the bit-level framing of the whole stream even when max
+// truncates the returned slice.
+func (l *Log) DumpEntries(max int) ([]RawEntry, error) {
+	r := bits.NewReaderBits(l.Entries, l.EntryBits)
+	fullLC := bitsFor(l.IntervalLimit)
+	rankBits := bitsFor(uint64(l.DictSize) - 1)
+	var out []RawEntry
+	for i := uint64(0); i < l.NumEntries; i++ {
+		var e RawEntry
+		long, err := r.ReadBit()
+		if err != nil {
+			return out, fmt.Errorf("fll: entry %d: truncated LC-Type: %w", i, err)
+		}
+		e.LongLC = long
+		width := uint(shortLCBits)
+		if long {
+			width = fullLC
+		}
+		skip, err := r.ReadBits(width)
+		if err != nil {
+			return out, fmt.Errorf("fll: entry %d: truncated L-Count: %w", i, err)
+		}
+		e.Skip = skip
+		fromFull, err := r.ReadBit()
+		if err != nil {
+			return out, fmt.Errorf("fll: entry %d: truncated LV-Type: %w", i, err)
+		}
+		if fromFull {
+			v, err := r.ReadBits(32)
+			if err != nil {
+				return out, fmt.Errorf("fll: entry %d: truncated value: %w", i, err)
+			}
+			e.Value = uint32(v)
+		} else {
+			e.FromDict = true
+			v, err := r.ReadBits(rankBits)
+			if err != nil {
+				return out, fmt.Errorf("fll: entry %d: truncated rank: %w", i, err)
+			}
+			e.Rank = uint32(v)
+		}
+		if max <= 0 || len(out) < max {
+			out = append(out, e)
+		}
+	}
+	if rem := r.Remaining(); rem != 0 {
+		return out, fmt.Errorf("fll: %d trailing bits after %d entries", rem, l.NumEntries)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package fll
+
+import (
+	"testing"
+
+	"bugnet/internal/dict"
+)
+
+func TestDumpEntriesStructure(t *testing.T) {
+	d := dict.New(64)
+	w := NewWriter(testHeader(64), d)
+	w.Op(0xAABBCCDD, true) // full value (miss)
+	w.Op(0xAABBCCDD, false)
+	w.Op(0xAABBCCDD, false)
+	w.Op(0xAABBCCDD, true) // dict hit after 2 skips
+	for i := 0; i < 40; i++ {
+		w.Op(7, false)
+	}
+	w.Op(0x11112222, true) // long L-Count (40 > 31)
+	log := w.Close(100, EndIntervalFull, nil)
+
+	es, err := log.DumpEntries(0)
+	if err != nil {
+		t.Fatalf("DumpEntries: %v", err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("entries = %d; want 3", len(es))
+	}
+	if es[0].FromDict || es[0].Value != 0xAABBCCDD || es[0].Skip != 0 {
+		t.Errorf("entry 0 = %v", es[0])
+	}
+	if !es[1].FromDict || es[1].Skip != 2 || es[1].LongLC {
+		t.Errorf("entry 1 = %v", es[1])
+	}
+	if es[2].FromDict || !es[2].LongLC || es[2].Skip != 40 || es[2].Value != 0x11112222 {
+		t.Errorf("entry 2 = %v", es[2])
+	}
+
+	// Truncation by max still validates framing.
+	es2, err := log.DumpEntries(1)
+	if err != nil || len(es2) != 1 {
+		t.Errorf("max=1 dump: %d entries, %v", len(es2), err)
+	}
+
+	// String renderings.
+	if es[0].String() == "" || es[1].String() == "" {
+		t.Error("empty entry strings")
+	}
+}
+
+func TestDumpEntriesDetectsTruncation(t *testing.T) {
+	d := dict.New(64)
+	w := NewWriter(testHeader(64), d)
+	w.Op(1, true)
+	w.Op(2, true)
+	log := w.Close(2, EndIntervalFull, nil)
+	log.EntryBits -= 10 // chop the stream
+	if _, err := log.DumpEntries(0); err == nil {
+		t.Error("truncated stream dumped without error")
+	}
+}

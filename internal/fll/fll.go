@@ -1,0 +1,470 @@
+// Package fll implements BugNet's First-Load Log (paper §4.2, §4.3).
+//
+// One FLL covers one checkpoint interval of one thread. Its header snapshots
+// the architectural state at the interval start; its body is a bit-packed
+// stream of first-load records, one per logged value:
+//
+//	(LC-Type:1, L-Count:5 or full, LV-Type:1, value:dictBits or 32)
+//
+// L-Count is the number of loggable operations skipped (not logged) since
+// the previous logged one: 5 bits when the count is below 32 (LC-Type=0),
+// otherwise the full width of ceil(log2(interval-limit+1)) bits (LC-Type=1).
+// The value is a dictionary rank of log2(dictSize) bits when the value hit
+// in the compressor (LV-Type=0), else the raw 32-bit word (LV-Type=1).
+//
+// Neither addresses nor PCs are logged — replay regenerates them (paper
+// §4.3). The Writer and Reader both own the dictionary-update discipline
+// ("update on every executed load") so the recorder and replayer cannot
+// drift apart.
+package fll
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"bugnet/internal/bits"
+	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
+	"bugnet/internal/isa"
+)
+
+// shortLCBits is the width of the short L-Count encoding.
+const shortLCBits = 5
+
+// shortLCMax is the largest L-Count representable in the short form.
+const shortLCMax = 1<<shortLCBits - 1
+
+// EndKind records why a checkpoint interval terminated.
+type EndKind uint8
+
+// Interval termination causes.
+const (
+	EndIntervalFull EndKind = iota // hit the configured interval length
+	EndSyscall                     // synchronous trap (paper §4.4)
+	EndTimer                       // asynchronous interrupt / context switch
+	EndFault                       // the program crashed (paper §4.8)
+	EndExit                        // the thread exited cleanly
+)
+
+func (e EndKind) String() string {
+	switch e {
+	case EndIntervalFull:
+		return "interval-full"
+	case EndSyscall:
+		return "syscall"
+	case EndTimer:
+		return "timer-interrupt"
+	case EndFault:
+		return "fault"
+	case EndExit:
+		return "thread-exit"
+	}
+	return "unknown"
+}
+
+// Header is the information BugNet records when creating a checkpoint
+// (paper §4.2): process and thread ids to attribute the log, C-ID to pair
+// it with its MRL, a timestamp for ordering, and the full architectural
+// state needed to start replay.
+type Header struct {
+	PID           uint32
+	TID           uint32
+	CID           uint32
+	Timestamp     uint64
+	IntervalLimit uint64 // configured max interval length, fixes full L-Count width
+	DictSize      uint32 // dictionary geometry, fixes rank width
+	State         cpu.Snapshot
+}
+
+// FaultRecord is appended by the OS when the program crashes: the
+// instruction count within the interval and the PC of the faulting
+// instruction (paper §4.8).
+type FaultRecord struct {
+	IC    uint64 // committed instructions into this interval at the fault
+	PC    uint32 // faulting instruction address
+	Cause uint8  // cpu.FaultCause
+}
+
+// Log is a finalized First-Load Log.
+type Log struct {
+	Header
+	// Entries is the bit-packed first-load record stream.
+	Entries []byte
+	// EntryBits is the exact bit length of Entries.
+	EntryBits uint64
+	// NumEntries is the number of logged first-load values.
+	NumEntries uint64
+	// Ops is the total number of loggable operations in the interval.
+	Ops uint64
+	// Length is the number of committed instructions in the interval.
+	Length uint64
+	// End tells why the interval terminated.
+	End EndKind
+	// Fault is non-nil when End == EndFault.
+	Fault *FaultRecord
+
+	// UncompressedBits is what the entry stream would have cost with no
+	// dictionary (full 32-bit values, no LV-Type bit). The ratio
+	// UncompressedBits/EntryBits reproduces the paper's Figure 6.
+	UncompressedBits uint64
+}
+
+// HeaderBytes is the serialized header cost: PID, TID, C-ID, DictSize
+// (4×4), Timestamp + IntervalLimit (2×8), PC (4), registers (32×4) — what
+// the hardware writes at interval start.
+const HeaderBytes = 4*4 + 2*8 + 4 + isa.NumRegs*4
+
+// SizeBytes returns the log's storage footprint: header plus packed
+// entries plus the small trailer (length, counts, end cause). This is the
+// quantity behind the paper's FLL-size figures.
+func (l *Log) SizeBytes() int64 {
+	trailer := int64(8 + 8 + 1) // length, entry count, end kind
+	if l.Fault != nil {
+		trailer += 8 + 4 + 1
+	}
+	return HeaderBytes + int64((l.EntryBits+7)/8) + trailer
+}
+
+// bitsFor returns the width needed to represent values in [0, n].
+func bitsFor(n uint64) uint {
+	w := uint(1)
+	for 1<<w <= n {
+		w++
+	}
+	return w
+}
+
+// Writer builds one FLL during recording. The recorder reports every
+// loggable operation through Op; the writer encodes entries for the ops
+// the first-load filter selected and keeps the dictionary in sync.
+type Writer struct {
+	hdr        Header
+	dict       *dict.Table
+	w          bits.Writer
+	fullLCBits uint
+	skip       uint64 // loggable ops since last logged entry
+	ops        uint64
+	entries    uint64
+	uncBits    uint64
+}
+
+// NewWriter starts an FLL for the interval described by hdr. The dictionary
+// must be empty (interval start) and is owned by the writer until Close.
+func NewWriter(hdr Header, d *dict.Table) *Writer {
+	if hdr.IntervalLimit == 0 {
+		panic("fll: IntervalLimit must be positive")
+	}
+	if d == nil || d.Size() != int(hdr.DictSize) {
+		panic("fll: dictionary geometry does not match header")
+	}
+	return &Writer{hdr: hdr, dict: d, fullLCBits: bitsFor(hdr.IntervalLimit)}
+}
+
+// Op records one loggable operation whose containing word held value.
+// logged tells whether the first-load filter selected it for logging.
+func (w *Writer) Op(value uint32, logged bool) {
+	w.ops++
+	if !logged {
+		w.skip++
+		w.dict.Update(value)
+		return
+	}
+	// L-Count field.
+	if w.skip <= shortLCMax {
+		w.w.WriteBit(false)
+		w.w.WriteBits(w.skip, shortLCBits)
+		w.uncBits += 1 + shortLCBits
+	} else {
+		w.w.WriteBit(true)
+		w.w.WriteBits(w.skip, w.fullLCBits)
+		w.uncBits += 1 + uint64(w.fullLCBits)
+	}
+	// Value field.
+	if rank, hit := w.dict.Lookup(value); hit {
+		w.w.WriteBit(false)
+		w.w.WriteBits(uint64(rank), w.dict.IndexBits())
+	} else {
+		w.w.WriteBit(true)
+		w.w.WriteBits(uint64(value), 32)
+	}
+	w.uncBits += 32
+	w.dict.Update(value)
+	w.skip = 0
+	w.entries++
+}
+
+// Bits returns the number of entry-stream bits written so far. The bus
+// model samples it to account log production.
+func (w *Writer) Bits() uint64 { return w.w.Len() }
+
+// Close finalizes the log. length is the committed instruction count of
+// the interval; fault may carry the crash record.
+func (w *Writer) Close(length uint64, end EndKind, fault *FaultRecord) *Log {
+	buf := make([]byte, len(w.w.Bytes()))
+	copy(buf, w.w.Bytes())
+	return &Log{
+		Header:           w.hdr,
+		Entries:          buf,
+		EntryBits:        w.w.Len(),
+		NumEntries:       w.entries,
+		Ops:              w.ops,
+		Length:           length,
+		End:              end,
+		Fault:            fault,
+		UncompressedBits: w.uncBits,
+	}
+}
+
+// Reader replays one FLL's entry stream. The replayer calls Op for every
+// loggable operation it executes, passing the word value its simulated
+// memory currently holds; the reader returns the value the operation must
+// observe, injecting logged first-load values at the right positions.
+type Reader struct {
+	log        *Log
+	dict       *dict.Table
+	r          *bits.Reader
+	fullLCBits uint
+
+	pendingValid  bool
+	pendingSkip   uint64
+	pendingRaw    uint32 // full value, or dictionary rank if pendingIsRank
+	pendingIsRank bool   // rank is resolved at injection time: the skipped
+	// ops between decode and injection update the dictionary, and the
+	// writer encoded the rank against the injection-time table state
+	consumed uint64
+	err      error
+}
+
+// NewReader opens log for replay. The dictionary must be empty and match
+// the geometry recorded in the header.
+func NewReader(log *Log, d *dict.Table) *Reader {
+	if d == nil || d.Size() != int(log.DictSize) {
+		panic("fll: dictionary geometry does not match log header")
+	}
+	r := &Reader{
+		log:        log,
+		dict:       d,
+		r:          bits.NewReaderBits(log.Entries, log.EntryBits),
+		fullLCBits: bitsFor(log.IntervalLimit),
+	}
+	r.loadEntry()
+	return r
+}
+
+// loadEntry decodes the next entry into pending state.
+func (r *Reader) loadEntry() {
+	r.pendingValid = false
+	if r.err != nil || r.consumed >= r.log.NumEntries {
+		return
+	}
+	longLC, err := r.r.ReadBit()
+	if err != nil {
+		r.err = fmt.Errorf("fll: truncated entry %d: %w", r.consumed, err)
+		return
+	}
+	width := uint(shortLCBits)
+	if longLC {
+		width = r.fullLCBits
+	}
+	skip, err := r.r.ReadBits(width)
+	if err != nil {
+		r.err = fmt.Errorf("fll: truncated L-Count in entry %d: %w", r.consumed, err)
+		return
+	}
+	fullValue, err := r.r.ReadBit()
+	if err != nil {
+		r.err = fmt.Errorf("fll: truncated LV-Type in entry %d: %w", r.consumed, err)
+		return
+	}
+	if fullValue {
+		v, err := r.r.ReadBits(32)
+		if err != nil {
+			r.err = fmt.Errorf("fll: truncated value in entry %d: %w", r.consumed, err)
+			return
+		}
+		r.pendingRaw = uint32(v)
+		r.pendingIsRank = false
+	} else {
+		rank, err := r.r.ReadBits(r.dict.IndexBits())
+		if err != nil {
+			r.err = fmt.Errorf("fll: truncated rank in entry %d: %w", r.consumed, err)
+			return
+		}
+		r.pendingRaw = uint32(rank)
+		r.pendingIsRank = true
+	}
+	r.pendingValid = true
+	r.pendingSkip = skip
+	r.consumed++
+}
+
+// Op processes one loggable operation during replay. memValue is the word
+// value the replayer's simulated memory currently holds; the return value
+// is the word the operation must observe (and that the replayer must
+// install in memory when injected is true).
+func (r *Reader) Op(memValue uint32) (value uint32, injected bool, err error) {
+	if r.err != nil {
+		return 0, false, r.err
+	}
+	if r.pendingValid && r.pendingSkip == 0 {
+		v := r.pendingRaw
+		if r.pendingIsRank {
+			dv, derr := r.dict.ValueAt(int(r.pendingRaw))
+			if derr != nil {
+				r.err = fmt.Errorf("fll: entry %d: %w", r.consumed-1, derr)
+				return 0, false, r.err
+			}
+			v = dv
+		}
+		r.dict.Update(v)
+		r.loadEntry()
+		return v, true, nil
+	}
+	if r.pendingValid {
+		r.pendingSkip--
+	}
+	r.dict.Update(memValue)
+	return memValue, false, nil
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Exhausted reports whether every logged entry has been consumed.
+func (r *Reader) Exhausted() bool { return !r.pendingValid && r.err == nil }
+
+// --- serialization ---
+
+var magic = [4]byte{'B', 'F', 'L', 'L'}
+
+const version = 1
+
+// ErrBadFormat reports a malformed serialized log.
+var ErrBadFormat = errors.New("fll: bad serialized log")
+
+// Marshal encodes the log for storage or transmission to the developer.
+func (l *Log) Marshal() []byte {
+	var out []byte
+	le := binary.LittleEndian
+	out = append(out, magic[:]...)
+	out = append(out, version)
+	var tmp [8]byte
+
+	put32 := func(v uint32) {
+		le.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		le.PutUint64(tmp[:8], v)
+		out = append(out, tmp[:8]...)
+	}
+	put32(l.PID)
+	put32(l.TID)
+	put32(l.CID)
+	put64(l.Timestamp)
+	put64(l.IntervalLimit)
+	put32(l.DictSize)
+	put32(l.State.PC)
+	for _, r := range l.State.Regs {
+		put32(r)
+	}
+	put64(l.EntryBits)
+	put64(l.NumEntries)
+	put64(l.Ops)
+	put64(l.Length)
+	put64(l.UncompressedBits)
+	out = append(out, byte(l.End))
+	if l.Fault != nil {
+		out = append(out, 1)
+		put64(l.Fault.IC)
+		put32(l.Fault.PC)
+		out = append(out, l.Fault.Cause)
+	} else {
+		out = append(out, 0)
+	}
+	put64(uint64(len(l.Entries)))
+	out = append(out, l.Entries...)
+	// Integrity checksum over everything above: logs travel from the
+	// user's machine to the developer, and a corrupted log must fail
+	// loudly at decode rather than replay a different execution.
+	le.PutUint32(tmp[:4], crc32.ChecksumIEEE(out))
+	out = append(out, tmp[:4]...)
+	return out
+}
+
+// Unmarshal decodes a serialized log.
+func Unmarshal(data []byte) (*Log, error) {
+	le := binary.LittleEndian
+	if len(data) < 4 {
+		return nil, ErrBadFormat
+	}
+	body, sum := data[:len(data)-4], le.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+	}
+	data = body
+	pos := 0
+	need := func(n int) bool { return len(data)-pos >= n }
+	if !need(5) || [4]byte(data[:4]) != magic || data[4] != version {
+		return nil, ErrBadFormat
+	}
+	pos = 5
+	get32 := func() uint32 {
+		v := le.Uint32(data[pos:])
+		pos += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := le.Uint64(data[pos:])
+		pos += 8
+		return v
+	}
+	if !need(4*4 + 2*8 + 4 + isa.NumRegs*4 + 5*8 + 2) {
+		return nil, ErrBadFormat
+	}
+	var l Log
+	l.PID = get32()
+	l.TID = get32()
+	l.CID = get32()
+	l.Timestamp = get64()
+	l.IntervalLimit = get64()
+	l.DictSize = get32()
+	l.State.PC = get32()
+	for i := range l.State.Regs {
+		l.State.Regs[i] = get32()
+	}
+	l.EntryBits = get64()
+	l.NumEntries = get64()
+	l.Ops = get64()
+	l.Length = get64()
+	l.UncompressedBits = get64()
+	l.End = EndKind(data[pos])
+	pos++
+	hasFault := data[pos] == 1
+	pos++
+	if hasFault {
+		if !need(13) {
+			return nil, ErrBadFormat
+		}
+		f := &FaultRecord{}
+		f.IC = get64()
+		f.PC = get32()
+		f.Cause = data[pos]
+		pos++
+		l.Fault = f
+	}
+	if !need(8) {
+		return nil, ErrBadFormat
+	}
+	n := get64()
+	if uint64(len(data)-pos) < n {
+		return nil, ErrBadFormat
+	}
+	l.Entries = append([]byte(nil), data[pos:pos+int(n)]...)
+	if l.EntryBits > n*8 {
+		return nil, ErrBadFormat
+	}
+	return &l, nil
+}

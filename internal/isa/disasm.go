@@ -1,0 +1,47 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders a decoded instruction in assembler syntax. pc is the
+// address of the instruction; it is used to print absolute branch and jump
+// targets alongside the relative offsets.
+func Disassemble(ins Instruction, pc uint32) string {
+	switch {
+	case ins.Op == OpInvalid:
+		return "invalid"
+	case ins.Op == OpSYSCALL || ins.Op == OpBREAK:
+		return ins.Op.String()
+	case ins.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", ins.Op, RegName(ins.Rd), ins.Imm, RegName(ins.Rs1))
+	case ins.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", ins.Op, RegName(ins.Rd), ins.Imm, RegName(ins.Rs1))
+	case ins.Op.IsAMO():
+		return fmt.Sprintf("%s %s, %s, (%s)", ins.Op, RegName(ins.Rd), RegName(ins.Rs2), RegName(ins.Rs1))
+	case ins.Op == OpLUI:
+		return fmt.Sprintf("%s %s, %d", ins.Op, RegName(ins.Rd), ins.Imm)
+	case ins.Op == OpJALR:
+		return fmt.Sprintf("%s %s, %s, %d", ins.Op, RegName(ins.Rd), RegName(ins.Rs1), ins.Imm)
+	}
+	switch ins.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", ins.Op, RegName(ins.Rd), RegName(ins.Rs1), RegName(ins.Rs2))
+	case FormatI:
+		return fmt.Sprintf("%s %s, %s, %d", ins.Op, RegName(ins.Rd), RegName(ins.Rs1), ins.Imm)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, 0x%x", ins.Op, RegName(ins.Rs1), RegName(ins.Rs2), branchTarget(pc, ins.Imm))
+	case FormatJ:
+		return fmt.Sprintf("%s 0x%x", ins.Op, branchTarget(pc, ins.Imm))
+	}
+	return ins.Op.String()
+}
+
+// branchTarget computes the absolute target of a PC-relative control
+// transfer whose offset is relative to the successor instruction.
+func branchTarget(pc uint32, imm int32) uint32 {
+	return pc + WordSize + uint32(imm)
+}
+
+// DisassembleWord decodes and renders a raw instruction word.
+func DisassembleWord(w uint32, pc uint32) string {
+	return Disassemble(Decode(w), pc)
+}

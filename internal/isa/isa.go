@@ -1,0 +1,425 @@
+// Package isa defines the instruction set architecture of the simulated
+// 32-bit RISC machine that the BugNet reproduction records and replays.
+//
+// The paper evaluates BugNet on x86 binaries instrumented with Pin; BugNet
+// itself only consumes the architecturally visible stream of committed
+// instructions (program counter, register file, load/store values). Any
+// 32-bit ISA with word and sub-word memory accesses exercises the same
+// first-load logging, L-Count and dictionary machinery, so this package
+// defines a compact RISC ISA that is easy to assemble, decode and interpret
+// deterministically.
+//
+// Encoding is a fixed 32-bit word:
+//
+//	R-type:  op[31:26] rd[25:21] rs1[20:16] rs2[15:11] 0[10:0]
+//	I-type:  op[31:26] rd[25:21] rs1[20:16] imm16[15:0]   (imm sign-extended)
+//	B-type:  op[31:26] rs1[25:21] rs2[20:16] imm16[15:0]  (byte offset from PC+4)
+//	J-type:  op[31:26] imm26[25:0]                        (byte offset/4 from PC+4)
+//
+// JAL always links into register ra (r1); J is JAL without the link.
+package isa
+
+import "fmt"
+
+// WordSize is the architectural word size in bytes.
+const WordSize = 4
+
+// NumRegs is the number of general-purpose registers. Register 0 is
+// hardwired to zero, as in MIPS and RISC-V.
+const NumRegs = 32
+
+// Architectural register indices with conventional roles. The names follow
+// the RISC-V calling convention so assembly sources read familiarly.
+const (
+	RegZero = 0 // hardwired zero
+	RegRA   = 1 // return address (link register of JAL/CALL)
+	RegSP   = 2 // stack pointer
+	RegGP   = 3 // global pointer
+	RegTP   = 4 // thread pointer
+	RegT0   = 5 // temporaries t0..t2
+	RegT1   = 6
+	RegT2   = 7
+	RegS0   = 8 // saved s0/fp
+	RegS1   = 9
+	RegA0   = 10 // arguments / return values a0..a7
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegA6   = 16
+	RegA7   = 17 // syscall number
+	RegS2   = 18 // saved s2..s11
+	RegT3   = 28 // temporaries t3..t6
+)
+
+// Opcode identifies an instruction operation.
+type Opcode uint8
+
+// Opcodes. The numeric values are part of the binary encoding and must not
+// be reordered; the assembler, disassembler, and CPU all share them.
+const (
+	OpInvalid Opcode = iota
+
+	// R-type register-register ALU operations.
+	OpADD
+	OpSUB
+	OpMUL
+	OpMULH
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+
+	// I-type ALU operations with a 16-bit signed immediate.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLTI
+	OpSLTIU
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpLUI // rd = imm16 << 16
+
+	// Loads: rd = mem[rs1+imm].
+	OpLW
+	OpLH
+	OpLHU
+	OpLB
+	OpLBU
+
+	// Stores: mem[rs1+imm] = rd (rd field holds the source register).
+	OpSW
+	OpSH
+	OpSB
+
+	// Atomics (R-type): rd = mem[rs1]; mem[rs1] = f(old, rs2). The whole
+	// operation is a single sequentially consistent memory operation.
+	OpAMOSWAP
+	OpAMOADD
+
+	// Branches (B-type): compare rs1, rs2; taken target = PC + 4 + imm.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps.
+	OpJAL  // J-type: ra = PC + 4; PC = PC + 4 + imm26*4
+	OpJ    // J-type: PC = PC + 4 + imm26*4
+	OpJALR // I-type: rd = PC + 4; PC = (rs1 + imm) &^ 3
+
+	// System.
+	OpSYSCALL // service number in a7, args in a0..a2, result in a0
+	OpBREAK   // explicit trap: faults the executing thread
+
+	numOpcodes // must remain last
+)
+
+// NumOpcodes reports how many opcodes the ISA defines (excluding OpInvalid).
+func NumOpcodes() int { return int(numOpcodes) - 1 }
+
+// Format describes an instruction's encoding format.
+type Format uint8
+
+// Encoding formats.
+const (
+	FormatR Format = iota // rd, rs1, rs2
+	FormatI               // rd, rs1, imm16
+	FormatB               // rs1, rs2, imm16
+	FormatJ               // imm26
+)
+
+type opInfo struct {
+	name   string
+	format Format
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {"invalid", FormatR},
+
+	OpADD:   {"add", FormatR},
+	OpSUB:   {"sub", FormatR},
+	OpMUL:   {"mul", FormatR},
+	OpMULH:  {"mulh", FormatR},
+	OpMULHU: {"mulhu", FormatR},
+	OpDIV:   {"div", FormatR},
+	OpDIVU:  {"divu", FormatR},
+	OpREM:   {"rem", FormatR},
+	OpREMU:  {"remu", FormatR},
+	OpAND:   {"and", FormatR},
+	OpOR:    {"or", FormatR},
+	OpXOR:   {"xor", FormatR},
+	OpSLL:   {"sll", FormatR},
+	OpSRL:   {"srl", FormatR},
+	OpSRA:   {"sra", FormatR},
+	OpSLT:   {"slt", FormatR},
+	OpSLTU:  {"sltu", FormatR},
+
+	OpADDI:  {"addi", FormatI},
+	OpANDI:  {"andi", FormatI},
+	OpORI:   {"ori", FormatI},
+	OpXORI:  {"xori", FormatI},
+	OpSLTI:  {"slti", FormatI},
+	OpSLTIU: {"sltiu", FormatI},
+	OpSLLI:  {"slli", FormatI},
+	OpSRLI:  {"srli", FormatI},
+	OpSRAI:  {"srai", FormatI},
+	OpLUI:   {"lui", FormatI},
+
+	OpLW:  {"lw", FormatI},
+	OpLH:  {"lh", FormatI},
+	OpLHU: {"lhu", FormatI},
+	OpLB:  {"lb", FormatI},
+	OpLBU: {"lbu", FormatI},
+
+	OpSW: {"sw", FormatI},
+	OpSH: {"sh", FormatI},
+	OpSB: {"sb", FormatI},
+
+	OpAMOSWAP: {"amoswap", FormatR},
+	OpAMOADD:  {"amoadd", FormatR},
+
+	OpBEQ:  {"beq", FormatB},
+	OpBNE:  {"bne", FormatB},
+	OpBLT:  {"blt", FormatB},
+	OpBGE:  {"bge", FormatB},
+	OpBLTU: {"bltu", FormatB},
+	OpBGEU: {"bgeu", FormatB},
+
+	OpJAL:  {"jal", FormatJ},
+	OpJ:    {"j", FormatJ},
+	OpJALR: {"jalr", FormatI},
+
+	OpSYSCALL: {"syscall", FormatR},
+	OpBREAK:   {"break", FormatR},
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if op >= numOpcodes {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the encoding format of the opcode.
+func (op Opcode) Format() Format {
+	if op >= numOpcodes {
+		return FormatR
+	}
+	return opTable[op].format
+}
+
+// Valid reports whether op names a defined instruction.
+func (op Opcode) Valid() bool { return op > OpInvalid && op < numOpcodes }
+
+// IsLoad reports whether op reads memory as its primary effect (LW/LH/LHU/
+// LB/LBU). Atomics are reported separately by IsAMO.
+func (op Opcode) IsLoad() bool { return op >= OpLW && op <= OpLBU }
+
+// IsStore reports whether op writes memory as its primary effect (SW/SH/SB).
+func (op Opcode) IsStore() bool { return op >= OpSW && op <= OpSB }
+
+// IsAMO reports whether op is an atomic read-modify-write.
+func (op Opcode) IsAMO() bool { return op == OpAMOSWAP || op == OpAMOADD }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= OpBEQ && op <= OpBGEU }
+
+// IsJump reports whether op unconditionally transfers control.
+func (op Opcode) IsJump() bool { return op == OpJAL || op == OpJ || op == OpJALR }
+
+// MemBytes returns the access width in bytes of a load/store/AMO opcode,
+// and 0 for non-memory opcodes.
+func (op Opcode) MemBytes() int {
+	switch op {
+	case OpLW, OpSW, OpAMOSWAP, OpAMOADD:
+		return 4
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLB, OpLBU, OpSB:
+		return 1
+	}
+	return 0
+}
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// Instruction is a decoded machine instruction. The meaning of the register
+// fields depends on the format: stores keep their source register in Rd
+// (mirroring the encoding, where the rd field holds the value register).
+type Instruction struct {
+	Op  Opcode
+	Rd  uint8 // destination (or store/AMO source value register)
+	Rs1 uint8 // first source (base address for memory ops)
+	Rs2 uint8 // second source
+	Imm int32 // sign-extended immediate (byte offset for branches/jumps)
+}
+
+// Encoding field layout.
+const (
+	opShift  = 26
+	rdShift  = 21
+	rs1Shift = 16
+	rs2Shift = 11
+
+	regMask   = 0x1F
+	imm16Mask = 0xFFFF
+	imm26Mask = 0x03FF_FFFF
+
+	// MaxImm16 and MinImm16 bound I/B-format immediates.
+	MaxImm16 = 1<<15 - 1
+	MinImm16 = -(1 << 15)
+	// MaxImm26 and MinImm26 bound J-format word offsets.
+	MaxImm26 = 1<<25 - 1
+	MinImm26 = -(1 << 25)
+)
+
+// Encode packs the instruction into its 32-bit binary form. It returns an
+// error if a field is out of range for the opcode's format.
+func Encode(ins Instruction) (uint32, error) {
+	if !ins.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", ins.Op)
+	}
+	if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", ins.Op)
+	}
+	w := uint32(ins.Op) << opShift
+	switch ins.Op.Format() {
+	case FormatR:
+		w |= uint32(ins.Rd)<<rdShift | uint32(ins.Rs1)<<rs1Shift | uint32(ins.Rs2)<<rs2Shift
+	case FormatI:
+		if ins.Imm < MinImm16 || ins.Imm > MaxImm16 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 16-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rd)<<rdShift | uint32(ins.Rs1)<<rs1Shift | uint32(ins.Imm)&imm16Mask
+	case FormatB:
+		if ins.Imm < MinImm16 || ins.Imm > MaxImm16 {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d out of range", ins.Op, ins.Imm)
+		}
+		if ins.Imm%WordSize != 0 {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d not word aligned", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rs1)<<rdShift | uint32(ins.Rs2)<<rs1Shift | uint32(ins.Imm)&imm16Mask
+	case FormatJ:
+		if ins.Imm%WordSize != 0 {
+			return 0, fmt.Errorf("isa: encode %s: jump offset %d not word aligned", ins.Op, ins.Imm)
+		}
+		words := ins.Imm / WordSize
+		if words < MinImm26 || words > MaxImm26 {
+			return 0, fmt.Errorf("isa: encode %s: jump offset %d out of range", ins.Op, ins.Imm)
+		}
+		w |= uint32(words) & imm26Mask
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for known-good instructions; it panics on error.
+// It is intended for tests and statically constructed code sequences.
+func MustEncode(ins Instruction) uint32 {
+	w, err := Encode(ins)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit binary instruction word. Unknown opcodes decode to
+// an Instruction with Op == OpInvalid rather than an error, so the CPU can
+// raise an architectural illegal-instruction fault.
+func Decode(w uint32) Instruction {
+	op := Opcode(w >> opShift)
+	if !op.Valid() {
+		return Instruction{Op: OpInvalid}
+	}
+	var ins Instruction
+	ins.Op = op
+	switch op.Format() {
+	case FormatR:
+		ins.Rd = uint8(w >> rdShift & regMask)
+		ins.Rs1 = uint8(w >> rs1Shift & regMask)
+		ins.Rs2 = uint8(w >> rs2Shift & regMask)
+	case FormatI:
+		ins.Rd = uint8(w >> rdShift & regMask)
+		ins.Rs1 = uint8(w >> rs1Shift & regMask)
+		ins.Imm = signExtend16(w & imm16Mask)
+	case FormatB:
+		ins.Rs1 = uint8(w >> rdShift & regMask)
+		ins.Rs2 = uint8(w >> rs1Shift & regMask)
+		ins.Imm = signExtend16(w & imm16Mask)
+	case FormatJ:
+		ins.Imm = signExtend26(w&imm26Mask) * WordSize
+	}
+	return ins
+}
+
+func signExtend16(v uint32) int32 { return int32(int16(v)) }
+
+func signExtend26(v uint32) int32 {
+	if v&(1<<25) != 0 {
+		v |= ^uint32(imm26Mask)
+	}
+	return int32(v)
+}
+
+// RegName returns the conventional assembler name of a register.
+func RegName(r uint8) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// RegByName resolves a register name: either a conventional alias ("sp",
+// "a0", "fp") or the raw form "rN".
+func RegByName(name string) (uint8, bool) {
+	if r, ok := regByName[name]; ok {
+		return r, true
+	}
+	return 0, false
+}
+
+var regByName = func() map[string]uint8 {
+	m := make(map[string]uint8, NumRegs+2)
+	for i, n := range regNames {
+		m[n] = uint8(i)
+	}
+	m["fp"] = RegS0
+	for i := 0; i < NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = uint8(i)
+	}
+	return m
+}()

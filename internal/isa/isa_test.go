@@ -1,0 +1,226 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("nosuchop"); ok {
+		t.Error("OpcodeByName accepted an unknown mnemonic")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: -1},
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: MaxImm16},
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: MinImm16},
+		{Op: OpLUI, Rd: 5, Imm: 0x7FFF},
+		{Op: OpLW, Rd: 4, Rs1: 2, Imm: -8},
+		{Op: OpSW, Rd: 4, Rs1: 2, Imm: 12},
+		{Op: OpSB, Rd: 7, Rs1: 8, Imm: 1023},
+		{Op: OpAMOSWAP, Rd: 9, Rs1: 10, Rs2: 11},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -4},
+		{Op: OpBNE, Rs1: 3, Rs2: 4, Imm: 32764},
+		{Op: OpJAL, Imm: 4 * 100},
+		{Op: OpJ, Imm: -4 * 1000},
+		{Op: OpJALR, Rd: 1, Rs1: 5, Imm: 0},
+		{Op: OpSYSCALL},
+		{Op: OpBREAK},
+	}
+	for _, ins := range cases {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", ins, err)
+		}
+		got := Decode(w)
+		if got != ins {
+			t.Errorf("round trip %+v -> %#08x -> %+v", ins, w, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instruction{
+		{Op: OpInvalid},
+		{Op: numOpcodes},
+		{Op: OpADD, Rd: 32},
+		{Op: OpADDI, Rd: 1, Imm: MaxImm16 + 1},
+		{Op: OpADDI, Rd: 1, Imm: MinImm16 - 1},
+		{Op: OpBEQ, Imm: 2},                       // unaligned branch
+		{Op: OpJAL, Imm: 6},                       // unaligned jump
+		{Op: OpJAL, Imm: (MaxImm26 + 1) * 4},      // too far forward
+		{Op: OpJ, Imm: (MinImm26 - 1) * WordSize}, // too far backward
+	}
+	for _, ins := range bad {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("Encode(%+v) succeeded; want error", ins)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	w := uint32(numOpcodes) << opShift
+	if got := Decode(w); got.Op != OpInvalid {
+		t.Errorf("Decode of unknown opcode = %+v; want OpInvalid", got)
+	}
+}
+
+// randomInstruction builds a random, encodable instruction for the property
+// round-trip test.
+func randomInstruction(r *rand.Rand) Instruction {
+	for {
+		op := Opcode(1 + r.Intn(int(numOpcodes)-1))
+		ins := Instruction{Op: op}
+		switch op.Format() {
+		case FormatR:
+			ins.Rd = uint8(r.Intn(NumRegs))
+			ins.Rs1 = uint8(r.Intn(NumRegs))
+			ins.Rs2 = uint8(r.Intn(NumRegs))
+		case FormatI:
+			ins.Rd = uint8(r.Intn(NumRegs))
+			ins.Rs1 = uint8(r.Intn(NumRegs))
+			ins.Imm = int32(r.Intn(1<<16)) + MinImm16
+		case FormatB:
+			ins.Rs1 = uint8(r.Intn(NumRegs))
+			ins.Rs2 = uint8(r.Intn(NumRegs))
+			ins.Imm = int32(r.Intn(1<<14))*4 + MinImm16 + 1
+			ins.Imm -= ins.Imm % 4 // align; stays in range
+			if ins.Imm < MinImm16 {
+				continue
+			}
+		case FormatJ:
+			ins.Imm = (int32(r.Intn(1<<26)) + MinImm26) * WordSize
+		}
+		return ins
+	}
+}
+
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 64; i++ {
+			ins := randomInstruction(r)
+			w, err := Encode(ins)
+			if err != nil {
+				t.Logf("unexpected encode error for %+v: %v", ins, err)
+				return false
+			}
+			if Decode(w) != ins {
+				t.Logf("round trip failed: %+v -> %#08x -> %+v", ins, w, Decode(w))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Opcode]int{
+		OpLW: 4, OpLH: 2, OpLHU: 2, OpLB: 1, OpLBU: 1,
+		OpSW: 4, OpSH: 2, OpSB: 1,
+		OpAMOSWAP: 4, OpAMOADD: 4,
+		OpADD: 0, OpJAL: 0, OpSYSCALL: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d; want %d", op, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !OpLW.IsLoad() || OpSW.IsLoad() || OpAMOADD.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpSB.IsStore() || OpLB.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !OpAMOSWAP.IsAMO() || OpLW.IsAMO() {
+		t.Error("IsAMO misclassifies")
+	}
+	if !OpBEQ.IsBranch() || OpJAL.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !OpJAL.IsJump() || !OpJALR.IsJump() || OpBEQ.IsJump() {
+		t.Error("IsJump misclassifies")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(RegSP) != "sp" || RegName(RegA0) != "a0" || RegName(RegZero) != "zero" {
+		t.Error("unexpected conventional register names")
+	}
+	for i := uint8(0); i < NumRegs; i++ {
+		r, ok := RegByName(RegName(i))
+		if !ok || r != i {
+			t.Errorf("RegByName(RegName(%d)) = %d, %v", i, r, ok)
+		}
+	}
+	if r, ok := RegByName("r17"); !ok || r != 17 {
+		t.Error("raw register name r17 not resolved")
+	}
+	if r, ok := RegByName("fp"); !ok || r != RegS0 {
+		t.Error("fp alias not resolved")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName accepted unknown name")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		pc   uint32
+		want string
+	}{
+		{Instruction{Op: OpADD, Rd: 10, Rs1: 11, Rs2: 12}, 0, "add a0, a1, a2"},
+		{Instruction{Op: OpADDI, Rd: 2, Rs1: 2, Imm: -16}, 0, "addi sp, sp, -16"},
+		{Instruction{Op: OpLW, Rd: 10, Rs1: 2, Imm: 8}, 0, "lw a0, 8(sp)"},
+		{Instruction{Op: OpSW, Rd: 10, Rs1: 2, Imm: 8}, 0, "sw a0, 8(sp)"},
+		{Instruction{Op: OpAMOSWAP, Rd: 10, Rs1: 11, Rs2: 12}, 0, "amoswap a0, a2, (a1)"},
+		{Instruction{Op: OpBEQ, Rs1: 10, Rs2: 0, Imm: 8}, 0x100, "beq a0, zero, 0x10c"},
+		{Instruction{Op: OpJAL, Imm: 0x20}, 0x400000, "jal 0x400024"},
+		{Instruction{Op: OpSYSCALL}, 0, "syscall"},
+		{Instruction{Op: OpInvalid}, 0, "invalid"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.ins, c.pc); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q; want %q", c.ins, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleWordAllOpcodes(t *testing.T) {
+	// Every defined opcode must disassemble to text mentioning its mnemonic.
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		ins := Instruction{Op: op}
+		w := MustEncode(ins)
+		text := DisassembleWord(w, 0x1000)
+		if !strings.HasPrefix(text, op.String()) {
+			t.Errorf("opcode %v disassembles to %q", op, text)
+		}
+	}
+}

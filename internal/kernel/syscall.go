@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"bugnet/internal/isa"
+	"bugnet/internal/mem"
+)
+
+// errRet is the guest-visible -1.
+const errRet = ^uint32(0)
+
+// syscall services the SYSCALL instruction that thread th just committed.
+// The recorder sees it as a synchronous interrupt: the current checkpoint
+// interval ends before the kernel touches anything, and a new one starts
+// when control returns to user code with the kernel's effects (return
+// value in a0, data copied into user buffers) already applied — so the new
+// FLL header and subsequent first-loads capture them (paper §4.4, §4.5).
+func (m *Machine) syscall(th *Thread) {
+	if m.hooks != nil {
+		m.hooks.OnInterrupt(th.ID, IntSyscall)
+	}
+	c := th.CPU
+	num := c.Regs[isa.RegA7]
+	a0, a1, a2 := c.Regs[isa.RegA0], c.Regs[isa.RegA1], c.Regs[isa.RegA2]
+	ret := errRet
+
+	switch num {
+	case SysExit:
+		m.exitThread(th, a0)
+		return // no interrupt-return: the thread is gone
+
+	case SysWrite:
+		ret = m.sysWrite(int(int32(a0)), a1, a2)
+
+	case SysRead:
+		ret = m.sysRead(th, int(int32(a0)), a1, a2)
+
+	case SysOpen:
+		ret = m.sysOpen(a0)
+
+	case SysBrk:
+		if a0 != 0 && a0 >= m.brk {
+			m.Mem.Map(m.brk, a0-m.brk)
+			m.brk = (a0 + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		}
+		ret = m.brk
+
+	case SysSbrk:
+		old := m.brk
+		if a0 > 0 {
+			m.Mem.Map(old, a0)
+			m.brk = (old + a0 + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		}
+		ret = old
+
+	case SysTime:
+		ret = uint32(m.steps)
+
+	case SysSpawn:
+		ret = m.sysSpawn(a0, a1)
+
+	case SysYield:
+		ret = 0
+		// The quantum ends on syscall return; nothing else to do.
+
+	case SysDMARead:
+		ret = m.sysDMARead(int(int32(a0)), a1, a2)
+
+	case SysThreadID:
+		ret = uint32(th.ID)
+	}
+
+	c.Regs[isa.RegA0] = ret
+	if m.hooks != nil {
+		m.hooks.OnInterruptReturn(th.ID)
+	}
+}
+
+func (m *Machine) sysWrite(fd int, buf, n uint32) uint32 {
+	out := m.outputs[fd]
+	if out == nil {
+		return errRet
+	}
+	tmp := make([]byte, n)
+	if err := m.Mem.LoadBytes(buf, tmp); err != nil {
+		return errRet
+	}
+	out.Write(tmp)
+	return n
+}
+
+// sysRead copies input bytes into the user buffer. The copy is a kernel
+// write into user memory — exactly the external input BugNet does NOT log
+// directly, relying on first-load capture instead.
+func (m *Machine) sysRead(th *Thread, fd int, buf, n uint32) uint32 {
+	s := m.fds[fd]
+	if s == nil {
+		return errRet
+	}
+	remain := len(s.data) - s.pos
+	if remain <= 0 {
+		return 0 // EOF
+	}
+	if int(n) < remain {
+		remain = int(n)
+	}
+	chunk := s.data[s.pos : s.pos+remain]
+	if m.hooks != nil {
+		m.hooks.OnKernelPreWrite(th.ID, buf, uint32(remain))
+	}
+	if err := m.Mem.StoreBytes(buf, chunk); err != nil {
+		return errRet
+	}
+	s.pos += remain
+	if m.hooks != nil {
+		m.hooks.OnKernelWrite(th.ID, buf, uint32(remain))
+	}
+	return uint32(remain)
+}
+
+func (m *Machine) sysOpen(pathPtr uint32) uint32 {
+	name, err := m.Mem.LoadCString(pathPtr, 256)
+	if err != nil {
+		return errRet
+	}
+	data, ok := m.cfg.Inputs[name]
+	if !ok {
+		return errRet
+	}
+	fd := m.nextFD
+	m.nextFD++
+	m.fds[fd] = &stream{data: data}
+	return uint32(fd)
+}
+
+// sysSpawn starts a new thread at entry with a0 = arg. Each thread gets a
+// private stack region below the main stack.
+func (m *Machine) sysSpawn(entry, arg uint32) uint32 {
+	for tid := 1; tid < len(m.Threads); tid++ {
+		if m.Threads[tid].State != ThreadFree {
+			continue
+		}
+		// Stack layout: main stack on top, thread stacks below it with an
+		// unmapped guard page between neighbours.
+		top := mem.StackTop - mem.DefaultStackSize -
+			uint32(tid)*(mem.ThreadStackSize+mem.PageSize)
+		m.startThread(tid, entry, arg, top, mem.ThreadStackSize)
+		return uint32(tid)
+	}
+	return errRet
+}
+
+// sysDMARead schedules an asynchronous bulk copy from fd into user memory.
+// The syscall returns immediately with the transfer size; the data lands
+// DMALatency steps later while the program keeps running (paper §4.5).
+func (m *Machine) sysDMARead(fd int, buf, n uint32) uint32 {
+	s := m.fds[fd]
+	if s == nil {
+		return errRet
+	}
+	remain := len(s.data) - s.pos
+	if remain <= 0 {
+		return 0
+	}
+	if int(n) < remain {
+		remain = int(n)
+	}
+	chunk := make([]byte, remain)
+	copy(chunk, s.data[s.pos:s.pos+remain])
+	s.pos += remain
+	m.pending = append(m.pending, dmaOp{
+		addr:       buf,
+		data:       chunk,
+		completeAt: m.steps + m.cfg.DMALatency,
+	})
+	return uint32(remain)
+}

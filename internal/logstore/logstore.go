@@ -1,0 +1,120 @@
+// Package logstore models BugNet's memory-backed log storage (paper §4.7).
+//
+// The on-chip Checkpoint Buffer (CB) and Memory Race Buffer (MRB) are small
+// FIFOs whose contents are lazily drained into a main-memory region managed
+// by the operating system. The memory region holds the logs of multiple
+// consecutive checkpoints for every thread; when it fills, the logs of the
+// oldest checkpoint are discarded. The set of retained logs determines the
+// replay window — the number of instructions that can be replayed per
+// thread (paper §4.1, §7.2).
+//
+// A Store manages one such region (one for FLLs, one for MRLs). Items are
+// opaque: the store cares only about their identity, size and coverage.
+package logstore
+
+// Item is one retained log with its retention metadata.
+type Item struct {
+	TID          int
+	CID          uint32
+	Timestamp    uint64 // creation time (machine steps); eviction order key
+	Bytes        int64
+	Instructions uint64 // committed instructions covered (FLLs; 0 for MRLs)
+	Payload      any    // *fll.Log or *mrl.Log
+}
+
+// Stats describes a store's occupancy and lifetime churn.
+type Stats struct {
+	RetainedBytes int64
+	RetainedCount int
+	EvictedBytes  int64
+	EvictedCount  int
+	TotalBytes    int64 // everything ever appended
+	TotalCount    int
+}
+
+// Store is a budgeted FIFO of logs.
+type Store struct {
+	budget int64 // <= 0 means unlimited
+	items  []Item
+	stats  Stats
+}
+
+// New creates a store with the given main-memory budget in bytes.
+// A non-positive budget retains everything (useful for experiments that
+// measure how large logs would grow).
+func New(budget int64) *Store {
+	return &Store{budget: budget}
+}
+
+// Append retains an item, evicting the oldest items if the budget is
+// exceeded. Items must be appended in nondecreasing Timestamp order, which
+// is how the hardware produces them.
+func (s *Store) Append(it Item) {
+	s.items = append(s.items, it)
+	s.stats.RetainedBytes += it.Bytes
+	s.stats.RetainedCount++
+	s.stats.TotalBytes += it.Bytes
+	s.stats.TotalCount++
+	if s.budget <= 0 {
+		return
+	}
+	drop := 0
+	for s.stats.RetainedBytes > s.budget && drop < len(s.items)-1 {
+		s.stats.RetainedBytes -= s.items[drop].Bytes
+		s.stats.RetainedCount--
+		s.stats.EvictedBytes += s.items[drop].Bytes
+		s.stats.EvictedCount++
+		drop++
+	}
+	if drop > 0 {
+		s.items = append(s.items[:0], s.items[drop:]...)
+	}
+}
+
+// Stats returns occupancy counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// All returns the retained items oldest-first. The slice is shared; do not
+// modify it.
+func (s *Store) All() []Item { return s.items }
+
+// Thread returns the retained items of one thread, oldest-first.
+func (s *Store) Thread(tid int) []Item {
+	var out []Item
+	for _, it := range s.items {
+		if it.TID == tid {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// ReplayWindow returns the number of instructions the retained items cover
+// for the given thread — the quantity the paper calls the replay window.
+func (s *Store) ReplayWindow(tid int) uint64 {
+	var n uint64
+	for _, it := range s.items {
+		if it.TID == tid {
+			n += it.Instructions
+		}
+	}
+	return n
+}
+
+// Threads returns the set of thread ids with retained items, ascending.
+func (s *Store) Threads() []int {
+	seen := make(map[int]bool)
+	for _, it := range s.items {
+		seen[it.TID] = true
+	}
+	var out []int
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package logstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnlimitedRetainsAll(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 100; i++ {
+		s.Append(Item{TID: i % 3, CID: uint32(i), Timestamp: uint64(i), Bytes: 100, Instructions: 10})
+	}
+	st := s.Stats()
+	if st.RetainedCount != 100 || st.EvictedCount != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.ReplayWindow(0) != 340 { // 34 items x 10
+		t.Errorf("replay window = %d", s.ReplayWindow(0))
+	}
+}
+
+func TestBudgetEvictsOldestFirst(t *testing.T) {
+	s := New(250)
+	s.Append(Item{CID: 1, Timestamp: 1, Bytes: 100})
+	s.Append(Item{CID: 2, Timestamp: 2, Bytes: 100})
+	s.Append(Item{CID: 3, Timestamp: 3, Bytes: 100}) // 300 > 250: evict CID 1
+	items := s.All()
+	if len(items) != 2 || items[0].CID != 2 || items[1].CID != 3 {
+		t.Fatalf("items = %+v", items)
+	}
+	st := s.Stats()
+	if st.EvictedCount != 1 || st.EvictedBytes != 100 || st.RetainedBytes != 200 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOversizeItemAlwaysKept(t *testing.T) {
+	s := New(50)
+	s.Append(Item{CID: 1, Bytes: 500})
+	if len(s.All()) != 1 {
+		t.Fatal("single oversize item must be retained (never evict the newest)")
+	}
+	s.Append(Item{CID: 2, Bytes: 10})
+	items := s.All()
+	if len(items) != 1 || items[0].CID != 2 {
+		t.Errorf("items = %+v", items)
+	}
+}
+
+func TestThreadFiltering(t *testing.T) {
+	s := New(0)
+	s.Append(Item{TID: 0, CID: 1, Bytes: 10, Instructions: 5})
+	s.Append(Item{TID: 1, CID: 1, Bytes: 10, Instructions: 7})
+	s.Append(Item{TID: 0, CID: 2, Bytes: 10, Instructions: 9})
+	if got := s.Thread(0); len(got) != 2 || got[0].CID != 1 || got[1].CID != 2 {
+		t.Errorf("Thread(0) = %+v", got)
+	}
+	if s.ReplayWindow(1) != 7 {
+		t.Errorf("window(1) = %d", s.ReplayWindow(1))
+	}
+	if ts := s.Threads(); len(ts) != 2 || ts[0] != 0 || ts[1] != 1 {
+		t.Errorf("Threads = %v", ts)
+	}
+}
+
+// TestPropertyBudgetInvariant: after any append sequence, retained bytes
+// never exceed the budget unless a single newest item alone exceeds it; and
+// retained items remain in append order.
+func TestPropertyBudgetInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := int64(1 + rng.Intn(5000))
+		s := New(budget)
+		for i := 0; i < 300; i++ {
+			s.Append(Item{
+				CID:       uint32(i),
+				Timestamp: uint64(i),
+				Bytes:     int64(1 + rng.Intn(300)),
+			})
+			st := s.Stats()
+			if st.RetainedBytes > budget && st.RetainedCount > 1 {
+				return false
+			}
+			items := s.All()
+			for j := 1; j < len(items); j++ {
+				if items[j].CID != items[j-1].CID+1 {
+					return false // order broken or non-contiguous eviction
+				}
+			}
+		}
+		st := s.Stats()
+		return st.TotalCount == 300 && st.RetainedCount+st.EvictedCount == 300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package mem
+
+// Conventional guest address-space layout used by the assembler, loader and
+// kernel. The values mirror a classic Unix process image so the Table 1 bug
+// analogues (stack smashes, global overflows, heap corruptions) behave the
+// way their real counterparts did.
+const (
+	// TextBase is where program text is loaded.
+	TextBase uint32 = 0x0040_0000
+	// DataBase is where the initialized data segment is loaded.
+	DataBase uint32 = 0x1000_0000
+	// StackTop is the initial stack pointer (stacks grow down).
+	StackTop uint32 = 0x7FFF_F000
+	// DefaultStackSize is the mapped size of the main thread's stack.
+	DefaultStackSize uint32 = 1 << 20
+	// ThreadStackSize is the mapped size of each spawned thread's stack.
+	ThreadStackSize uint32 = 1 << 18
+	// NullGuardSize is the size of the deliberately unmapped region at
+	// address zero, so null-pointer dereferences fault like on a real OS.
+	NullGuardSize uint32 = 1 << 16
+)

@@ -1,0 +1,257 @@
+// Package mem implements the sparse, paged guest physical memory of the
+// simulated machine.
+//
+// The address space is 32 bits, backed lazily by 4 KB pages. Accesses to
+// unmapped pages return an *AccessError, which the CPU turns into the
+// architectural memory fault that makes a buggy guest program crash — the
+// event that triggers BugNet log collection (paper §4.8). All accesses
+// require natural alignment; misaligned accesses also fault.
+package mem
+
+import "fmt"
+
+// PageSize is the guest page size in bytes.
+const PageSize = 1 << PageShift
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// AccessKind classifies a faulting access.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access"
+}
+
+// AccessError describes a faulting memory access.
+type AccessError struct {
+	Addr       uint32
+	Kind       AccessKind
+	Misaligned bool
+}
+
+func (e *AccessError) Error() string {
+	if e.Misaligned {
+		return fmt.Sprintf("mem: misaligned %s at 0x%08x", e.Kind, e.Addr)
+	}
+	return fmt.Sprintf("mem: %s of unmapped address 0x%08x", e.Kind, e.Addr)
+}
+
+// Memory is a sparse 32-bit guest address space. The zero value is not
+// usable; call New.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+}
+
+// New returns an empty address space with no pages mapped.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+// Map ensures that every page overlapping [addr, addr+size) is mapped,
+// zero-filling newly created pages. Mapping an already-mapped page is a
+// no-op. size==0 maps nothing.
+func (m *Memory) Map(addr uint32, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for p := first; ; p++ {
+		if _, ok := m.pages[p]; !ok {
+			m.pages[p] = new([PageSize]byte)
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// Unmap removes every page fully contained in [addr, addr+size).
+func (m *Memory) Unmap(addr uint32, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for p := first; ; p++ {
+		delete(m.pages, p)
+		if p == last {
+			break
+		}
+	}
+}
+
+// Mapped reports whether addr lies on a mapped page.
+func (m *Memory) Mapped(addr uint32) bool {
+	_, ok := m.pages[addr>>PageShift]
+	return ok
+}
+
+// Footprint returns the number of mapped bytes (pages × page size). This is
+// the quantity FDR's core dump must ship back to the developer (Table 2).
+func (m *Memory) Footprint() int64 {
+	return int64(len(m.pages)) * PageSize
+}
+
+func (m *Memory) page(addr uint32) *[PageSize]byte {
+	return m.pages[addr>>PageShift]
+}
+
+// Page returns the backing array of the given page number, or nil if the
+// page is unmapped. The CPU's fetch fast path reads text through it.
+func (m *Memory) Page(num uint32) *[PageSize]byte {
+	return m.pages[num]
+}
+
+// LoadWord reads the naturally aligned 32-bit little-endian word at addr.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, &AccessError{Addr: addr, Kind: AccessRead, Misaligned: true}
+	}
+	p := m.page(addr)
+	if p == nil {
+		return 0, &AccessError{Addr: addr, Kind: AccessRead}
+	}
+	o := addr & (PageSize - 1)
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+}
+
+// LoadHalf reads the naturally aligned 16-bit little-endian halfword at addr.
+func (m *Memory) LoadHalf(addr uint32) (uint16, error) {
+	if addr&1 != 0 {
+		return 0, &AccessError{Addr: addr, Kind: AccessRead, Misaligned: true}
+	}
+	p := m.page(addr)
+	if p == nil {
+		return 0, &AccessError{Addr: addr, Kind: AccessRead}
+	}
+	o := addr & (PageSize - 1)
+	return uint16(p[o]) | uint16(p[o+1])<<8, nil
+}
+
+// LoadByte reads the byte at addr.
+func (m *Memory) LoadByte(addr uint32) (byte, error) {
+	p := m.page(addr)
+	if p == nil {
+		return 0, &AccessError{Addr: addr, Kind: AccessRead}
+	}
+	return p[addr&(PageSize-1)], nil
+}
+
+// StoreWord writes a naturally aligned 32-bit little-endian word.
+func (m *Memory) StoreWord(addr uint32, v uint32) error {
+	if addr&3 != 0 {
+		return &AccessError{Addr: addr, Kind: AccessWrite, Misaligned: true}
+	}
+	p := m.page(addr)
+	if p == nil {
+		return &AccessError{Addr: addr, Kind: AccessWrite}
+	}
+	o := addr & (PageSize - 1)
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+	return nil
+}
+
+// StoreHalf writes a naturally aligned 16-bit little-endian halfword.
+func (m *Memory) StoreHalf(addr uint32, v uint16) error {
+	if addr&1 != 0 {
+		return &AccessError{Addr: addr, Kind: AccessWrite, Misaligned: true}
+	}
+	p := m.page(addr)
+	if p == nil {
+		return &AccessError{Addr: addr, Kind: AccessWrite}
+	}
+	o := addr & (PageSize - 1)
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	return nil
+}
+
+// StoreByte writes the byte at addr.
+func (m *Memory) StoreByte(addr uint32, v byte) error {
+	p := m.page(addr)
+	if p == nil {
+		return &AccessError{Addr: addr, Kind: AccessWrite}
+	}
+	p[addr&(PageSize-1)] = v
+	return nil
+}
+
+// LoadBytes copies len(dst) bytes starting at addr into dst. It fails with
+// an *AccessError at the first unmapped byte.
+func (m *Memory) LoadBytes(addr uint32, dst []byte) error {
+	for i := range dst {
+		b, err := m.LoadByte(addr + uint32(i))
+		if err != nil {
+			return err
+		}
+		dst[i] = b
+	}
+	return nil
+}
+
+// StoreBytes copies src into memory starting at addr. It fails with an
+// *AccessError at the first unmapped byte; earlier bytes remain written.
+func (m *Memory) StoreBytes(addr uint32, src []byte) error {
+	for i, b := range src {
+		if err := m.StoreByte(addr+uint32(i), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCString reads a NUL-terminated string of at most max bytes at addr.
+func (m *Memory) LoadCString(addr uint32, max int) (string, error) {
+	var buf []byte
+	for i := 0; i < max; i++ {
+		b, err := m.LoadByte(addr + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			break
+		}
+		buf = append(buf, b)
+	}
+	return string(buf), nil
+}
+
+// PageNumbers returns the set of mapped page numbers in unspecified order.
+func (m *Memory) PageNumbers() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for p := range m.pages {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Snapshot returns a deep copy of the address space. FDR's replayer uses
+// snapshots as the core-dump image from which checkpoint state is rebuilt.
+func (m *Memory) Snapshot() *Memory {
+	s := New()
+	for n, p := range m.pages {
+		cp := *p
+		s.pages[n] = &cp
+	}
+	return s
+}

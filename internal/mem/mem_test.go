@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndRW(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x2000)
+
+	if err := m.StoreWord(0x1000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LoadWord(0x1000)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("LoadWord = %x, %v", v, err)
+	}
+
+	// Little-endian byte order.
+	b, _ := m.LoadByte(0x1000)
+	if b != 0xEF {
+		t.Errorf("byte 0 = %x; want ef", b)
+	}
+	h, _ := m.LoadHalf(0x1002)
+	if h != 0xDEAD {
+		t.Errorf("half at +2 = %x; want dead", h)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := New()
+	if _, err := m.LoadWord(0x5000); err == nil {
+		t.Fatal("read of unmapped memory succeeded")
+	} else {
+		var ae *AccessError
+		if !errors.As(err, &ae) || ae.Addr != 0x5000 || ae.Kind != AccessRead {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if err := m.StoreByte(0x5000, 1); err == nil {
+		t.Fatal("write of unmapped memory succeeded")
+	}
+}
+
+func TestMisalignedFaults(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("misaligned word read succeeded")
+	}
+	if _, err := m.LoadHalf(1); err == nil {
+		t.Error("misaligned half read succeeded")
+	}
+	if err := m.StoreWord(6, 0); err == nil {
+		t.Error("misaligned word write succeeded")
+	}
+	if err := m.StoreHalf(3, 0); err == nil {
+		t.Error("misaligned half write succeeded")
+	}
+	var ae *AccessError
+	_, err := m.LoadWord(2)
+	if !errors.As(err, &ae) || !ae.Misaligned {
+		t.Errorf("error not flagged misaligned: %v", err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	m.Map(PageSize-8, 16) // maps pages 0 and 1
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.StoreBytes(PageSize-4, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := m.LoadBytes(PageSize-4, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("cross-page read = %v", got)
+		}
+	}
+}
+
+func TestMapIdempotentPreservesData(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 4)
+	m.StoreWord(0x1000, 42)
+	m.Map(0x1000, PageSize) // remap same page
+	v, _ := m.LoadWord(0x1000)
+	if v != 42 {
+		t.Errorf("remap destroyed data: %d", v)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := New()
+	m.Map(0, 2*PageSize)
+	m.Unmap(0, PageSize)
+	if m.Mapped(0) {
+		t.Error("page still mapped after Unmap")
+	}
+	if !m.Mapped(PageSize) {
+		t.Error("adjacent page wrongly unmapped")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	if m.Footprint() != 0 {
+		t.Error("fresh memory has nonzero footprint")
+	}
+	m.Map(0, 1) // one byte still maps one page
+	if m.Footprint() != PageSize {
+		t.Errorf("footprint = %d; want %d", m.Footprint(), PageSize)
+	}
+	m.Map(PageSize-1, 2) // extends into page 1
+	if m.Footprint() != 2*PageSize {
+		t.Errorf("footprint = %d; want %d", m.Footprint(), 2*PageSize)
+	}
+}
+
+func TestLoadCString(t *testing.T) {
+	m := New()
+	m.Map(0x100, 64)
+	m.StoreBytes(0x100, []byte("hello\x00world"))
+	s, err := m.LoadCString(0x100, 64)
+	if err != nil || s != "hello" {
+		t.Errorf("LoadCString = %q, %v", s, err)
+	}
+	// max truncation
+	s, err = m.LoadCString(0x100, 3)
+	if err != nil || s != "hel" {
+		t.Errorf("truncated LoadCString = %q, %v", s, err)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New()
+	m.Map(0x2000, 4)
+	m.StoreWord(0x2000, 1)
+	s := m.Snapshot()
+	m.StoreWord(0x2000, 2)
+	v, _ := s.LoadWord(0x2000)
+	if v != 1 {
+		t.Errorf("snapshot saw mutation: %d", v)
+	}
+	if s.Footprint() != m.Footprint() {
+		t.Error("snapshot footprint differs")
+	}
+}
+
+// TestPropertyWordRoundTrip: random aligned word writes read back exactly,
+// and byte-level views agree with little-endian layout.
+func TestPropertyWordRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		m.Map(0, 1<<16)
+		ref := make(map[uint32]uint32)
+		for i := 0; i < 500; i++ {
+			addr := uint32(rng.Intn(1<<14)) * 4
+			val := rng.Uint32()
+			if err := m.StoreWord(addr, val); err != nil {
+				return false
+			}
+			ref[addr] = val
+		}
+		for addr, want := range ref {
+			got, err := m.LoadWord(addr)
+			if err != nil || got != want {
+				return false
+			}
+			b0, _ := m.LoadByte(addr)
+			if b0 != byte(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageNumbers(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	m.Map(10*PageSize, PageSize)
+	ns := m.PageNumbers()
+	if len(ns) != 2 {
+		t.Fatalf("PageNumbers len = %d", len(ns))
+	}
+	seen := map[uint32]bool{}
+	for _, n := range ns {
+		seen[n] = true
+	}
+	if !seen[0] || !seen[10] {
+		t.Errorf("PageNumbers = %v", ns)
+	}
+}

@@ -1,0 +1,29 @@
+package mrl
+
+import "testing"
+
+// FuzzUnmarshal hardens the MRL wire format: no panics on arbitrary bytes,
+// and valid logs round-trip.
+func FuzzUnmarshal(f *testing.F) {
+	w := NewWriter(Header{PID: 1, TID: 2, CID: 3, Timestamp: 4}, 1<<20, 8)
+	for i := 0; i < 20; i++ {
+		w.Add(Entry{LocalIC: uint64(i), RemoteTID: uint32(i % 8), RemoteIC: uint64(i * 2)})
+	}
+	f.Add(w.Close().Marshal())
+	f.Add([]byte("BMRL"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := Unmarshal(l.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Header != l.Header || len(re.Entries) != len(l.Entries) {
+			t.Fatal("round trip differs")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package mrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterAndSizes(t *testing.T) {
+	w := NewWriter(Header{PID: 1, TID: 2, CID: 3, Timestamp: 99}, 10_000_000, 16)
+	w.Add(Entry{LocalIC: 100, RemoteTID: 1, RemoteCID: 3, RemoteIC: 55})
+	w.Add(Entry{LocalIC: 200, RemoteTID: 3, RemoteCID: 4, RemoteIC: 77})
+	log := w.Close()
+	if len(log.Entries) != 2 || w.Len() != 2 {
+		t.Fatalf("entries = %d", len(log.Entries))
+	}
+	// interval 10M -> 24-bit ICs; 16 threads -> 5 bits; +16 CID = 69 bits.
+	if got := log.EntryBits(); got != 2*24+5+16 {
+		t.Errorf("EntryBits = %d; want 69", got)
+	}
+	if log.SizeBytes() <= headerBytes {
+		t.Error("size accounting ignores entries")
+	}
+}
+
+func TestReducerDirectDuplicate(t *testing.T) {
+	r := NewReducer(4)
+	if !r.Observe(0, 10, 1, 5) {
+		t.Fatal("first edge must be logged")
+	}
+	if r.Observe(0, 12, 1, 5) {
+		t.Error("identical dependency re-logged")
+	}
+	if r.Observe(0, 13, 1, 3) {
+		t.Error("older dependency re-logged")
+	}
+	if !r.Observe(0, 14, 1, 9) {
+		t.Error("newer dependency suppressed")
+	}
+}
+
+func TestReducerTransitiveChain(t *testing.T) {
+	r := NewReducer(3)
+	// A@5 -> B (B at 10 observed A at 5)
+	if !r.Observe(1, 10, 0, 5) {
+		t.Fatal("edge A->B must log")
+	}
+	// B@10 -> C (C at 20 observed B at 10)
+	if !r.Observe(2, 20, 1, 10) {
+		t.Fatal("edge B->C must log")
+	}
+	// A@5 -> C is implied transitively: must NOT log.
+	if r.Observe(2, 21, 0, 5) {
+		t.Error("transitively implied edge was logged")
+	}
+	// A@6 -> C is NOT implied: must log.
+	if !r.Observe(2, 22, 0, 6) {
+		t.Error("non-implied edge suppressed")
+	}
+}
+
+func TestReducerSelfKnowledge(t *testing.T) {
+	r := NewReducer(2)
+	r.Observe(0, 100, 1, 50)
+	c := r.Clock(0)
+	if c[0] != 100 || c[1] != 50 {
+		t.Errorf("clock(0) = %v", c)
+	}
+}
+
+// TestPropertyReductionPreservesOrdering: feed a random edge stream through
+// the reducer; the happens-before relation reconstructed from ONLY the
+// logged edges must imply every edge in the full stream. This is the
+// correctness condition of Netzer's optimization: reduction may drop an
+// edge only if the remaining edges imply it.
+func TestPropertyReductionPreservesOrdering(t *testing.T) {
+	type edge struct {
+		l   int
+		lic uint64
+		r   int
+		ric uint64
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nThreads := 2 + rng.Intn(4)
+		ics := make([]uint64, nThreads) // per-thread progressing counters
+
+		red := NewReducer(nThreads)
+		var all, kept []edge
+
+		for i := 0; i < 300; i++ {
+			l := rng.Intn(nThreads)
+			r := rng.Intn(nThreads)
+			if l == r {
+				continue
+			}
+			// Local commits a few instructions, then synchronizes with the
+			// remote at its current count.
+			ics[l] += uint64(1 + rng.Intn(5))
+			e := edge{l: l, lic: ics[l], r: r, ric: ics[r]}
+			all = append(all, e)
+			if red.Observe(e.l, e.lic, e.r, e.ric) {
+				kept = append(kept, e)
+			}
+		}
+
+		// Replay the kept edges through an independent vector-clock
+		// machine, processing them in stream order, and verify each edge
+		// in `all` is implied at the time it occurred.
+		vc := make([][]uint64, nThreads)
+		for i := range vc {
+			vc[i] = make([]uint64, nThreads)
+		}
+		ki := 0
+		for _, e := range all {
+			// Apply any kept edges up to and including this position.
+			for ki < len(kept) && kept[ki] == e {
+				k := kept[ki]
+				vc[k.l][k.l] = k.lic
+				if vc[k.r][k.r] < k.ric {
+					vc[k.r][k.r] = k.ric
+				}
+				for u := 0; u < nThreads; u++ {
+					if vc[k.r][u] > vc[k.l][u] {
+						vc[k.l][u] = vc[k.r][u]
+					}
+				}
+				if vc[k.l][k.r] < k.ric {
+					vc[k.l][k.r] = k.ric
+				}
+				ki++
+				goto next
+			}
+			// Edge was dropped: it must already be implied.
+			if vc[e.l][e.r] < e.ric {
+				t.Logf("edge %+v not implied: clock %v", e, vc[e.l])
+				return false
+			}
+		next:
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	w := NewWriter(Header{PID: 9, TID: 1, CID: 77, Timestamp: 1234}, 1<<20, 8)
+	for i := 0; i < 100; i++ {
+		w.Add(Entry{LocalIC: uint64(i), RemoteTID: uint32(i % 8), RemoteCID: uint32(i / 8), RemoteIC: uint64(i * 3)})
+	}
+	log := w.Close()
+	got, err := Unmarshal(log.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Header != log.Header || got.IntervalLimit != log.IntervalLimit || got.MaxThreads != log.MaxThreads {
+		t.Error("header mismatch")
+	}
+	if len(got.Entries) != len(log.Entries) {
+		t.Fatalf("entry count = %d", len(got.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != log.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Unmarshal([]byte("BMRLxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Error("short garbage accepted")
+	}
+	w := NewWriter(Header{}, 100, 2)
+	w.Add(Entry{LocalIC: 1})
+	data := w.Close().Marshal()
+	if _, err := Unmarshal(data[:len(data)-4]); err == nil {
+		t.Error("truncated entries accepted")
+	}
+}

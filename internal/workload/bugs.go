@@ -1,0 +1,531 @@
+package workload
+
+import (
+	"bytes"
+
+	"bugnet/internal/kernel"
+)
+
+// The Table 1 analogues. Every source marks its root-cause instruction
+// with the label "root"; the window between the last dynamic instance of
+// that instruction and the crash is engineered to the paper's reported
+// window via a standard 6-instructions-per-iteration delay loop that
+// streams over a 4 KB scratch region — live memory traffic, so the
+// First-Load Log of the window grows with the window like the real
+// programs' logs do (Figure 2).
+
+// delayLoop emits the standard delay for the given iteration count.
+const delayLoop = `
+        la   s10, pad
+        li   s11, %d
+dly:    andi t0, s11, 1023
+        slli t0, t0, 2
+        add  t0, s10, t0
+        lw   t0, (t0)
+        addi s11, s11, -1
+        bnez s11, dly
+`
+
+// bcSource: bc-1.06, storage.c:176 — a loop bound taken from the wrong
+// variable writes one element past a heap array, corrupting the pointer
+// field of the adjacent heap object.
+const bcSource = `
+        .data
+pad:    .space 4096
+        .text
+main:   li   a0, 80
+        li   a7, 6              # sbrk: arr[16 words] + adjacent object
+        syscall
+        mv   s0, a0
+        addi s1, s0, 64         # heap object right after the array
+        la   t0, pad
+        sw   t0, (s1)           # obj.ptr = valid pointer
+        li   s2, 0
+        li   s3, 17             # BUG: bounds variable misused (v_count, not 16)
+fill:   slli t1, s2, 2
+        add  t1, s0, t1
+root:   sw   zero, (t1)         # i == 16 overwrites obj.ptr
+        addi s2, s2, 1
+        blt  s2, s3, fill
+` + delayLoop + `
+        lw   t2, (s1)           # load the corrupted (null) pointer
+crash:  lw   a0, (t2)
+`
+
+// gzipBugSource: gzip-1.2.4, gzip.c:1009 — strcpy of a 1024-byte-plus
+// filename into the global ifname buffer overruns into the adjacent
+// global output-name pointer.
+const gzipBugSource = `
+        .data
+stage:  .space 2048
+ifname: .space 1024
+ofptr:  .word pad               # adjacent global clobbered by the overflow
+pad:    .space 4096
+        .text
+main:   li   a0, 0
+        la   a1, stage
+        li   a2, 1040           # the 1024-byte-long attacker filename
+        li   a7, 3
+        syscall
+        la   s0, stage
+        la   s1, ifname
+copy:   lbu  t1, (s0)
+root:   sb   t1, (s1)           # BUG: unbounded strcpy
+        addi s0, s0, 1
+        addi s1, s1, 1
+        bnez t1, copy
+` + delayLoop + `
+        la   t2, ofptr
+        lw   t3, (t2)           # 0x41414141 now
+crash:  lw   a0, (t3)
+`
+
+// stackSmashSource is the shared shape of ncompress-4.2.4
+// (compress42.c:886), polymorph-0.4.0 (polymorph.c:193,200), gnuplot-3.7.1
+// (plot.c:622) and xv-3.10a (xvbmp.c:168): a copy loop with a wrong or
+// missing bound overruns a stack buffer and corrupts the saved return
+// address; the function does more work, then returns into garbage.
+// Parameters: input length, delay iterations.
+const stackSmashSource = `
+        .data
+stage:  .space 4096
+pad:    .space 4096
+        .text
+main:   li   a0, 0
+        la   a1, stage
+        li   a2, %d             # over-long input
+        li   a7, 3
+        syscall
+        call comp
+        li   a7, 1
+        syscall                 # never reached
+comp:   addi sp, sp, -4096      # frame holds locals + the name buffer
+        sw   ra, 76(sp)         # saved return address above the buffer
+        mv   t2, sp             # 64-byte name buffer lives at sp
+        la   t3, stage
+ccopy:  lbu  t4, (t3)
+root:   sb   t4, (t2)           # BUG: no bound check; smashes 76(sp)
+        addi t3, t3, 1
+        addi t2, t2, 1
+        bnez t4, ccopy
+` + delayLoop + `
+        lw   ra, 76(sp)         # corrupted: 0x41414141
+        addi sp, sp, 4096
+crash:  ret                     # crash: fetch from garbage
+`
+
+// tarSource: tar-1.13.25, prepargs.c:92 — a loop bound is computed
+// incorrectly, overflowing a heap array into the adjacent argument
+// descriptor whose corrupted pointer is then walked.
+const tarSource = `
+        .data
+pad:    .space 4096
+        .text
+main:   li   a0, 256
+        li   a7, 6              # arr[32 words] + descriptor {count, base}
+        syscall
+        mv   s0, a0
+        addi s1, s0, 128
+        li   t0, 8
+        sw   t0, (s1)           # desc.count = 8
+        sw   s0, 4(s1)          # desc.base = arr
+        li   s2, 0
+        li   s3, 40             # BUG: incorrect loop bound (should be 32)
+tfill:  slli t1, s2, 2
+        add  t1, s0, t1
+root:   sw   s2, (t1)           # i==33 turns desc.base into the integer 33
+        addi s2, s2, 1
+        blt  s2, s3, tfill
+` + delayLoop + `
+        lw   t2, 4(s1)          # corrupted base pointer
+crash:  lw   a0, (t2)           # misaligned/unmapped walk
+`
+
+// ghostscriptSource: ghostscript-8.12, ttinterp.c:5108 / ttobjs.c:279 — a
+// dangling pointer to a freed-and-reused object corrupts the new tenant;
+// the damage surfaces 18 million instructions later.
+const ghostscriptSource = `
+        .data
+pad:    .space 4096
+        .text
+main:   li   a0, 64
+        li   a7, 6
+        syscall
+        mv   s0, a0             # object A
+        mv   s2, s0             # stale copy of the pointer
+        la   t0, pad
+        sw   t0, (s0)
+        # A is freed; the allocator reuses the storage for object B
+        la   t1, pad
+        sw   t1, (s0)           # B.ptr (valid)
+root:   sw   zero, (s2)         # BUG: write through dangling pointer to A
+` + delayLoop + `
+        lw   t2, (s0)           # B.ptr is now null
+crash:  lw   a0, (t2)
+`
+
+// gnuplotNullSource: gnuplot-3.7.1, pslatex.trm:189 — an output file name
+// is only set on one input path; the other path leaves it null and the
+// driver dereferences it.
+const gnuplotNullSource = `
+        .data
+stage:  .space 8
+fname:  .word 0                 # never set on this path
+pad:    .space 4096
+        .text
+main:   li   a0, 0
+        la   a1, stage
+        li   a2, 4
+        li   a7, 3
+        syscall
+        la   t0, stage
+        lbu  t1, (t0)
+        li   t2, 115            # 's': the only path that sets fname
+root:   bne  t1, t2, skip      # BUG: no default file name
+        la   t3, fname
+        la   t4, pad
+        sw   t4, (t3)
+skip:
+` + delayLoop + `
+        la   t3, fname
+        lw   t5, (t3)           # null
+crash:  sw   a0, (t5)
+`
+
+// tidyNullSource: tidy r34132, istack.c:31 — popping an empty inline
+// stack yields a null node pointer that is dereferenced much later.
+const tidyNullSource = `
+        .data
+stk:    .word 0                 # empty stack head
+pad:    .space 4096
+        .text
+main:   la   t0, stk
+root:   lw   s0, (t0)           # BUG: pop without emptiness check
+` + delayLoop + `
+crash:  lw   a0, 4(s0)          # node->field with node == null
+`
+
+// tidyCorruptSource: tidy parser.c:3505 and the second parser.c defect —
+// a store through a wrong pointer clobbers a live global pointer; the
+// crash follows almost immediately (windows 13 and 59). Parameter: nop
+// padding count.
+const tidyCorruptSource = `
+        .data
+q:      .word pad
+pad:    .space 4096
+        .text
+main:   la   s0, q
+        li   t1, 1
+root:   sw   t1, (s0)           # BUG: wrong destination pointer
+%s
+        lw   t2, (s0)           # q == 1 now
+crash:  lw   a0, (t2)           # dereference the clobbered pointer
+`
+
+// xvNameSource: xv-3.10a, xvbrowse.c:956 / xvdir.c:1200 — a long file
+// name overflows a global name buffer, corrupting a pointer used during
+// directory redisplay 7.5 million instructions later.
+const xvNameSource = `
+        .data
+stage:  .space 2048
+nameb:  .space 512
+entptr: .word pad
+pad:    .space 4096
+        .text
+main:   li   a0, 0
+        la   a1, stage
+        li   a2, 540
+        li   a7, 3
+        syscall
+        la   s0, stage
+        la   s1, nameb
+ncopy:  lbu  t1, (s0)
+root:   sb   t1, (s1)           # BUG: no length check on file name
+        addi s0, s0, 1
+        addi s1, s1, 1
+        bnez t1, ncopy
+` + delayLoop + `
+        la   t2, entptr
+        lw   t3, (t2)
+crash:  lw   a0, (t3)
+`
+
+// gaimSource (multithreaded): gaim-0.82.1, gtkdialogs.c:759..901 — one
+// thread removes every buddy from the shared list while the UI thread
+// still walks it; the walk dereferences the removed head.
+const gaimSource = `
+        .data
+n1:     .word n2, 1
+n2:     .word n3, 2
+n3:     .word 0, 3
+head:   .word n1
+done:   .word 0
+pad:    .space 4096
+        .text
+main:   la   a0, worker
+        li   a7, 8              # spawn the remove operation
+        syscall
+        la   t0, done
+gwait:  lw   t1, (t0)
+        beqz t1, gwait
+` + delayLoop + `
+        la   t0, head
+        lw   t2, (t0)           # list head is null now
+crash:  lw   a0, 4(t2)
+
+worker: la   t0, head
+root:   sw   zero, (t0)         # BUG: remove leaves concurrent walkers dangling
+        la   t1, done
+        li   t2, 1
+        sw   t2, (t1)
+        li   a0, 0
+        li   a7, 1
+        syscall
+`
+
+// napsterSource (multithreaded): napster-1.5.2, nap.c:1391 — a terminal
+// resize in one thread reallocates the screen buffer; the main thread
+// writes through its stale pointer, corrupting the new buffer's control
+// block.
+const napsterSource = `
+        .data
+bufptr: .word oldb
+oldb:   .word pad, 0            # {ctl, data}
+newb:   .word pad, 0
+done:   .word 0
+pad:    .space 4096
+        .text
+main:   la   a0, resize
+        li   a7, 8
+        syscall
+        la   t0, done
+nwait:  lw   t1, (t0)
+        beqz t1, nwait
+        # main still holds the old pointer it cached before the resize
+        la   t2, oldb
+root:   sw   zero, (t2)         # BUG: write through stale buffer pointer
+        # ... except the resize made bufptr alias oldb's storage tenant
+` + delayLoop + `
+        la   t3, bufptr
+        lw   t4, (t3)
+        lw   t5, (t4)           # ctl pointer was zeroed by the stale write
+crash:  lw   a0, (t5)
+
+resize: la   t0, bufptr
+        la   t1, oldb           # reallocation reuses the old storage
+        sw   t1, (t0)
+        la   t2, done
+        li   t3, 1
+        sw   t3, (t2)
+        li   a0, 0
+        li   a7, 1
+        syscall
+`
+
+// pythonOverflowSource (multithreaded): python-2.1.1, audioop.c:939,966 —
+// a size computation overflows 32 bits, defeating the bounds check; the
+// store lands on the adjacent object pointer.
+const pythonOverflowSource = `
+        .data
+pad:    .space 4096
+        .text
+main:   la   a0, worker
+        li   a7, 8
+        syscall
+        li   a0, 8
+        li   a7, 6              # obj: {data, ptr}
+        syscall
+        mv   s0, a0
+        la   t0, pad
+        sw   t0, 4(s0)          # obj.ptr valid
+        li   t0, 0x40000001     # attacker-controlled count
+        slli t1, t0, 2          # *4 overflows to 4
+        li   t2, 8
+        bge  t1, t2, safe       # BUG: check passes because of the overflow
+        add  t3, s0, t1
+root:   sw   zero, (t3)         # lands on obj.ptr
+safe:
+%s
+        lw   t4, 4(s0)
+crash:  lw   a0, (t4)
+
+worker: li   a0, 0
+        li   a7, 1
+        syscall
+`
+
+// pythonNullSource (multithreaded): python-2.1.1, sysmodule.c:76 — a
+// module-table slot that was never initialized is dereferenced.
+const pythonNullSource = `
+        .data
+modtab: .word pad, pad, 0, pad  # slot 2 never initialized
+pad:    .space 4096
+        .text
+main:   la   a0, worker
+        li   a7, 8
+        syscall
+        la   t0, modtab
+root:   lw   s0, 8(t0)          # BUG: fetches the null slot unchecked
+` + delayLoop + `
+crash:  lw   a0, (s0)
+
+worker: li   a0, 0
+        li   a7, 1
+        syscall
+`
+
+// w3mSource (multithreaded): w3m-0.3.2.2, istream.c:445 — an obsolete
+// stream-handler slot holds a null function pointer that is eventually
+// called.
+const w3mSource = `
+        .data
+handlers: .word h0, h1, 0, h3   # slot 2: obsolete handler, now null
+pad:    .space 4096
+        .text
+main:   la   a0, worker
+        li   a7, 8
+        syscall
+        la   t0, handlers
+root:   lw   s0, 8(t0)          # BUG: selects the obsolete handler
+` + delayLoop + `
+crash:  jalr ra, s0, 0          # call through null function pointer
+
+h0:     ret
+h1:     ret
+h3:     ret
+worker: li   a0, 0
+        li   a7, 1
+        syscall
+`
+
+// nops returns n "nop\n" lines for the short-window corruption bugs.
+func nops(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		b.WriteString("        nop\n")
+	}
+	return b.String()
+}
+
+// longName returns an input blob of n 'A' bytes plus a terminator.
+func longName(n int) []byte {
+	b := bytes.Repeat([]byte{'A'}, n)
+	return append(b, 0)
+}
+
+// Bugs builds the eighteen Table 1 analogues with windows scaled by the
+// given factor (scale 1 targets the paper's absolute window sizes).
+func Bugs(scale int) []*BugApp {
+	mk := func(name, desc, loc string, paperWindow uint64, mt bool, src string, kcfg kernel.Config, args ...any) *BugApp {
+		img := mustBuild(name, src, args...)
+		if mt && kcfg.Cores < 2 {
+			kcfg.Cores = 2
+		}
+		return &BugApp{
+			Workload: Workload{
+				Name:        name,
+				Description: desc,
+				Image:       img,
+				Kernel:      kcfg,
+			},
+			PaperLocation: loc,
+			PaperWindow:   paperWindow,
+			RootLabel:     "root",
+			Multithreaded: mt,
+		}
+	}
+	d := func(paper uint64) uint64 { return delayIters(scaledWindow(paper, scale)) }
+	// Multithreaded delays halve: two runnable threads double the global
+	// step distance covered per delay iteration only while both run; the
+	// workers here exit immediately, so no correction is needed.
+	return []*BugApp{
+		mk("bc", "Misuse of bounds variable corrupts heap objects",
+			"storage.c line 176", 591, false, bcSource, kernel.Config{}, d(591)),
+		mk("gzip", "1024 byte long input filename overflows global variable",
+			"gzip.c line 1009", 32209, false, gzipBugSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(1039)}}, d(32209)),
+		mk("ncompress", "1024 byte long input filename corrupts stack return address",
+			"compress42.c line 886", 17966, false, stackSmashSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(1099)}}, 1100, d(17966)),
+		mk("polymorph", "2048 byte long input filename corrupts stack return address",
+			"polymorph.c lines 193, 200", 6208, false, stackSmashSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(2047)}}, 2048, d(6208)),
+		mk("tar", "Incorrect loop bounds leads to heap object overflow",
+			"prepargs.c line 92", 6634, false, tarSource, kernel.Config{}, d(6634)),
+		mk("ghostscript", "A dangling pointer results in a memory corruption",
+			"ttinterp.c line 5108, ttobjs.c line 279", 18030519, false,
+			ghostscriptSource, kernel.Config{}, d(18030519)),
+		mk("gnuplot-1", "Null pointer dereference due to not setting a file name",
+			"pslatex.trm line 189", 782, false, gnuplotNullSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": []byte("q\n\x00\x00")}}, d(782)),
+		mk("gnuplot-2", "A buffer overflow corrupts the stack return address",
+			"plot.c line 622", 131751, false, stackSmashSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(199)}}, 200, d(131751)),
+		mk("tidy-1", "Null pointer dereference",
+			"istack.c at line 31", 2537326, false, tidyNullSource, kernel.Config{}, d(2537326)),
+		mk("tidy-2", "Memory corruption",
+			"parser.c at line 3505", 13, false, tidyCorruptSource, kernel.Config{}, nops(10)),
+		mk("tidy-3", "Memory corruption",
+			"parser.c", 59, false, tidyCorruptSource, kernel.Config{}, nops(56)),
+		mk("xv-1", "Incorrect bound checking leads to stack buffer overflow",
+			"xvbmp.c line 168", 44557, false, stackSmashSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(299)}}, 300, d(44557)),
+		mk("xv-2", "A long file name results in a buffer overflow",
+			"xvbrowse.c line 956, xvdir.c line 1200", 7543600, false, xvNameSource,
+			kernel.Config{Inputs: map[string][]byte{"stdin": longName(539)}}, d(7543600)),
+		mk("gaim", "Buddy list remove operations causes null pointer dereference",
+			"gtkdialogs.c line 759, 820, 862, 901", 74590, true, gaimSource,
+			kernel.Config{}, d(74590)),
+		mk("napster", "Dangling pointer corrupts memory when resizing terminal",
+			"nap.c line 1391", 189391, true, napsterSource, kernel.Config{}, d(189391)),
+		mk("python-1", "Arithmetic computation results in buffer overflow",
+			"audioop.c line 939, line 966", 92, true, pythonOverflowSource,
+			kernel.Config{}, nops(85)),
+		mk("python-2", "A null pointer dereference leads to a crash",
+			"sysmodule.c line 76", 941, true, pythonNullSource, kernel.Config{}, d(941)),
+		mk("w3m", "Null (obsolete) function pointer dereference causes a crash",
+			"istream.c line 445", 79309, true, w3mSource, kernel.Config{}, d(79309)),
+	}
+}
+
+// BugByName returns the named bug analogue at the given scale, or nil.
+func BugByName(name string, scale int) *BugApp {
+	for _, b := range Bugs(scale) {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// MeasureWindow runs the bug to its crash and returns the dynamic distance
+// in machine steps between the last execution of the root-cause
+// instruction and the crash — the paper's Table 1 "window size".
+func (b *BugApp) MeasureWindow(maxSteps uint64) (window uint64, crashed bool) {
+	watch := &rootWatch{root: b.RootPC()}
+	m := b.Machine(maxSteps, watch)
+	watch.m = m
+	res := m.Run()
+	if res.Crash == nil {
+		return 0, false
+	}
+	return res.Steps - watch.lastStep, true
+}
+
+// rootWatch records the machine step of the most recent execution of the
+// root PC on any thread.
+type rootWatch struct {
+	kernel.NopHooks
+	m        *kernel.Machine
+	root     uint32
+	lastStep uint64
+}
+
+func (w *rootWatch) OnThreadStart(tid int) {
+	c := w.m.Threads[tid].CPU
+	c.OnFetch = func(pc uint32) {
+		if pc == w.root {
+			w.lastStep = w.m.Now()
+		}
+	}
+}

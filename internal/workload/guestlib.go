@@ -1,0 +1,126 @@
+package workload
+
+// GuestLib is a small runtime library in guest assembly — the shared
+// library code the paper's replay scope explicitly includes ("BugNet
+// focuses on deterministically replaying the instructions executed in
+// user code and shared libraries"). Programs append it to their source
+// and call the routines with the standard convention (args a0..a2,
+// result a0, ra-based return; t-registers clobbered).
+//
+// Routines:
+//
+//	strlen(a0 s) -> a0
+//	strcpy(a0 dst, a1 src) -> a0 dst        (unbounded, like the real one)
+//	strncpy(a0 dst, a1 src, a2 n) -> a0
+//	memcpy(a0 dst, a1 src, a2 n) -> a0
+//	memset(a0 dst, a1 byte, a2 n) -> a0
+//	strcmp(a0 a, a1 b) -> a0 (<0, 0, >0)
+//	malloc(a0 n) -> a0 ptr or 0             (first-fit free list over sbrk)
+//	free(a0 ptr)
+//
+// The allocator keeps a singly linked free list of {size, next} headers —
+// small, deterministic, and enough to host the heap bug classes of
+// Table 1 realistically.
+const GuestLib = `
+# ---- guest runtime library ----
+        .data
+        .align 2
+__freelist: .word 0            # head of the free list
+
+        .text
+strlen: mv   t0, a0
+__sl1:  lbu  t1, (t0)
+        beqz t1, __sl2
+        addi t0, t0, 1
+        j    __sl1
+__sl2:  sub  a0, t0, a0
+        ret
+
+strcpy: mv   t0, a0
+__sc1:  lbu  t1, (a1)
+        sb   t1, (t0)
+        addi a1, a1, 1
+        addi t0, t0, 1
+        bnez t1, __sc1
+        ret
+
+strncpy:
+        mv   t0, a0
+__sn1:  beqz a2, __sn3
+        lbu  t1, (a1)
+        sb   t1, (t0)
+        addi t0, t0, 1
+        addi a2, a2, -1
+        beqz t1, __sn3
+        addi a1, a1, 1
+        j    __sn1
+__sn3:  ret
+
+memcpy: mv   t0, a0
+__mc1:  beqz a2, __mc2
+        lbu  t1, (a1)
+        sb   t1, (t0)
+        addi t0, t0, 1
+        addi a1, a1, 1
+        addi a2, a2, -1
+        j    __mc1
+__mc2:  ret
+
+memset: mv   t0, a0
+__ms1:  beqz a2, __ms2
+        sb   a1, (t0)
+        addi t0, t0, 1
+        addi a2, a2, -1
+        j    __ms1
+__ms2:  ret
+
+strcmp:
+__cm1:  lbu  t0, (a0)
+        lbu  t1, (a1)
+        bne  t0, t1, __cm2
+        beqz t0, __cm3
+        addi a0, a0, 1
+        addi a1, a1, 1
+        j    __cm1
+__cm2:  sub  a0, t0, t1
+        ret
+__cm3:  li   a0, 0
+        ret
+
+# malloc: first-fit over the free list, else sbrk. Blocks carry an 8-byte
+# header {size, next}; the returned pointer skips the header.
+malloc: addi a0, a0, 11        # round up to 8 and add header
+        andi a0, a0, -8
+        mv   t0, a0            # want = aligned(n) + 8
+        la   t1, __freelist
+__ml1:  lw   t2, (t1)          # candidate block
+        beqz t2, __ml3
+        lw   t3, (t2)          # candidate size
+        bge  t3, t0, __ml2     # fits: unlink and return
+        addi t1, t2, 4         # advance through ->next
+        j    __ml1
+__ml2:  lw   t4, 4(t2)         # next
+        sw   t4, (t1)          # unlink
+        addi a0, t2, 8
+        ret
+__ml3:  mv   t5, t0            # sbrk path
+        mv   a0, t5
+        li   a7, 6
+        syscall
+        beqz a0, __ml4
+        sw   t5, (a0)          # header.size = want
+        sw   zero, 4(a0)
+        addi a0, a0, 8
+        ret
+__ml4:  li   a0, 0
+        ret
+
+free:   beqz a0, __fr1
+        addi a0, a0, -8        # back to the header
+        la   t1, __freelist
+        lw   t2, (t1)
+        sw   t2, 4(a0)         # block.next = old head
+        sw   a0, (t1)          # head = block
+__fr1:  ret
+# ---- end guest runtime library ----
+`

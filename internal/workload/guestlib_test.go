@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+	"bugnet/internal/isa"
+	"bugnet/internal/kernel"
+)
+
+// runLib assembles a test harness that uses GuestLib and returns the exit
+// code.
+func runLib(t *testing.T, body string) int32 {
+	t.Helper()
+	img, err := asm.Assemble("lib.s", body+GuestLib)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := kernel.New(img, kernel.Config{MaxSteps: 1_000_000}, nil)
+	res := m.Run()
+	if res.Crash != nil {
+		t.Fatalf("crash: %v", res.Crash)
+	}
+	return res.ExitCode
+}
+
+func TestGuestStrlen(t *testing.T) {
+	if got := runLib(t, `
+        .data
+s:      .asciiz "hello, guest"
+        .text
+main:   la   a0, s
+        call strlen
+        li   a7, 1
+        syscall
+`); got != 12 {
+		t.Errorf("strlen = %d; want 12", got)
+	}
+}
+
+func TestGuestStrcpyAndCmp(t *testing.T) {
+	if got := runLib(t, `
+        .data
+src:    .asciiz "replay"
+dst:    .space 16
+        .text
+main:   la   a0, dst
+        la   a1, src
+        call strcpy
+        la   a0, dst
+        la   a1, src
+        call strcmp          # equal -> 0
+        li   a7, 1
+        syscall
+`); got != 0 {
+		t.Errorf("strcmp after strcpy = %d; want 0", got)
+	}
+}
+
+func TestGuestStrncpyBounds(t *testing.T) {
+	// strncpy with n=3 copies exactly 3 bytes, no terminator beyond.
+	if got := runLib(t, `
+        .data
+src:    .asciiz "abcdef"
+dst:    .space 8
+        .text
+main:   la   a0, dst
+        la   a1, src
+        li   a2, 3
+        call strncpy
+        la   t0, dst
+        lbu  t1, 2(t0)       # 'c'
+        lbu  t2, 3(t0)       # untouched: 0
+        slli t2, t2, 8
+        or   a0, t1, t2
+        li   a7, 1
+        syscall
+`); got != 'c' {
+		t.Errorf("strncpy result = %#x; want 'c'", got)
+	}
+}
+
+func TestGuestMemcpyMemset(t *testing.T) {
+	if got := runLib(t, `
+        .data
+a:      .word 0x01020304, 0x05060708
+b:      .space 8
+        .text
+main:   la   a0, b
+        la   a1, a
+        li   a2, 8
+        call memcpy
+        la   a0, b
+        li   a1, 0xAB
+        li   a2, 2           # overwrite first 2 bytes
+        call memset
+        la   t0, b
+        lw   a0, (t0)        # 0x0102ABAB
+        srli a0, a0, 16      # 0x0102
+        li   a7, 1
+        syscall
+`); got != 0x0102 {
+		t.Errorf("memcpy+memset = %#x; want 0x0102", got)
+	}
+}
+
+func TestGuestMallocFreeReuse(t *testing.T) {
+	// malloc, free, malloc again: the freed block must be reused (the
+	// dangling-pointer bug class depends on exactly this).
+	if got := runLib(t, `
+main:   li   a0, 24
+        call malloc
+        mv   s0, a0          # first block
+        beqz s0, fail
+        mv   a0, s0
+        call free
+        li   a0, 24
+        call malloc          # must reuse the freed block
+        beq  a0, s0, same
+fail:   li   a0, 1
+        li   a7, 1
+        syscall
+same:   li   a0, 0
+        li   a7, 1
+        syscall
+`); got != 0 {
+		t.Errorf("allocator reuse failed: exit %d", got)
+	}
+}
+
+func TestGuestMallocDistinctBlocks(t *testing.T) {
+	if got := runLib(t, `
+main:   li   a0, 16
+        call malloc
+        mv   s0, a0
+        li   a0, 16
+        call malloc
+        beq  a0, s0, bad     # two live blocks must differ
+        sw   s0, (a0)        # and both must be writable
+        sw   a0, (s0)
+        li   a0, 0
+        li   a7, 1
+        syscall
+bad:    li   a0, 1
+        li   a7, 1
+        syscall
+`); got != 0 {
+		t.Errorf("distinct allocation failed: exit %d", got)
+	}
+}
+
+// TestGuestLibRecordsAndReplays runs a library-heavy program under the
+// recorder and replays it — shared-library code is exactly what the paper
+// promises to replay.
+func TestGuestLibRecordsAndReplays(t *testing.T) {
+	img, err := asm.Assemble("librr.s", `
+        .data
+text:   .asciiz "the quick brown fox jumps over the lazy dog"
+        .text
+main:   li   s2, 10
+loop:   la   a0, text
+        call strlen
+        mv   s0, a0          # 44
+        addi a0, s0, 1
+        call malloc
+        mv   s1, a0
+        mv   a0, s1
+        la   a1, text
+        call strcpy
+        mv   a0, s1
+        call strlen
+        bne  a0, s0, bad
+        mv   a0, s1
+        call free
+        addi s2, s2, -1
+        bnez s2, loop
+        li   a0, 0
+        li   a7, 1
+        syscall
+bad:    break
+`+GuestLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, rec := core.Record(img, kernel.Config{MaxSteps: 1_000_000},
+		core.Config{IntervalLength: 500, TraceDepth: 1 << 18})
+	if res.Crash != nil {
+		t.Fatalf("crash: %v", res.Crash)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	if err := core.VerifyReplay(img, rec); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	rr, err := core.NewReplayer(img, rep.FLLs[0]).Run()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rr.Final.Regs[isa.RegA0] != 0 {
+		t.Errorf("replayed exit state a0 = %d", rr.Final.Regs[isa.RegA0])
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"testing"
+
+	"bugnet/internal/core"
+)
+
+// TestMTBugsMultiReplay records each multithreaded Table 1 analogue and
+// reconstructs the full multithreaded execution from the logs: every
+// thread replays completely, the crashing thread reproduces its fault,
+// and the MRL constraints order the interleaving without deadlock.
+func TestMTBugsMultiReplay(t *testing.T) {
+	const scale = 100
+	for _, b := range Bugs(scale) {
+		if !b.Multithreaded {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			kcfg := b.Kernel
+			kcfg.MaxSteps = 10_000_000
+			res, rep, _ := core.Record(b.Image, kcfg, core.Config{IntervalLength: 50_000})
+			if res.Crash == nil {
+				t.Fatalf("%s did not crash", b.Name)
+			}
+			mr := core.NewMultiReplayer(b.Image, rep)
+			out, err := mr.Run()
+			if err != nil {
+				t.Fatalf("multi replay: %v", err)
+			}
+			crash := out.Threads[res.Crash.TID]
+			if crash == nil {
+				t.Fatal("no replay result for the crashing thread")
+			}
+			if crash.Fault == nil || crash.Fault.PC != res.Crash.Fault.PC {
+				t.Errorf("replayed fault = %+v; recorded pc %#x", crash.Fault, res.Crash.Fault.PC)
+			}
+			var total uint64
+			for _, tr := range out.Threads {
+				total += tr.Instructions
+			}
+			if total == 0 {
+				t.Fatal("nothing replayed")
+			}
+		})
+	}
+}

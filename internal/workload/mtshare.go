@@ -1,0 +1,67 @@
+package workload
+
+import "bugnet/internal/kernel"
+
+// mtShareSource: a steady-state multithreaded workload for the Memory Race
+// Log experiments. Two threads update a shared array under a spinlock and
+// also stream over private regions, producing a realistic mix of
+// coherence traffic (lock handoffs, shared-line invalidations) and
+// thread-local accesses.
+const mtShareSource = `
+        .data
+lck:    .word 0
+shared: .space 4096
+priv0:  .space 8192
+priv1:  .space 8192
+        .text
+main:   la   a0, work
+        li   a7, 8              # second worker on core 1
+        syscall
+        j    work
+
+work:   li   a7, 11             # thread id selects the private region
+        syscall
+        la   s3, priv0
+        beqz a0, mine
+        la   s3, priv1
+mine:   li   s4, 0              # private cursor
+        li   s5, 0              # shared cursor
+
+wloop:  # update 8 private words
+        li   t2, 8
+pl:     andi t3, s4, 2047
+        slli t3, t3, 2
+        add  t3, s3, t3
+        lw   t4, (t3)
+        addi t4, t4, 1
+        sw   t4, (t3)
+        addi s4, s4, 1
+        addi t2, t2, -1
+        bnez t2, pl
+        # one locked shared update
+        la   t0, lck
+        li   t1, 1
+acq:    amoswap t5, t1, (t0)
+        bnez t5, acq
+        la   t6, shared
+        andi t3, s5, 1023
+        slli t3, t3, 2
+        add  t3, t6, t3
+        lw   t4, (t3)
+        addi t4, t4, 1
+        sw   t4, (t3)
+        addi s5, s5, 1
+        sw   zero, (t0)         # release
+        j    wloop
+`
+
+// MTShare returns the shared-memory multithreaded workload (2 cores).
+func MTShare() *Workload {
+	return &Workload{
+		Name:        "mtshare",
+		Description: "two threads mixing locked shared updates with private streaming",
+		Image:       mustBuild("mtshare", mtShareSource),
+		Kernel:      kernel.Config{Cores: 2},
+		Warmup:      2_000,
+	}
+}

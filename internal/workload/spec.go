@@ -1,0 +1,410 @@
+package workload
+
+// The seven SPEC 2000 analogues (paper §6.1: art, bzip2, crafty, gzip,
+// mcf, parser, vpr). Every kernel initializes its working set, then loops
+// forever; experiments cut windows out of the steady state with the
+// machine step budget. All randomness is a guest-side xorshift32, so runs
+// are bit-deterministic.
+
+// xorshift is the inline PRNG update on s1, clobbering t0.
+const xorshift = `
+        slli t0, s1, 13
+        xor  s1, s1, t0
+        srli t0, s1, 17
+        xor  s1, s1, t0
+        slli t0, s1, 5
+        xor  s1, s1, t0
+`
+
+// artSource: streaming neural-net evaluation — two large weight arrays
+// scanned with multiply-accumulate, like art's F1 layer scans.
+const artSource = `
+        .data
+        .align 4
+w1:     .space 131072
+w2:     .space 131072
+        .text
+main:   li   s1, 0x2545F491
+        la   s2, w1
+        li   s3, 65536          # words across both arrays (contiguous)
+        li   s8, 300            # quantized weight alphabet (like fixed-point nets)
+init:   ` + xorshift + `
+        remu t1, s1, s8
+        sw   t1, (s2)
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, init
+
+loop:   la   s2, w1
+        la   s4, w2
+        li   s3, 32768
+        li   s5, 0
+scan:   lw   t1, (s2)
+        lw   t2, (s4)
+        mul  t3, t1, t2
+        add  s5, s5, t3
+        addi s2, s2, 4
+        addi s4, s4, 4
+        addi s3, s3, -1
+        bnez s3, scan
+        j    loop
+`
+
+// bzip2Source: block transform — histogram a 64 KB symbol buffer, then
+// scatter it into a second buffer by bucket, like the Burrows-Wheeler
+// bucket sorts.
+const bzip2Source = `
+        .data
+        .align 4
+blk:    .space 65536
+out:    .space 65536
+cnt:    .space 1024             # 256 word counters
+        .text
+main:   li   s1, 0x1B0CADE5
+        la   s2, blk
+        li   s3, 65536
+init:   ` + xorshift + `
+        andi t1, s1, 255
+        sb   t1, (s2)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, init
+
+loop:   # zero counters
+        la   s2, cnt
+        li   s3, 256
+zc:     sw   zero, (s2)
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, zc
+        # histogram
+        la   s2, blk
+        li   s3, 65536
+        la   s4, cnt
+hist:   lbu  t1, (s2)
+        slli t1, t1, 2
+        add  t1, s4, t1
+        lw   t2, (t1)
+        addi t2, t2, 1
+        sw   t2, (t1)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, hist
+        # prefix sums
+        la   s2, cnt
+        li   s3, 256
+        li   t3, 0
+pfx:    lw   t2, (s2)
+        sw   t3, (s2)
+        add  t3, t3, t2
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, pfx
+        # scatter by bucket
+        la   s2, blk
+        li   s3, 65536
+        la   s4, cnt
+        la   s5, out
+scat:   lbu  t1, (s2)
+        slli t2, t1, 2
+        add  t2, s4, t2
+        lw   t4, (t2)           # out position
+        addi t5, t4, 1
+        sw   t5, (t2)
+        add  t4, s5, t4
+        sb   t1, (t4)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, scat
+        j    loop
+`
+
+// craftySource: bit-board search — random table probes mixed with bit
+// twiddling and an incremental Zobrist-style hash, like crafty's
+// move-generation table lookups.
+const craftySource = `
+        .data
+        .align 4
+tbl:    .space 65536            # 16K words
+        .text
+main:   li   s1, 0x9E3779B9
+        la   s2, tbl
+        li   s3, 16384
+        li   s8, 1000           # score-table alphabet (bounded evaluations)
+init:   ` + xorshift + `
+        remu t1, s1, s8
+        sw   t1, (s2)
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, init
+        li   s6, 0x01000193     # FNV-ish multiplier (odd)
+
+loop:   la   s2, tbl
+        li   s3, 16384
+        li   s4, 0x12345678     # running hash
+probe:  srli t1, s4, 8
+        andi t1, t1, 16383
+        slli t1, t1, 2
+        add  t1, s2, t1
+        lw   t2, (t1)           # table probe
+        xor  s4, s4, t2
+        mul  s4, s4, s6
+        # popcount-ish: fold low bits
+        andi t3, t2, 255
+        add  s5, s5, t3
+        addi s3, s3, -1
+        bnez s3, probe
+        j    loop
+`
+
+// gzipSource: windowed compression — a hash-head table over a sliding
+// 32 KB window, with match probing and literal emission, like deflate's
+// longest-match search.
+const gzipSource = `
+        .data
+        .align 4
+win:    .space 32768
+heads:  .space 16384            # 4K word hash heads
+outb:   .space 32768
+        .text
+main:   li   s1, 0x8BADF00D
+        la   s2, win
+        li   s3, 32768
+init:   ` + xorshift + `
+        andi t1, s1, 63         # skewed byte alphabet
+        addi t1, t1, 32
+        sb   t1, (s2)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, init
+
+loop:   la   s2, win
+        la   s4, heads
+        la   s5, outb
+        li   s3, 32760          # positions
+        li   s7, 0              # pos
+deflt:  add  t1, s2, s7
+        lbu  t2, (t1)
+        lbu  t3, 1(t1)
+        lbu  t4, 2(t1)
+        slli t3, t3, 6
+        slli t4, t4, 12
+        xor  t2, t2, t3
+        xor  t2, t2, t4
+        andi t2, t2, 4095       # hash
+        slli t2, t2, 2
+        add  t2, s4, t2
+        lw   t5, (t2)           # candidate pos
+        sw   s7, (t2)           # update head
+        # compare candidate word with current word (aligned probes)
+        add  s8, s2, t5
+        andi s8, s8, -4
+        lw   s8, (s8)
+        add  s9, s2, s7
+        andi s10, s9, -4
+        lw   s10, (s10)
+        bne  s8, s10, lit
+        # "match": emit marker
+        andi t4, s7, 32760
+        srli t4, t4, 3
+        add  t4, s5, t4
+        sb   t5, (t4)
+        j    nextp
+lit:    andi t4, s7, 32760
+        srli t4, t4, 3
+        add  t4, s5, t4
+        lbu  t6, (s9)
+        sb   t6, (t4)
+nextp:  addi s7, s7, 1
+        addi s3, s3, -1
+        bnez s3, deflt
+        j    loop
+`
+
+// mcfSource: network-simplex pointer chasing — a 1 MB node pool threaded
+// into a pseudo-random permutation, traversed with dependent loads and
+// occasional flow updates, like mcf's arc walking.
+const mcfSource = `
+        .equ NODES, 65536       # 16-byte nodes -> 1 MB
+        .data
+        .align 4
+pool:   .space 1048576
+        .text
+main:   # next[i] = (i*40503+77) mod NODES, an odd-multiplier permutation
+        la   s2, pool
+        li   s3, 0              # i
+        li   s4, NODES
+        li   s5, 40503
+perm:   mul  t1, s3, s5
+        addi t1, t1, 77
+        li   t4, 65535
+        and  t1, t1, t4         # mod NODES
+        slli t2, t1, 4          # *16
+        slli t3, s3, 4
+        add  t3, s2, t3
+        sw   t2, (t3)           # node.next = offset of successor
+        sw   s3, 4(t3)          # node.cost = i
+        sw   zero, 8(t3)        # node.flow = 0
+        addi s3, s3, 1
+        blt  s3, s4, perm
+
+loop:   li   s6, 0              # current offset
+        li   s3, NODES
+        li   s7, 0              # accumulated cost
+chase:  add  t1, s2, s6
+        lw   s6, (t1)           # dependent load: next offset
+        lw   t2, 4(t1)          # cost
+        add  s7, s7, t2
+        andi t3, s3, 63
+        bnez t3, nofl
+        lw   t4, 8(t1)          # occasional flow update
+        addi t4, t4, 1
+        sw   t4, 8(t1)
+nofl:   addi s3, s3, -1
+        bnez s3, chase
+        j    loop
+`
+
+// parserSource: dictionary parsing — tokenize a synthetic text and look
+// every word up in a chained hash table, inserting unknown words into a
+// bump-allocated node pool, like parser's dictionary machinery.
+const parserSource = `
+        .data
+        .align 4
+text:   .space 65536
+htab:   .space 32768            # 8K word chain heads
+nodes:  .space 262144           # node pool: hash,count,next (12B) bumped
+        .text
+main:   li   s1, 0xFEEDC0DE
+        la   s2, text
+        li   s3, 65536
+init:   ` + xorshift + `
+        andi t1, s1, 31
+        addi t2, t1, 97         # letter a..z-ish
+        li   t3, 26
+        blt  t1, t3, emit
+        li   t2, 32             # space
+emit:   sb   t2, (s2)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, init
+
+loop:   la   s2, text
+        la   s4, htab
+        la   s5, nodes
+        li   s6, 0              # bump offset
+        li   s3, 65536
+tok:    li   s7, 0              # word hash
+word:   lbu  t1, (s2)
+        addi s2, s2, 1
+        addi s3, s3, -1
+        beqz s3, loop           # wrapped: restart stream
+        li   t2, 32
+        beq  t1, t2, fin
+        slli t3, s7, 5
+        add  s7, s7, t3
+        add  s7, s7, t1         # h = h*33 + c
+        j    word
+fin:    li   t4, 8191
+        and  t4, s7, t4
+        slli t4, t4, 2
+        add  t4, s4, t4         # head slot
+        lw   t5, (t4)           # chain offset (0 = empty)
+probe:  beqz t5, insert
+        add  t6, s5, t5
+        lw   t3, (t6)           # node.hash
+        beq  t3, s7, found
+        lw   t5, 8(t6)          # node.next
+        j    probe
+found:  add  t6, s5, t5
+        lw   t3, 4(t6)
+        addi t3, t3, 1
+        sw   t3, 4(t6)          # count++
+        j    tok
+insert: addi s6, s6, 12
+        li   t3, 262100
+        bge  s6, t3, tok        # pool full: drop
+        add  t6, s5, s6
+        sw   s7, (t6)
+        li   t3, 1
+        sw   t3, 4(t6)
+        lw   t3, (t4)
+        sw   t3, 8(t6)          # chain old head
+        sw   s6, (t4)
+        j    tok
+`
+
+// vprSource: simulated-annealing placement — random cell swaps on a grid
+// with neighbourhood cost evaluation, like vpr's placer moves.
+const vprSource = `
+        .equ GRID, 16384        # 128x128 words
+        .data
+        .align 4
+grid:   .space 65536
+        .text
+main:   li   s1, 0x0DDBA11
+        la   s2, grid
+        li   s3, GRID
+init:   ` + xorshift + `
+        andi t1, s1, 1023
+        sw   t1, (s2)
+        addi s2, s2, 4
+        addi s3, s3, -1
+        bnez s3, init
+        la   s2, grid
+
+loop:   ` + xorshift + `
+        li   t6, 16383
+        and  t1, s1, t6         # cell a index
+        srli t2, s1, 16
+        and  t2, t2, t6         # cell b index
+        slli t1, t1, 2
+        slli t2, t2, 2
+        add  t1, s2, t1
+        add  t2, s2, t2
+        lw   t3, (t1)           # a
+        lw   t4, (t2)           # b
+        # neighbourhood cost: read successors (wrapping via mask)
+        addi t5, t1, 4
+        la   t0, grid+65532
+        bgt  t5, t0, skipn
+        lw   t6, (t5)
+        add  s5, s5, t6
+skipn:  sub  t6, t3, t4
+        bltz t6, swap           # "improves": swap cells
+        j    loop
+swap:   sw   t4, (t1)
+        sw   t3, (t2)
+        j    loop
+`
+
+// SPEC returns the seven kernels.
+func SPEC() []*Workload {
+	mk := func(name, desc string, warmup uint64, src string) *Workload {
+		return &Workload{
+			Name:        name,
+			Description: desc,
+			Image:       mustBuild(name, src),
+			Warmup:      warmup,
+		}
+	}
+	return []*Workload{
+		mk("art", "streaming multiply-accumulate over large weight arrays", 800_000, artSource),
+		mk("bzip2", "histogram + bucket scatter block transform", 600_000, bzip2Source),
+		mk("crafty", "bit-board table probes with incremental hashing", 200_000, craftySource),
+		mk("gzip", "sliding-window hash-chain compression", 350_000, gzipSource),
+		mk("mcf", "dependent-load pointer chasing over a 1 MB node pool", 900_000, mcfSource),
+		mk("parser", "tokenizer with chained hash-table dictionary", 600_000, parserSource),
+		mk("vpr", "random cell swaps with neighbourhood cost evaluation", 250_000, vprSource),
+	}
+}
+
+// ByName returns the named SPEC kernel, or nil.
+func ByName(name string) *Workload {
+	for _, w := range SPEC() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package workload provides the programs the experiments run: synthetic
+// analogues of the paper's SPEC 2000 kernels (§6.1) and of the eighteen
+// known-buggy open-source applications of Table 1.
+//
+// The SPEC analogues reproduce the qualitative memory behaviour of their
+// namesakes — streaming array scans, block sorting, table-lookup search,
+// windowed compression, pointer chasing, dictionary parsing, and
+// simulated-annealing placement — because First-Load Log size is driven by
+// working-set reuse distance and load-value locality, not by instruction
+// semantics. Each kernel runs forever; experiments bound execution with
+// the machine's step budget to capture windows of exactly the wanted
+// length.
+//
+// The bug analogues implement the same bug classes as Table 1 (heap
+// corruption through a wrong bound, global/stack buffer overflows from
+// over-long inputs, dangling pointers, null pointer and null function
+// pointer dereferences, arithmetic overflow, four of them multithreaded),
+// each with a marked root-cause instruction and a crash whose dynamic
+// distance from the root cause is engineered to the paper's reported
+// window size (divided by the experiment scale).
+package workload
+
+import (
+	"fmt"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/kernel"
+)
+
+// Workload is a runnable guest program plus its input configuration.
+type Workload struct {
+	Name        string
+	Description string
+	Image       *asm.Image
+	Kernel      kernel.Config
+	// Warmup is the number of steps covering the kernel's initialization
+	// phase; window experiments skip it to measure steady-state logging.
+	Warmup uint64
+}
+
+// Machine builds a fresh machine for the workload with the given step
+// budget (0 = run to completion) and optional extra cores.
+func (w *Workload) Machine(maxSteps uint64, hooks kernel.Hooks) *kernel.Machine {
+	cfg := w.Kernel
+	cfg.MaxSteps = maxSteps
+	return kernel.New(w.Image, cfg, hooks)
+}
+
+// BugApp is one Table 1 analogue.
+type BugApp struct {
+	Workload
+	// PaperLocation and PaperWindow reproduce the paper's Table 1 "Bug
+	// Location" and "Window size" columns for the original program.
+	PaperLocation string
+	PaperWindow   uint64
+	// RootLabel is the assembly label of the root-cause instruction (the
+	// last dynamic instance of the fix location, per §6.2).
+	RootLabel string
+	// Multithreaded marks the four analogues that need multiple cores.
+	Multithreaded bool
+}
+
+// RootPC resolves the root-cause instruction address.
+func (b *BugApp) RootPC() uint32 { return b.Image.MustSymbol(b.RootLabel) }
+
+// delayIters converts a wanted dynamic instruction distance into
+// iterations of the standard 6-instruction delay loop used by the bug
+// sources (andi+slli+add+lw+addi+bnez per iteration, plus a short
+// prologue and crash epilogue).
+func delayIters(window uint64) uint64 {
+	const perIter = 6
+	if window < 3*perIter {
+		return 1
+	}
+	return (window - 8) / perIter
+}
+
+// scaledWindow divides a paper window by the scale, with a floor that
+// keeps even heavily scaled bugs observable.
+func scaledWindow(paper uint64, scale int) uint64 {
+	if scale < 1 {
+		scale = 1
+	}
+	w := paper / uint64(scale)
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+// mustBuild assembles a bug source, panicking on error: workload sources
+// are compiled into the binary and must always assemble.
+func mustBuild(name, src string, args ...any) *asm.Image {
+	return asm.MustAssemble(name+".s", fmt.Sprintf(src, args...))
+}

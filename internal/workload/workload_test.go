@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"bugnet/internal/core"
+	"bugnet/internal/cpu"
+	"bugnet/internal/kernel"
+	"bugnet/internal/mrl"
+)
+
+func TestSPECKernelsAssembleAndRun(t *testing.T) {
+	for _, w := range SPEC() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := w.Machine(400_000, nil)
+			res := m.Run()
+			if res.Crash != nil {
+				t.Fatalf("%s crashed: %v", w.Name, res.Crash)
+			}
+			if res.Steps < 400_000 {
+				t.Fatalf("%s stopped early at %d steps (must loop forever)", w.Name, res.Steps)
+			}
+		})
+	}
+}
+
+func TestSPECKernelsHaveMemoryTraffic(t *testing.T) {
+	for _, w := range SPEC() {
+		// Warm up without recording, then record a steady-state window —
+		// the experiment harness's measurement pattern.
+		m := w.Machine(w.Warmup, nil)
+		m.Run()
+		rec := core.NewRecorder(m, core.Config{IntervalLength: 50_000})
+		m.SetMaxSteps(w.Warmup + 200_000)
+		m.Run()
+		rec.Flush()
+		_, total := rec.LoggedOps()
+		// Every kernel must execute a healthy fraction of memory ops.
+		if total < 10_000 {
+			t.Errorf("%s: only %d loggable ops in 200k steady-state steps", w.Name, total)
+		}
+		if rec.FLLStore().Stats().TotalBytes == 0 {
+			t.Errorf("%s: no FLL bytes", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("mcf") == nil || ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+	if BugByName("bc", 100) == nil || BugByName("zzz", 100) != nil {
+		t.Error("BugByName lookup broken")
+	}
+}
+
+func TestAllBugsCrashAtExpectedWindows(t *testing.T) {
+	const scale = 100
+	for _, b := range Bugs(scale) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			target := scaledWindow(b.PaperWindow, scale)
+			window, crashed := b.MeasureWindow(target*4 + 2_000_000)
+			if !crashed {
+				t.Fatalf("%s did not crash", b.Name)
+			}
+			// Windows are engineered, not exact: accept a factor-2 band
+			// plus slack for fixed prologues on the small ones.
+			lo, hi := target/2, target*2+300
+			if window < lo || window > hi {
+				t.Errorf("%s: window = %d; want ≈%d (band %d..%d)", b.Name, window, target, lo, hi)
+			}
+		})
+	}
+}
+
+func TestBugTableMatchesPaperRows(t *testing.T) {
+	bugs := Bugs(1)
+	if len(bugs) != 18 {
+		t.Fatalf("bug count = %d; want 18 (Table 1 rows)", len(bugs))
+	}
+	mt := 0
+	for _, b := range bugs {
+		if b.Multithreaded {
+			mt++
+		}
+		if b.PaperWindow == 0 || b.PaperLocation == "" {
+			t.Errorf("%s: missing paper metadata", b.Name)
+		}
+		if _, ok := b.Image.Symbol("root"); !ok {
+			t.Errorf("%s: no root label", b.Name)
+		}
+		if _, ok := b.Image.Symbol("crash"); !ok {
+			t.Errorf("%s: no crash label", b.Name)
+		}
+	}
+	// The paper's last four PROGRAMS are multithreaded; python contributes
+	// two bug rows, so five rows carry the flag.
+	if mt != 5 {
+		t.Errorf("multithreaded bug rows = %d; want 5 (4 programs, python twice)", mt)
+	}
+}
+
+func TestBugRecordsAndReplays(t *testing.T) {
+	// Every bug must be replayable from its BugNet logs to the faulting
+	// instruction — the end-to-end claim of the whole system.
+	const scale = 100
+	for _, b := range Bugs(scale) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			kcfg := b.Kernel
+			kcfg.MaxSteps = 10_000_000
+			res, rep, _ := core.Record(b.Image, kcfg, core.Config{
+				IntervalLength: 100_000,
+			})
+			if res.Crash == nil {
+				t.Fatalf("%s did not crash under recording", b.Name)
+			}
+			logs := rep.FLLs[res.Crash.TID]
+			if len(logs) == 0 {
+				t.Fatalf("%s: no logs for crashing thread", b.Name)
+			}
+			r := core.NewReplayer(b.Image, logs)
+			rr, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: replay: %v", b.Name, err)
+			}
+			if rr.Fault == nil {
+				t.Fatalf("%s: replay lost the fault", b.Name)
+			}
+			if rr.Fault.PC != res.Crash.Fault.PC {
+				t.Errorf("%s: replayed fault pc %#x != recorded %#x", b.Name, rr.Fault.PC, res.Crash.Fault.PC)
+			}
+			if rr.Fault.Cause != uint8(res.Crash.Fault.Cause) {
+				t.Errorf("%s: fault cause mismatch", b.Name)
+			}
+		})
+	}
+}
+
+func TestRootWindowsCoverPaperSpread(t *testing.T) {
+	// The paper's point: most bugs need < 10M instructions of replay. At
+	// scale 1 our engineered windows must reproduce that distribution:
+	// exactly one bug (ghostscript) above 10M.
+	over := 0
+	for _, b := range Bugs(1) {
+		if b.PaperWindow > 10_000_000 {
+			over++
+		}
+	}
+	if over != 1 {
+		t.Errorf("bugs over 10M window = %d; want 1", over)
+	}
+}
+
+func TestCrashCausesAreDiverse(t *testing.T) {
+	// The suite must cover several architectural fault kinds, like the
+	// paper's mix of segfaults and wild jumps.
+	const scale = 100
+	causes := map[cpu.FaultCause]int{}
+	for _, b := range Bugs(scale) {
+		m := b.Machine(20_000_000, nil)
+		res := m.Run()
+		if res.Crash == nil {
+			t.Fatalf("%s did not crash", b.Name)
+		}
+		causes[res.Crash.Fault.Cause]++
+	}
+	if len(causes) < 3 {
+		t.Errorf("fault causes = %v; want at least reads, fetches and misaligned", causes)
+	}
+	_ = kernel.Config{}
+}
+
+func TestMTShareWorkload(t *testing.T) {
+	w := MTShare()
+	m := w.Machine(100_000, nil)
+	res := m.Run()
+	if res.Crash != nil {
+		t.Fatalf("mtshare crashed: %v", res.Crash)
+	}
+	if res.Steps < 100_000 {
+		t.Fatalf("mtshare stopped early at %d steps", res.Steps)
+	}
+	// Both threads must have run.
+	if m.Threads[0].CPU.IC == 0 || m.Threads[1].CPU == nil || m.Threads[1].CPU.IC == 0 {
+		t.Error("both threads should execute")
+	}
+}
+
+func TestMTShareRecordsRaces(t *testing.T) {
+	w := MTShare()
+	m := w.Machine(0, nil)
+	rec := core.NewRecorder(m, core.Config{IntervalLength: 5_000})
+	m.SetMaxSteps(80_000)
+	m.Run()
+	rec.Flush()
+	if rec.MRLStore().Stats().TotalCount == 0 {
+		t.Fatal("no MRLs recorded for the sharing workload")
+	}
+	entries := 0
+	for _, it := range rec.MRLStore().All() {
+		entries += len(it.Payload.(*mrl.Log).Entries)
+	}
+	if entries == 0 {
+		t.Fatal("no MRL entries despite lock traffic")
+	}
+}

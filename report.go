@@ -1,0 +1,139 @@
+package bugnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bugnet/internal/core"
+	"bugnet/internal/fll"
+	"bugnet/internal/mrl"
+)
+
+// FLL is a First-Load Log: one checkpoint interval of one thread.
+type FLL = fll.Log
+
+// MRL is a Memory Race Log paired with an FLL.
+type MRL = mrl.Log
+
+// reportManifest is the on-disk index of a saved crash report.
+type reportManifest struct {
+	PID    uint32         `json:"pid"`
+	Binary core.BinaryID  `json:"binary"`
+	Crash  *manifestCrash `json:"crash,omitempty"`
+	FLLs   []logRef       `json:"flls"`
+	MRLs   []logRef       `json:"mrls"`
+}
+
+type manifestCrash struct {
+	TID   int    `json:"tid"`
+	Cause uint8  `json:"cause"`
+	PC    uint32 `json:"pc"`
+	Addr  uint32 `json:"addr"`
+	IC    uint64 `json:"ic"`
+}
+
+type logRef struct {
+	TID  int    `json:"tid"`
+	CID  uint32 `json:"cid"`
+	File string `json:"file"`
+}
+
+// SaveReport writes a crash report to a directory, one file per log plus
+// a manifest.json — the artifact a production BugNet would ship back to
+// the developer (paper §4.8).
+func SaveReport(dir string, rep *CrashReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := reportManifest{PID: rep.PID, Binary: rep.Binary}
+	if rep.Crash != nil {
+		man.Crash = &manifestCrash{
+			TID:   rep.Crash.TID,
+			Cause: uint8(rep.Crash.Fault.Cause),
+			PC:    rep.Crash.Fault.PC,
+			Addr:  rep.Crash.Fault.Addr,
+			IC:    rep.Crash.Fault.IC,
+		}
+	}
+	tids := make([]int, 0, len(rep.FLLs))
+	for tid := range rep.FLLs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		for _, l := range rep.FLLs[tid] {
+			name := fmt.Sprintf("fll-t%d-c%d.bin", tid, l.CID)
+			if err := os.WriteFile(filepath.Join(dir, name), l.Marshal(), 0o644); err != nil {
+				return err
+			}
+			man.FLLs = append(man.FLLs, logRef{TID: tid, CID: l.CID, File: name})
+		}
+		for _, l := range rep.MRLs[tid] {
+			name := fmt.Sprintf("mrl-t%d-c%d.bin", tid, l.CID)
+			if err := os.WriteFile(filepath.Join(dir, name), l.Marshal(), 0o644); err != nil {
+				return err
+			}
+			man.MRLs = append(man.MRLs, logRef{TID: tid, CID: l.CID, File: name})
+		}
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// LoadReport reads a crash report saved by SaveReport.
+func LoadReport(dir string) (*CrashReport, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man reportManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("bugnet: bad manifest: %w", err)
+	}
+	rep := &CrashReport{
+		PID:    man.PID,
+		Binary: man.Binary,
+		FLLs:   make(map[int][]*FLL),
+		MRLs:   make(map[int][]*MRL),
+	}
+	if man.Crash != nil {
+		rep.Crash = &CrashInfo{
+			TID: man.Crash.TID,
+			Fault: &FaultInfo{
+				Cause: FaultCause(man.Crash.Cause),
+				PC:    man.Crash.PC,
+				Addr:  man.Crash.Addr,
+				IC:    man.Crash.IC,
+			},
+		}
+	}
+	for _, ref := range man.FLLs {
+		raw, err := os.ReadFile(filepath.Join(dir, ref.File))
+		if err != nil {
+			return nil, err
+		}
+		l, err := fll.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bugnet: %s: %w", ref.File, err)
+		}
+		rep.FLLs[ref.TID] = append(rep.FLLs[ref.TID], l)
+	}
+	for _, ref := range man.MRLs {
+		raw, err := os.ReadFile(filepath.Join(dir, ref.File))
+		if err != nil {
+			return nil, err
+		}
+		l, err := mrl.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bugnet: %s: %w", ref.File, err)
+		}
+		rep.MRLs[ref.TID] = append(rep.MRLs[ref.TID], l)
+	}
+	return rep, nil
+}
