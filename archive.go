@@ -1,0 +1,20 @@
+package bugnet
+
+import "bugnet/internal/report"
+
+// ErrBadArchive reports a structurally invalid packed report archive.
+var ErrBadArchive = report.ErrBadArchive
+
+// PackReport encodes a crash report as a single uploadable archive blob:
+// CRC-framed sections carrying the report metadata and every FLL and MRL
+// in their wire formats. Packing is deterministic, so identical reports
+// produce identical bytes (and therefore identical ReportIDs).
+func PackReport(rep *CrashReport) ([]byte, error) { return report.Pack(rep) }
+
+// UnpackReport decodes an archive produced by PackReport, validating all
+// framing and checksums before any log is decoded.
+func UnpackReport(data []byte) (*CrashReport, error) { return report.Unpack(data) }
+
+// ReportID returns the content address of a packed archive (hex SHA-256),
+// the ID under which a triage server stores and deduplicates it.
+func ReportID(data []byte) string { return report.ID(data) }

@@ -25,7 +25,6 @@ import (
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
-	"bugnet/internal/isa"
 	"bugnet/internal/kernel"
 	"bugnet/internal/workload"
 )
@@ -100,13 +99,7 @@ func Assemble(name, source string) (*Image, error) {
 // Disassemble renders the instruction word at pc of an image, for crash
 // reports and debugging output.
 func Disassemble(img *Image, pc uint32) string {
-	off := pc - img.TextBase
-	if pc < img.TextBase || int(off)+4 > len(img.Text) {
-		return "<outside text>"
-	}
-	w := uint32(img.Text[off]) | uint32(img.Text[off+1])<<8 |
-		uint32(img.Text[off+2])<<16 | uint32(img.Text[off+3])<<24
-	return isa.DisassembleWord(w, pc)
+	return img.DisassembleAt(pc)
 }
 
 // NewMachine builds a guest machine for the image.

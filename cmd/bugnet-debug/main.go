@@ -80,6 +80,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Replay must match the recording options the report carries.
+	if rep.LogCodeLoads || rep.DictOptions != (bugnet.Config{}).DictOptions {
+		d.LogCodeLoads = rep.LogCodeLoads
+		d.DictOptions = rep.DictOptions
+		d.Reset()
+	}
 
 	fmt.Printf("replay window: %d instructions of thread %d\n", d.Window(), t)
 	if f := d.Fault(); f != nil {

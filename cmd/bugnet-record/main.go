@@ -8,12 +8,22 @@
 //	bugnet-record -bug gzip -out report/           # a Table 1 analogue
 //	bugnet-record -spec mcf -steps 2000000 -out r/ # a SPEC analogue window
 //	bugnet-record -asm prog.s -out report/         # your own program
+//	bugnet-record -bug gzip -submit http://triage.example:8080
+//
+// With -submit the report is additionally packed into a single archive and
+// uploaded to a bugnet-serve endpoint, completing the paper's
+// customer-site-to-developer pipeline (§4.8).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"bugnet"
 	"bugnet/internal/cli"
@@ -24,6 +34,7 @@ func main() {
 	spec := flag.String("spec", "", "record a SPEC analogue (art, bzip2, crafty, gzip, mcf, parser, vpr)")
 	asmFile := flag.String("asm", "", "record an assembly source file")
 	out := flag.String("out", "bugnet-report", "output directory for the crash report")
+	submit := flag.String("submit", "", "bugnet-serve base URL to upload the packed report to")
 	interval := flag.Uint64("interval", 100_000, "checkpoint interval length in instructions")
 	steps := flag.Uint64("steps", 50_000_000, "machine step budget")
 	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
@@ -53,6 +64,46 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("report saved to %s\n", *out)
+
+	if *submit != "" {
+		if err := upload(*submit, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "submitting report:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// upload packs the report and POSTs it to a bugnet-serve endpoint.
+func upload(base string, rep *bugnet.CrashReport) error {
+	blob, err := bugnet.PackReport(rep)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/reports"
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var res struct {
+		ID        string `json:"id"`
+		BucketKey string `json:"bucket"`
+		Duplicate bool   `json:"duplicate"`
+		Error     string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return fmt.Errorf("%s: bad response (%s): %w", url, resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, res.Error)
+	}
+	state := "new"
+	if res.Duplicate {
+		state = "duplicate"
+	}
+	fmt.Printf("report submitted (%s): id %s, bucket %s\n", state, res.ID, res.BucketKey)
+	return nil
 }
 
 func max64(a, b uint64) uint64 {

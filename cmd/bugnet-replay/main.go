@@ -60,7 +60,11 @@ func main() {
 	}
 
 	for tid, logs := range rep.FLLs {
-		rr, err := bugnet.NewReplayer(img, logs).Run()
+		r := bugnet.NewReplayer(img, logs)
+		// Replay must match the recording options the report carries.
+		r.LogCodeLoads = rep.LogCodeLoads
+		r.DictOptions = rep.DictOptions
+		rr, err := r.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "replay:", err)
 			os.Exit(1)

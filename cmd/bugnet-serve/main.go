@@ -1,0 +1,115 @@
+// Command bugnet-serve is the developer-side crash-collection daemon: the
+// receiving end of BugNet's ship-the-logs-home story (paper §4.8).
+// Recorders at customer sites upload packed report archives; the server
+// stores them content-addressed, deduplicates identical field crashes into
+// buckets, and automatically replays each new report to verify the crash
+// reproduces and to extract races and a backtrace.
+//
+// Usage:
+//
+//	bugnet-serve -addr :8080 -dir /var/bugnet/reports
+//	bugnet-serve -budget 268435456 -workers 8 -scale 100
+//	bugnet-serve -image prog.s -image other.s      # register extra builds
+//
+// Replay needs the exact binary a report was recorded from, so the server
+// registers the built-in Table 1 and SPEC analogue images (at -scale) plus
+// any -image assembly sources; uploads from unknown builds are stored and
+// bucketed but their verdict is "failed: no registered binary".
+//
+// Endpoints: POST /reports, GET /reports/{id}[?raw=1], GET /buckets,
+// GET /buckets/{key}, GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/triage"
+	"bugnet/internal/workload"
+)
+
+// imageList collects repeated -image flags.
+type imageList []string
+
+func (l *imageList) String() string     { return fmt.Sprint(*l) }
+func (l *imageList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "bugnet-reports", "report store root directory")
+	budget := flag.Int64("budget", 0, "report store byte budget (0 = unlimited)")
+	workers := flag.Int("workers", 4, "replay worker pool size")
+	scale := flag.Int("scale", 100, "bug-window scale the fleet's recorders use")
+	depth := flag.Int("backtrace", 16, "backtrace depth in instructions")
+	maxWindow := flag.Uint64("maxwindow", 0, "max replay window per report in instructions (0 = default 100M)")
+	var images imageList
+	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
+	flag.Parse()
+
+	reg := triage.NewImageRegistry()
+	for _, b := range workload.Bugs(*scale) {
+		reg.Register(b.Image)
+	}
+	for _, w := range workload.SPEC() {
+		reg.Register(w.Image)
+	}
+	for _, path := range images {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		img, err := asm.Assemble(path, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		reg.Register(img)
+	}
+
+	svc, err := triage.New(triage.Config{
+		Dir:             *dir,
+		Budget:          *budget,
+		Workers:         *workers,
+		BacktraceDepth:  *depth,
+		MaxReplayWindow: *maxWindow,
+		Resolver:        reg.Resolve,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Shut down cleanly on SIGINT/SIGTERM: stop accepting uploads, then
+	// drain the replay queue so no verdict is lost mid-flight.
+	srv := &http.Server{Addr: *addr, Handler: triage.NewHandler(svc)}
+	shutdownDone := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("bugnet-serve: shutting down, draining triage queue")
+		srv.Shutdown(context.Background())
+		close(shutdownDone)
+	}()
+
+	fmt.Printf("bugnet-serve: %d binaries registered, store %s, listening on %s\n",
+		reg.Len(), *dir, *addr)
+	err = srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		// Shutdown closed the listener; wait for it to finish flushing
+		// in-flight responses before draining the replay queue.
+		<-shutdownDone
+	} else if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	svc.Close()
+}

@@ -1,0 +1,3 @@
+module bugnet
+
+go 1.24

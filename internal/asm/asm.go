@@ -63,6 +63,18 @@ func (img *Image) MustSymbol(name string) uint32 {
 	return a
 }
 
+// DisassembleAt renders the instruction word at pc, for crash reports,
+// backtraces, and debugging output.
+func (img *Image) DisassembleAt(pc uint32) string {
+	off := pc - img.TextBase
+	if pc < img.TextBase || int(off)+4 > len(img.Text) {
+		return "<outside text>"
+	}
+	w := uint32(img.Text[off]) | uint32(img.Text[off+1])<<8 |
+		uint32(img.Text[off+2])<<16 | uint32(img.Text[off+3])<<24
+	return isa.DisassembleWord(w, pc)
+}
+
 // SymbolsSorted returns the defined labels in address order.
 func (img *Image) SymbolsSorted() []string {
 	names := make([]string, 0, len(img.Symbols))

@@ -5,8 +5,8 @@ import (
 
 	"bugnet/internal/asm"
 	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
 	"bugnet/internal/fll"
-	"bugnet/internal/isa"
 )
 
 // Debugger is the developer-side tool the paper motivates: deterministic
@@ -25,6 +25,12 @@ import (
 type Debugger struct {
 	img  *asm.Image
 	logs []*fll.Log
+
+	// LogCodeLoads and DictOptions must match the recording configuration
+	// (CrashReport carries them). Set them before stepping, then call
+	// Reset so the replay state picks them up.
+	LogCodeLoads bool
+	DictOptions  dict.Options
 
 	st     *state
 	pos    uint64 // instructions executed so far
@@ -76,6 +82,8 @@ func NewDebugger(img *asm.Image, logs []*fll.Log) (*Debugger, error) {
 // reset rebuilds the replay state at the start of the window.
 func (d *Debugger) reset() {
 	r := NewReplayer(d.img, d.logs)
+	r.LogCodeLoads = d.LogCodeLoads
+	r.DictOptions = d.DictOptions
 	d.known = make(map[uint32]bool)
 	r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
 		d.known[wordAddr] = true
@@ -241,13 +249,7 @@ func (d *Debugger) ReadWord(addr uint32) (value uint32, known bool) {
 
 // Disasm renders the instruction at pc.
 func (d *Debugger) Disasm(pc uint32) string {
-	off := pc - d.img.TextBase
-	if pc < d.img.TextBase || int(off)+4 > len(d.img.Text) {
-		return "<outside text>"
-	}
-	w := uint32(d.img.Text[off]) | uint32(d.img.Text[off+1])<<8 |
-		uint32(d.img.Text[off+2])<<16 | uint32(d.img.Text[off+3])<<24
-	return isa.DisassembleWord(w, pc)
+	return d.img.DisassembleAt(pc)
 }
 
 // SymbolAt returns the closest preceding symbol and offset for an address,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bugnet/internal/asm"
+	"bugnet/internal/dict"
 )
 
 // constraint is one cross-thread ordering requirement derived from an MRL
@@ -47,13 +48,29 @@ type MultiReplayer struct {
 	// DetectRaces runs the synchronization-aware race analysis during
 	// replay (see racedetect.go).
 	DetectRaces bool
-	// LogCodeLoads must match the recording configuration.
+	// LogCodeLoads must match the recording configuration. It is seeded
+	// from the report by NewMultiReplayer.
 	LogCodeLoads bool
+	// DictOptions must match the recording configuration; seeded from
+	// the report by NewMultiReplayer.
+	DictOptions dict.Options
+	// TraceDepth, when positive, keeps a trace ring of the crashing
+	// thread's last TraceDepth instructions (report.Crash must be set),
+	// delivered in that thread's ReplayResult.Trace.
+	TraceDepth int
+	// MaxPages caps each thread's replay memory (see Replayer.MaxPages).
+	MaxPages int
 }
 
-// NewMultiReplayer builds a replayer over all threads in the report.
+// NewMultiReplayer builds a replayer over all threads in the report,
+// adopting the recording options the report carries.
 func NewMultiReplayer(img *asm.Image, report *CrashReport) *MultiReplayer {
-	return &MultiReplayer{img: img, report: report}
+	return &MultiReplayer{
+		img:          img,
+		report:       report,
+		LogCodeLoads: report.LogCodeLoads,
+		DictOptions:  report.DictOptions,
+	}
 }
 
 // threadCtx is one thread's replay machinery plus its constraint queue.
@@ -143,6 +160,11 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 		tc := ctxs[tid]
 		r := NewReplayer(m.img, m.report.FLLs[tid])
 		r.LogCodeLoads = m.LogCodeLoads
+		r.DictOptions = m.DictOptions
+		r.MaxPages = m.MaxPages
+		if m.TraceDepth > 0 && m.report.Crash != nil && tid == m.report.Crash.TID {
+			r.TraceDepth = m.TraceDepth
+		}
 		if det != nil {
 			tcc := tc
 			r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {

@@ -460,19 +460,26 @@ func (b BinaryID) Matches(img *asm.Image) error {
 type CrashReport struct {
 	PID    uint32
 	Binary BinaryID
-	Crash  *kernel.CrashInfo // nil if the program did not crash
-	FLLs   map[int][]*fll.Log
-	MRLs   map[int][]*mrl.Log
+	// LogCodeLoads and DictOptions echo the recording configuration that
+	// replay must match; they travel with the report so the receiving
+	// side can configure its replayers without out-of-band knowledge.
+	LogCodeLoads bool
+	DictOptions  dict.Options
+	Crash        *kernel.CrashInfo // nil if the program did not crash
+	FLLs         map[int][]*fll.Log
+	MRLs         map[int][]*mrl.Log
 }
 
 // Report collects the retained logs. Call after machine.Run returns.
 func (r *Recorder) Report() *CrashReport {
 	rep := &CrashReport{
-		PID:    r.cfg.PID,
-		Binary: IdentifyBinary(r.m.Img),
-		Crash:  r.m.Crash(),
-		FLLs:   make(map[int][]*fll.Log),
-		MRLs:   make(map[int][]*mrl.Log),
+		PID:          r.cfg.PID,
+		Binary:       IdentifyBinary(r.m.Img),
+		LogCodeLoads: r.cfg.LogCodeLoads,
+		DictOptions:  r.cfg.DictOptions,
+		Crash:        r.m.Crash(),
+		FLLs:         make(map[int][]*fll.Log),
+		MRLs:         make(map[int][]*mrl.Log),
 	}
 	for _, it := range r.flls.All() {
 		rep.FLLs[it.TID] = append(rep.FLLs[it.TID], it.Payload.(*fll.Log))

@@ -48,6 +48,11 @@ type Replayer struct {
 
 	// TraceDepth mirrors the recorder option for divergence checking.
 	TraceDepth int
+	// MaxPages, when positive, caps the pages replay memory may map.
+	// Untrusted logs control the replayed register state, so without a
+	// cap a crafted report could drive unbounded allocation through
+	// AutoMap; exceeding the cap surfaces as a memory fault.
+	MaxPages int
 	// LogCodeLoads must match the recording configuration.
 	LogCodeLoads bool
 	// DictOptions must match the recording configuration (relevant only
@@ -112,6 +117,11 @@ func (r *Replayer) newState() *state {
 	}
 	c := cpu.New(m)
 	c.AutoMap = true
+	if r.MaxPages > 0 {
+		// The budget is for replay-touched data pages; the program text
+		// mapped above is a property of the binary, not the logs.
+		m.MapLimit = r.MaxPages + m.MappedPages()
+	}
 	st := &state{r: r, mem: m, c: c, logs: r.logs}
 	if r.TraceDepth > 0 {
 		st.trace = newTraceRing(r.TraceDepth)
@@ -157,8 +167,10 @@ func (st *state) step() error {
 		st.executed++
 		st.total++
 	case cpu.EventFault:
-		st.err = fmt.Errorf("%w: unexpected %v at replay instruction %d of interval C%d",
-			ErrDiverged, st.c.Fault, st.executed, st.cur.CID)
+		if st.err == nil { // a hook (e.g. the page-budget refusal) may have set the cause already
+			st.err = fmt.Errorf("%w: unexpected %v at replay instruction %d of interval C%d",
+				ErrDiverged, st.c.Fault, st.executed, st.cur.CID)
+		}
 		return st.err
 	case cpu.EventHalted:
 		st.err = fmt.Errorf("%w: core halted mid-interval C%d", ErrDiverged, st.cur.CID)
@@ -179,7 +191,16 @@ func (st *state) finishInterval() error {
 		return fmt.Errorf("%w: %v", ErrDiverged, err)
 	}
 	if !st.reader.Exhausted() {
-		return fmt.Errorf("%w: interval C%d ended with unconsumed log entries", ErrDiverged, st.cur.CID)
+		// Under LogCodeLoads the recorder logs the *fetch* of the faulting
+		// instruction, but the instruction never commits, so replay of the
+		// thread's final, fault-terminated interval legitimately stops
+		// exactly one logged fetch short of the log. Anything else —
+		// interior intervals a hostile log marks EndFault, or more than
+		// one leftover entry — is divergence.
+		last := st.idx == len(st.logs)
+		if !(st.r.LogCodeLoads && st.cur.End == fll.EndFault && last && st.reader.PendingOne()) {
+			return fmt.Errorf("%w: interval C%d ended with unconsumed log entries", ErrDiverged, st.cur.CID)
+		}
 	}
 	return nil
 }
@@ -217,7 +238,12 @@ func (st *state) onFetch(pc uint32) {
 	}
 	if st.r.LogCodeLoads {
 		wordAddr := pc &^ 3
-		st.mem.Map(wordAddr, 4)
+		if !st.mem.TryMap(wordAddr, 4) {
+			// The MaxPages cap guards untrusted logs; a fetch stride that
+			// exhausts it is a divergence, not an allocation.
+			st.err = fmt.Errorf("%w: code load at %#x exceeds the replay page budget", ErrDiverged, pc)
+			return
+		}
 		cur, _ := st.mem.LoadWord(wordAddr)
 		v, injected, err := st.reader.Op(cur)
 		if err != nil {

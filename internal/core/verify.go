@@ -28,6 +28,7 @@ func VerifyReplay(img *asm.Image, rec *Recorder) error {
 		r := NewReplayer(img, logs)
 		r.TraceDepth = rec.cfg.TraceDepth
 		r.LogCodeLoads = rec.cfg.LogCodeLoads
+		r.DictOptions = rec.cfg.DictOptions
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("thread %d: %w", tid, err)

@@ -389,10 +389,9 @@ func (c *CPU) load(op isa.Opcode, pc, ea uint32) (uint32, Event) {
 	}
 	wordAddr := ea &^ 3
 	if !c.Mem.Mapped(wordAddr) {
-		if !c.AutoMap {
+		if !c.AutoMap || !c.Mem.TryMap(wordAddr, 4) {
 			return 0, c.fault(FaultMemRead, pc, ea)
 		}
-		c.Mem.Map(wordAddr, 4)
 	}
 	if c.OnLoggable != nil {
 		c.OnLoggable(wordAddr, false)
@@ -427,10 +426,9 @@ func (c *CPU) store(op isa.Opcode, pc, ea, v uint32) Event {
 	}
 	wordAddr := ea &^ 3
 	if !c.Mem.Mapped(wordAddr) {
-		if !c.AutoMap {
+		if !c.AutoMap || !c.Mem.TryMap(wordAddr, 4) {
 			return c.fault(FaultMemWrite, pc, ea)
 		}
-		c.Mem.Map(wordAddr, 4)
 	}
 	switch op {
 	case isa.OpSW:
@@ -464,10 +462,9 @@ func (c *CPU) amo(op isa.Opcode, pc, ea, src uint32) (uint32, Event) {
 		return 0, c.fault(FaultMisaligned, pc, ea)
 	}
 	if !c.Mem.Mapped(ea) {
-		if !c.AutoMap {
+		if !c.AutoMap || !c.Mem.TryMap(ea, 4) {
 			return 0, c.fault(FaultMemRead, pc, ea)
 		}
-		c.Mem.Map(ea, 4)
 	}
 	if c.OnLoggable != nil {
 		c.OnLoggable(ea, true)

@@ -335,6 +335,15 @@ func (r *Reader) Err() error { return r.err }
 // Exhausted reports whether every logged entry has been consumed.
 func (r *Reader) Exhausted() bool { return !r.pendingValid && r.err == nil }
 
+// PendingOne reports whether exactly one logged entry remains uninjected
+// with no skipped operations outstanding — the residue a fault-terminated
+// interval leaves under code-load logging, where the faulting
+// instruction's fetch was logged but the instruction never commits.
+func (r *Reader) PendingOne() bool {
+	return r.err == nil && r.pendingValid && r.pendingSkip == 0 &&
+		r.consumed >= r.log.NumEntries
+}
+
 // --- serialization ---
 
 var magic = [4]byte{'B', 'F', 'L', 'L'}

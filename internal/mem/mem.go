@@ -56,6 +56,12 @@ func (e *AccessError) Error() string {
 // usable; call New.
 type Memory struct {
 	pages map[uint32]*[PageSize]byte
+
+	// MapLimit, when positive, caps the number of mapped pages. TryMap
+	// refuses to grow past it; Map (the kernel's loader path) ignores it.
+	// Replay of untrusted logs sets a limit so hostile register states
+	// cannot drive unbounded page allocation through AutoMap.
+	MapLimit int
 }
 
 // New returns an empty address space with no pages mapped.
@@ -81,6 +87,35 @@ func (m *Memory) Map(addr uint32, size uint32) {
 		}
 	}
 }
+
+// TryMap is Map, but refuses (returning false, mapping nothing new) when
+// completing the range would exceed MapLimit.
+func (m *Memory) TryMap(addr uint32, size uint32) bool {
+	if size == 0 {
+		return true
+	}
+	if m.MapLimit > 0 {
+		need := 0
+		first := addr >> PageShift
+		last := (addr + size - 1) >> PageShift
+		for p := first; ; p++ {
+			if _, ok := m.pages[p]; !ok {
+				need++
+			}
+			if p == last {
+				break
+			}
+		}
+		if len(m.pages)+need > m.MapLimit {
+			return false
+		}
+	}
+	m.Map(addr, size)
+	return true
+}
+
+// MappedPages returns the number of currently mapped pages.
+func (m *Memory) MappedPages() int { return len(m.pages) }
 
 // Unmap removes every page fully contained in [addr, addr+size).
 func (m *Memory) Unmap(addr uint32, size uint32) {

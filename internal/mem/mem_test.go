@@ -202,3 +202,29 @@ func TestPageNumbers(t *testing.T) {
 		t.Errorf("PageNumbers = %v", ns)
 	}
 }
+
+func TestTryMapHonorsLimit(t *testing.T) {
+	m := New()
+	m.MapLimit = 2
+	if !m.TryMap(0, PageSize*2) {
+		t.Fatal("TryMap refused within the limit")
+	}
+	if m.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d, want 2", m.MappedPages())
+	}
+	if m.TryMap(PageSize*4, 4) {
+		t.Fatal("TryMap grew past MapLimit")
+	}
+	if m.MappedPages() != 2 {
+		t.Fatalf("failed TryMap still mapped pages: %d", m.MappedPages())
+	}
+	// Already-mapped ranges need no new pages and always succeed.
+	if !m.TryMap(0, 4) {
+		t.Fatal("TryMap refused an already-mapped page")
+	}
+	// Map (the kernel loader path) ignores the limit.
+	m.Map(PageSize*8, PageSize)
+	if m.MappedPages() != 3 {
+		t.Fatalf("Map should bypass the limit: %d pages", m.MappedPages())
+	}
+}

@@ -1,0 +1,287 @@
+// Package report implements the packed single-file crash-report archive:
+// the blob a production BugNet uploads from a customer site to the
+// developer's triage service (paper §4.8).
+//
+// SaveReport's directory layout is convenient for local debugging but
+// awkward to ship: a report is many small files plus a manifest, and an
+// upload endpoint would have to accept a tarball or multipart form and
+// trust the manifest's file references. The archive flattens one
+// CrashReport into a single self-describing byte stream:
+//
+//	magic "BNAR" | version (1 byte) | section count (u32)
+//	section*:  kind (1 byte) | length (u32) | payload | CRC32(kind‖length‖payload)
+//
+// Section kinds: 'M' (exactly one, first) holds the report metadata as
+// JSON — PID, BinaryID, and the crash record; 'F' and 'R' sections carry
+// one fll.Log / mrl.Log each in their existing Marshal wire formats, which
+// embed their own TID/CID and a second, inner checksum. Every section is
+// independently CRC-framed so truncation or corruption is localized at
+// decode time, before any log is replayed.
+//
+// Pack is deterministic (threads ascending, logs in recording order), so
+// the SHA-256 of the packed bytes is a stable content address: the same
+// crash window recorded at the same customer site always produces the same
+// ID, which is what lets the triage store deduplicate identical uploads.
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"bugnet/internal/core"
+	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
+	"bugnet/internal/kernel"
+	"bugnet/internal/mrl"
+)
+
+var magic = [4]byte{'B', 'N', 'A', 'R'}
+
+const version = 1
+
+// Section kinds.
+const (
+	kindMeta = 'M'
+	kindFLL  = 'F'
+	kindMRL  = 'R'
+)
+
+// MaxSections bounds the section count a decoder will accept, limiting
+// allocation from a hostile header before any payload is validated.
+const MaxSections = 1 << 20
+
+// MaxTID bounds the thread ids a decoder will accept. Downstream replay
+// allocates per-thread state indexed by TID and the race detector's
+// vector clocks are O(threads²), so the bound must be small enough that
+// even the quadratic cost is trivial: 64 threads is 8× the largest
+// simulated machine while capping the detector at a few KB.
+const MaxTID = 64
+
+// ErrBadArchive reports a structurally invalid archive.
+var ErrBadArchive = errors.New("report: bad archive")
+
+// Meta is the flattened report metadata: identity, crash record, and the
+// recording options replay must match (paper §5.1) — without those a
+// receiver replaying a LogCodeLoads recording would misalign the log
+// stream and mislabel every such report as diverged. It is shared by the
+// packed archive's 'M' section and the directory manifest so the two
+// serialized forms cannot drift apart.
+type Meta struct {
+	PID             uint32        `json:"pid"`
+	Binary          core.BinaryID `json:"binary"`
+	LogCodeLoads    bool          `json:"log_code_loads,omitempty"`
+	DictCounterBits int           `json:"dict_counter_bits,omitempty"`
+	DictInsertTop   bool          `json:"dict_insert_top,omitempty"`
+	Crash           *MetaCrash    `json:"crash,omitempty"`
+}
+
+// MetaCrash flattens kernel.CrashInfo for stable JSON.
+type MetaCrash struct {
+	TID   int    `json:"tid"`
+	Cause uint8  `json:"cause"`
+	PC    uint32 `json:"pc"`
+	Addr  uint32 `json:"addr"`
+	IC    uint64 `json:"ic"`
+}
+
+// MetaOf flattens a report's metadata.
+func MetaOf(rep *core.CrashReport) Meta {
+	m := Meta{
+		PID:             rep.PID,
+		Binary:          rep.Binary,
+		LogCodeLoads:    rep.LogCodeLoads,
+		DictCounterBits: rep.DictOptions.CounterBits,
+		DictInsertTop:   rep.DictOptions.InsertAtTop,
+	}
+	if rep.Crash != nil && rep.Crash.Fault != nil {
+		m.Crash = &MetaCrash{
+			TID:   rep.Crash.TID,
+			Cause: uint8(rep.Crash.Fault.Cause),
+			PC:    rep.Crash.Fault.PC,
+			Addr:  rep.Crash.Fault.Addr,
+			IC:    rep.Crash.Fault.IC,
+		}
+	}
+	return m
+}
+
+// Apply restores the flattened metadata onto a report.
+func (m Meta) Apply(rep *core.CrashReport) {
+	rep.PID = m.PID
+	rep.Binary = m.Binary
+	rep.LogCodeLoads = m.LogCodeLoads
+	rep.DictOptions.CounterBits = m.DictCounterBits
+	rep.DictOptions.InsertAtTop = m.DictInsertTop
+	if m.Crash != nil {
+		rep.Crash = &kernel.CrashInfo{
+			TID: m.Crash.TID,
+			Fault: &cpu.FaultInfo{
+				Cause: cpu.FaultCause(m.Crash.Cause),
+				PC:    m.Crash.PC,
+				Addr:  m.Crash.Addr,
+				IC:    m.Crash.IC,
+			},
+		}
+	}
+}
+
+// ThreadIDs returns the sorted union of threads with retained FLLs or
+// MRLs. The union matters: the two log kinds are evicted from separately
+// budgeted stores, so a thread can retain MRLs after its FLLs aged out,
+// and those ordering constraints must survive serialization. Shared by
+// Pack and the directory-manifest writer so the two forms agree.
+func ThreadIDs(rep *core.CrashReport) []int {
+	tids := make([]int, 0, len(rep.FLLs))
+	seen := make(map[int]bool)
+	for tid := range rep.FLLs {
+		tids = append(tids, tid)
+		seen[tid] = true
+	}
+	for tid := range rep.MRLs {
+		if !seen[tid] {
+			tids = append(tids, tid)
+		}
+	}
+	sort.Ints(tids)
+	return tids
+}
+
+// appendSection frames one section onto out.
+func appendSection(out []byte, kind byte, payload []byte) []byte {
+	start := len(out)
+	out = append(out, kind)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(payload)))
+	out = append(out, tmp[:]...)
+	out = append(out, payload...)
+	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(out[start:]))
+	return append(out, tmp[:]...)
+}
+
+// Pack encodes a crash report as a single archive blob. The encoding is
+// deterministic: packing the same report twice yields identical bytes.
+func Pack(rep *core.CrashReport) ([]byte, error) {
+	mj, err := json.Marshal(MetaOf(rep))
+	if err != nil {
+		return nil, err
+	}
+
+	tids := ThreadIDs(rep)
+
+	sections := uint32(1)
+	for _, tid := range tids {
+		sections += uint32(len(rep.FLLs[tid]) + len(rep.MRLs[tid]))
+	}
+
+	out := make([]byte, 0, 64+len(mj))
+	out = append(out, magic[:]...)
+	out = append(out, version)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], sections)
+	out = append(out, tmp[:]...)
+	out = appendSection(out, kindMeta, mj)
+	for _, tid := range tids {
+		for _, l := range rep.FLLs[tid] {
+			out = appendSection(out, kindFLL, l.Marshal())
+		}
+		for _, l := range rep.MRLs[tid] {
+			out = appendSection(out, kindMRL, l.Marshal())
+		}
+	}
+	return out, nil
+}
+
+// Unpack decodes an archive produced by Pack, validating the framing and
+// every section checksum before decoding any log payload.
+func Unpack(data []byte) (*core.CrashReport, error) {
+	if len(data) < 9 || [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadArchive)
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadArchive, data[4])
+	}
+	sections := binary.LittleEndian.Uint32(data[5:9])
+	if sections == 0 || sections > MaxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadArchive, sections)
+	}
+	pos := 9
+
+	rep := &core.CrashReport{
+		FLLs: make(map[int][]*fll.Log),
+		MRLs: make(map[int][]*mrl.Log),
+	}
+	haveMeta := false
+	for i := uint32(0); i < sections; i++ {
+		if len(data)-pos < 9 {
+			return nil, fmt.Errorf("%w: truncated at section %d", ErrBadArchive, i)
+		}
+		kind := data[pos]
+		n32 := binary.LittleEndian.Uint32(data[pos+1 : pos+5])
+		// Compare widths carefully: on 32-bit platforms int(n32) could go
+		// negative and sail past a signed bounds check into a slice panic.
+		if uint64(n32) > uint64(len(data)-pos-9) {
+			return nil, fmt.Errorf("%w: section %d length %d exceeds payload", ErrBadArchive, i, n32)
+		}
+		n := int(n32)
+		frame := data[pos : pos+5+n]
+		sum := binary.LittleEndian.Uint32(data[pos+5+n : pos+9+n])
+		if crc32.ChecksumIEEE(frame) != sum {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrBadArchive, i)
+		}
+		payload := frame[5:]
+		pos += 9 + n
+
+		switch kind {
+		case kindMeta:
+			if haveMeta {
+				return nil, fmt.Errorf("%w: duplicate metadata section", ErrBadArchive)
+			}
+			var m Meta
+			if err := json.Unmarshal(payload, &m); err != nil {
+				return nil, fmt.Errorf("%w: metadata: %v", ErrBadArchive, err)
+			}
+			m.Apply(rep)
+			haveMeta = true
+		case kindFLL:
+			l, err := fll.Unmarshal(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: section %d: %v", ErrBadArchive, i, err)
+			}
+			if l.TID > MaxTID {
+				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, l.TID)
+			}
+			rep.FLLs[int(l.TID)] = append(rep.FLLs[int(l.TID)], l)
+		case kindMRL:
+			l, err := mrl.Unmarshal(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: section %d: %v", ErrBadArchive, i, err)
+			}
+			if l.TID > MaxTID {
+				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, l.TID)
+			}
+			rep.MRLs[int(l.TID)] = append(rep.MRLs[int(l.TID)], l)
+		default:
+			return nil, fmt.Errorf("%w: unknown section kind %#x", ErrBadArchive, kind)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadArchive, len(data)-pos)
+	}
+	if !haveMeta {
+		return nil, fmt.Errorf("%w: no metadata section", ErrBadArchive)
+	}
+	return rep, nil
+}
+
+// ID returns the content address of a packed archive: the hex SHA-256 of
+// its bytes. Because Pack is deterministic, identical reports share an ID.
+func ID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

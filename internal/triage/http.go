@@ -1,0 +1,124 @@
+package triage
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"bugnet/internal/report"
+)
+
+// MaxUploadBytes bounds one archive upload. Field reports are the retained
+// log window, which the recorder budgets to megabytes (paper §7.2); this
+// is headroom, not a target.
+const MaxUploadBytes = 64 << 20
+
+// NewHandler exposes a Service over HTTP:
+//
+//	POST /reports        — upload one packed archive; responds with the
+//	                       ingest result (201 new, 200 duplicate)
+//	GET  /reports/{id}   — report metadata and verdict (?raw=1: the blob)
+//	GET  /buckets        — all crash buckets, most-populated first
+//	GET  /buckets/{key}  — one bucket
+//	GET  /healthz        — liveness plus occupancy counters
+//
+// The handler is transport only; every decision lives in the Service, so
+// tests drive it in-process with httptest and bugnet-serve just wraps it
+// in http.ListenAndServe.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
+			} else {
+				// Transport hiccup mid-body: a 5xx tells the recorder the
+				// report is still worth retrying.
+				httpError(w, http.StatusInternalServerError, "body read failed: "+err.Error())
+			}
+			return
+		}
+		res, err := s.Ingest(data)
+		switch {
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case errors.Is(err, report.ErrBadArchive):
+			// Unpack rejected it: the client sent garbage, not us.
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		case err != nil:
+			// Store I/O failure (disk full, permissions): our fault, and a
+			// 4xx would make a well-behaved recorder discard the report
+			// instead of retrying.
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		code := http.StatusCreated
+		if res.Duplicate {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, res)
+	})
+
+	mux.HandleFunc("GET /reports/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if r.URL.Query().Get("raw") == "1" {
+			data, err := s.Store().Get(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+			return
+		}
+		m, ok := s.Report(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such report")
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+
+	mux.HandleFunc("GET /buckets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Buckets())
+	})
+
+	mux.HandleFunc("GET /buckets/{key}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.Bucket(r.PathValue("key"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such bucket")
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Store().Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"reports":        st.RetainedCount,
+			"retained_bytes": st.RetainedBytes,
+			"evicted":        st.EvictedCount,
+			"buckets":        s.BucketCount(),
+			"pending":        s.Pending(),
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

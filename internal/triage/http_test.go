@@ -1,0 +1,119 @@
+package triage
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPEndpoints(t *testing.T) {
+	img, _, blob := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	s := newService(t, reg)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	// Upload.
+	resp, err := http.Post(srv.URL+"/reports", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /reports: %s", resp.Status)
+	}
+	var ing IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Duplicate upload answers 200.
+	resp, err = http.Post(srv.URL+"/reports", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate POST: %s", resp.Status)
+	}
+
+	// Garbage answers 400.
+	resp, err = http.Post(srv.URL+"/reports", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage POST: %s", resp.Status)
+	}
+
+	s.WaitIdle()
+
+	// Report metadata.
+	var meta ReportMeta
+	getJSON(t, srv.URL+"/reports/"+ing.ID, &meta)
+	if meta.ID != ing.ID || meta.Verdict == nil || meta.Verdict.State != VerdictDone {
+		t.Fatalf("report meta = %+v", meta)
+	}
+
+	// Raw blob round-trips byte-exact.
+	resp, err = http.Get(srv.URL + "/reports/" + ing.ID + "?raw=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(raw.Bytes(), blob) {
+		t.Fatal("raw download differs from upload")
+	}
+
+	// Buckets.
+	var buckets []Bucket
+	getJSON(t, srv.URL+"/buckets", &buckets)
+	if len(buckets) != 1 || buckets[0].Count != 2 || buckets[0].Key != ing.BucketKey {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	var b Bucket
+	getJSON(t, srv.URL+"/buckets/"+ing.BucketKey, &b)
+	if b.Verdict == nil || !b.Verdict.Reproduced {
+		t.Fatalf("bucket verdict = %+v", b.Verdict)
+	}
+
+	// Health.
+	var health map[string]any
+	getJSON(t, srv.URL+"/healthz", &health)
+	if health["status"] != "ok" || health["reports"].(float64) != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Unknowns answer 404.
+	for _, path := range []string{"/reports/deadbeef", "/buckets/nope"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

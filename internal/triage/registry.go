@@ -1,0 +1,64 @@
+package triage
+
+import (
+	"fmt"
+	"sync"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+)
+
+// ImageRegistry resolves a report's BinaryID to the image needed for
+// replay. Replay requires the exact binary the report was recorded from
+// (paper §5.1); a triage server is therefore provisioned with the builds
+// its fleet runs, and an upload from an unknown build gets an
+// "unresolvable binary" verdict rather than a bogus replay.
+//
+// Identity is content-based — text bytes, base, and entry — so the name
+// the recorder used is irrelevant, matching BinaryID.Matches.
+type ImageRegistry struct {
+	mu   sync.RWMutex
+	imgs map[imageKey]*asm.Image
+}
+
+// imageKey is BinaryID minus the free-form name.
+type imageKey struct {
+	textBase uint32
+	entry    uint32
+	textLen  uint32
+	textCRC  uint32
+}
+
+func keyOf(id core.BinaryID) imageKey {
+	return imageKey{textBase: id.TextBase, entry: id.Entry, textLen: id.TextLen, textCRC: id.TextCRC}
+}
+
+// NewImageRegistry returns an empty registry.
+func NewImageRegistry() *ImageRegistry {
+	return &ImageRegistry{imgs: make(map[imageKey]*asm.Image)}
+}
+
+// Register adds an image. Re-registering the same content is a no-op.
+func (r *ImageRegistry) Register(img *asm.Image) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.imgs[keyOf(core.IdentifyBinary(img))] = img
+}
+
+// Len returns the number of distinct registered binaries.
+func (r *ImageRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.imgs)
+}
+
+// Resolve finds the image a report was recorded from.
+func (r *ImageRegistry) Resolve(id core.BinaryID) (*asm.Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if img, ok := r.imgs[keyOf(id)]; ok {
+		return img, nil
+	}
+	return nil, fmt.Errorf("triage: no registered binary matches %q (text %d bytes, crc %#x at %#x)",
+		id.Name, id.TextLen, id.TextCRC, id.TextBase)
+}

@@ -1,0 +1,92 @@
+// Package triage is the developer-side receiving end of BugNet's crash
+// pipeline (paper §4.8): a customer-site recorder packs its retained
+// First-Load and Memory Race Logs into an archive and uploads it; this
+// package stores the blob, deduplicates the flood of identical field
+// crashes into buckets, and automatically replays each new report to
+// verify the crash reproduces and to extract races and a backtrace.
+package triage
+
+import (
+	"fmt"
+
+	"bugnet/internal/core"
+	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
+)
+
+// Signature identifies a crash bucket: reports with equal signatures are
+// the same field crash seen on different machines (or the same machine
+// repeatedly) and triage only needs to replay one of them.
+//
+// The signature is deliberately coarser than the report's content address.
+// Two executions of the same binary that fault at the same PC for the same
+// cause within the same checkpoint interval of the crashing thread are one
+// bug; their logged first-load values may still differ (timestamps, heap
+// addresses), so their archives hash differently.
+type Signature struct {
+	// Binary pins the exact program text; crashes of different builds
+	// never share a bucket, matching BinaryID's role in replay (§5.1).
+	Binary core.BinaryID `json:"binary"`
+	// Cause and PC identify the faulting instruction.
+	Cause cpu.FaultCause `json:"cause"`
+	PC    uint32         `json:"pc"`
+	// CID is the crashing thread's checkpoint interval id at the fault:
+	// how deep into execution the crash occurred, in interval units.
+	CID uint32 `json:"cid"`
+}
+
+// Key renders the deterministic bucket key used for indexing and in the
+// HTTP API.
+func (s Signature) Key() string {
+	return fmt.Sprintf("%s-crc%08x-pc%08x-cause%d-cid%d",
+		sanitize(s.Binary.Name), s.Binary.TextCRC, s.PC, uint8(s.Cause), s.CID)
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("%s: %v at pc=%#08x (interval %d)", s.Binary.Name, s.Cause, s.PC, s.CID)
+}
+
+// sanitize keeps bucket keys shell- and URL-friendly regardless of what
+// the recorder put in the binary name.
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name) && len(out) < 48; i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	return string(out)
+}
+
+// SignatureOf derives the bucket signature of a report. Reports without a
+// crash record (clean-stop uploads) get a zero fault signature, bucketed
+// by binary alone. The crashing-interval CID comes from the crashing
+// thread's fault-terminated FLL, falling back to its newest retained
+// interval when the fault record is absent.
+func SignatureOf(rep *core.CrashReport) Signature {
+	sig := Signature{Binary: rep.Binary}
+	if rep.Crash == nil || rep.Crash.Fault == nil {
+		return sig
+	}
+	sig.Cause = rep.Crash.Fault.Cause
+	sig.PC = rep.Crash.Fault.PC
+	logs := rep.FLLs[rep.Crash.TID]
+	for i := len(logs) - 1; i >= 0; i-- {
+		if logs[i].End == fll.EndFault {
+			sig.CID = logs[i].CID
+			return sig
+		}
+	}
+	if len(logs) > 0 {
+		sig.CID = logs[len(logs)-1].CID
+	}
+	return sig
+}

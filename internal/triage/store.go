@@ -1,0 +1,287 @@
+package triage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"bugnet/internal/report"
+)
+
+// Store is a sharded, content-addressed, byte-budgeted archive store.
+//
+// Blobs are keyed by their archive ID (hex SHA-256 of the packed bytes)
+// and fanned out over two levels of hash-prefix directories
+// (root/ab/cd/abcd….bnar) so no single directory accumulates millions of
+// entries under fleet-scale ingest. Identical uploads collapse onto one
+// file.
+//
+// Retention follows the logstore discipline (paper §4.7): the store is a
+// budgeted FIFO, and when retained bytes exceed the budget the oldest
+// blobs are deleted — crash evidence, like the replay window itself, is a
+// sliding resource. The newest blob is never evicted, so a single
+// over-budget report is still ingestible.
+type Store struct {
+	mu     sync.Mutex
+	root   string
+	budget int64 // <= 0: unlimited
+
+	index map[string]*blobInfo
+	order []string // insertion order, oldest first; eviction order key
+	seq   uint64
+	stats StoreStats
+
+	// onEvict, if set, is called (with s.mu held) for every evicted blob;
+	// the service uses it to drop per-report metadata in step.
+	onEvict func(id string)
+
+	// strays are valid-looking blob files found at non-canonical paths
+	// during OpenStore; recovery re-ingests then removes them.
+	strays []string
+}
+
+// blobInfo is the in-memory index entry for one stored archive.
+type blobInfo struct {
+	id    string
+	bytes int64
+	seq   uint64
+}
+
+// StoreStats mirrors logstore.Stats for the disk store.
+type StoreStats struct {
+	RetainedBytes int64
+	RetainedCount int
+	EvictedBytes  int64
+	EvictedCount  int
+	TotalBytes    int64
+	TotalCount    int
+}
+
+const blobExt = ".bnar"
+
+var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// OpenStore opens (creating if needed) a store rooted at dir. Blobs
+// already on disk from a previous run are re-indexed, oldest first by
+// modification time, so a restarted server resumes with its evidence
+// intact.
+func OpenStore(dir string, budget int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{root: dir, budget: budget, index: make(map[string]*blobInfo)}
+	type existing struct {
+		id    string
+		bytes int64
+		mtime int64
+	}
+	var found []existing
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if filepath.Ext(path) == ".tmp" {
+			// A crash between write and rename leaves a half blob; it was
+			// never indexed, so reclaim it rather than leak disk forever.
+			os.Remove(path)
+			return nil
+		}
+		if filepath.Ext(path) != blobExt {
+			return nil
+		}
+		id := d.Name()[:len(d.Name())-len(blobExt)]
+		if !idPattern.MatchString(id) {
+			return nil // foreign file; leave it alone
+		}
+		if path != s.path(id) {
+			// A blob not at its canonical shard location (botched restore)
+			// can never be served by Get. Don't index it — but don't
+			// destroy evidence either: park it for the service's recovery
+			// pass to re-ingest under the correct address.
+			s.strays = append(s.strays, path)
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		found = append(found, existing{id, info.Size(), info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found {
+		if _, ok := s.index[f.id]; ok {
+			continue // same id encountered twice; index and count it once
+		}
+		s.seq++
+		s.index[f.id] = &blobInfo{id: f.id, bytes: f.bytes, seq: s.seq}
+		s.order = append(s.order, f.id)
+		s.stats.RetainedBytes += f.bytes
+		s.stats.RetainedCount++
+		s.stats.TotalBytes += f.bytes
+		s.stats.TotalCount++
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// path returns the sharded location of a blob.
+func (s *Store) path(id string) string {
+	return filepath.Join(s.root, id[:2], id[2:4], id+blobExt)
+}
+
+// Put stores an archive blob under its content address. It returns the ID
+// and whether the blob was already present (the dedup case). Eviction runs
+// after a successful write.
+//
+// Disk I/O happens outside the store lock so one slow blob write cannot
+// stall Has/Get/Stats (and the health endpoint) behind it. Two concurrent
+// Puts of the same content race benignly: each writes its own temp file
+// and renames onto the same content-addressed path with identical bytes;
+// the second to reach the index reports existed.
+func (s *Store) Put(data []byte) (id string, existed bool, err error) {
+	return s.PutWithID(report.ID(data), data)
+}
+
+// PutWithID is Put for callers that already computed the content address,
+// sparing a second SHA-256 over the blob on the ingest hot path. The id
+// must be report.ID(data).
+func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err error) {
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	if ok {
+		return id, true, nil
+	}
+	p := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", false, err
+	}
+	// Write-then-rename so a crashed server never leaves a half blob
+	// under a valid content address.
+	tmp, err := os.CreateTemp(filepath.Dir(p), id+".*.tmp")
+	if err != nil {
+		return "", false, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; ok {
+		return id, true, nil // a concurrent identical upload indexed it first
+	}
+	s.seq++
+	s.index[id] = &blobInfo{id: id, bytes: int64(len(data)), seq: s.seq}
+	s.order = append(s.order, id)
+	s.stats.RetainedBytes += int64(len(data))
+	s.stats.RetainedCount++
+	s.stats.TotalBytes += int64(len(data))
+	s.stats.TotalCount++
+	s.evictLocked()
+	return id, false, nil
+}
+
+// Get reads a stored blob. Unknown (including malformed) ids are a
+// not-found error; path() may only see indexed ids, which are well-formed.
+func (s *Store) Get(id string) ([]byte, error) {
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("triage: no stored report %q", id)
+	}
+	return os.ReadFile(s.path(id))
+}
+
+// Has reports whether a blob is retained.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[id]
+	return ok
+}
+
+// Stats returns occupancy counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Strays returns the non-canonical blob files found at open time.
+func (s *Store) Strays() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.strays...)
+}
+
+// IDs returns the retained blob IDs, oldest first.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Delete removes one blob outright, counting it as evicted. The service
+// uses it to reclaim blobs that no longer decode at recovery.
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bi, ok := s.index[id]
+	if !ok {
+		return
+	}
+	delete(s.index, id)
+	for i, x := range s.order {
+		if x == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.stats.RetainedBytes -= bi.bytes
+	s.stats.RetainedCount--
+	s.stats.EvictedBytes += bi.bytes
+	s.stats.EvictedCount++
+	os.Remove(s.path(id))
+}
+
+// evictLocked deletes oldest blobs until the budget is met, sparing the
+// newest. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.stats.RetainedBytes > s.budget && len(s.order) > 1 {
+		id := s.order[0]
+		s.order = s.order[1:]
+		bi := s.index[id]
+		delete(s.index, id)
+		s.stats.RetainedBytes -= bi.bytes
+		s.stats.RetainedCount--
+		s.stats.EvictedBytes += bi.bytes
+		s.stats.EvictedCount++
+		os.Remove(s.path(id))
+		if s.onEvict != nil {
+			s.onEvict(id)
+		}
+	}
+}

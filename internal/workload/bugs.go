@@ -417,7 +417,7 @@ func longName(n int) []byte {
 // given factor (scale 1 targets the paper's absolute window sizes).
 func Bugs(scale int) []*BugApp {
 	mk := func(name, desc, loc string, paperWindow uint64, mt bool, src string, kcfg kernel.Config, args ...any) *BugApp {
-		img := mustBuild(name, src, args...)
+		img := mustBuildf(name, src, args...)
 		if mt && kcfg.Cores < 2 {
 			kcfg.Cores = 2
 		}

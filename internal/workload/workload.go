@@ -90,6 +90,11 @@ func scaledWindow(paper uint64, scale int) uint64 {
 
 // mustBuild assembles a bug source, panicking on error: workload sources
 // are compiled into the binary and must always assemble.
-func mustBuild(name, src string, args ...any) *asm.Image {
-	return asm.MustAssemble(name+".s", fmt.Sprintf(src, args...))
+func mustBuild(name, src string) *asm.Image {
+	return asm.MustAssemble(name+".s", src)
+}
+
+// mustBuildf is mustBuild over a format-string source template.
+func mustBuildf(name, format string, args ...any) *asm.Image {
+	return asm.MustAssemble(name+".s", fmt.Sprintf(format, args...))
 }

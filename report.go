@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
-	"bugnet/internal/core"
 	"bugnet/internal/fll"
 	"bugnet/internal/mrl"
+	"bugnet/internal/report"
 )
 
 // FLL is a First-Load Log: one checkpoint interval of one thread.
@@ -18,21 +17,14 @@ type FLL = fll.Log
 // MRL is a Memory Race Log paired with an FLL.
 type MRL = mrl.Log
 
-// reportManifest is the on-disk index of a saved crash report.
+// reportManifest is the on-disk index of a saved crash report. The
+// metadata (identity, crash record, recording options) is the same
+// report.Meta the packed archive carries, so the two serialized forms
+// cannot drift apart; the manifest only adds the per-log file references.
 type reportManifest struct {
-	PID    uint32         `json:"pid"`
-	Binary core.BinaryID  `json:"binary"`
-	Crash  *manifestCrash `json:"crash,omitempty"`
-	FLLs   []logRef       `json:"flls"`
-	MRLs   []logRef       `json:"mrls"`
-}
-
-type manifestCrash struct {
-	TID   int    `json:"tid"`
-	Cause uint8  `json:"cause"`
-	PC    uint32 `json:"pc"`
-	Addr  uint32 `json:"addr"`
-	IC    uint64 `json:"ic"`
+	report.Meta
+	FLLs []logRef `json:"flls"`
+	MRLs []logRef `json:"mrls"`
 }
 
 type logRef struct {
@@ -48,21 +40,8 @@ func SaveReport(dir string, rep *CrashReport) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	man := reportManifest{PID: rep.PID, Binary: rep.Binary}
-	if rep.Crash != nil {
-		man.Crash = &manifestCrash{
-			TID:   rep.Crash.TID,
-			Cause: uint8(rep.Crash.Fault.Cause),
-			PC:    rep.Crash.Fault.PC,
-			Addr:  rep.Crash.Fault.Addr,
-			IC:    rep.Crash.Fault.IC,
-		}
-	}
-	tids := make([]int, 0, len(rep.FLLs))
-	for tid := range rep.FLLs {
-		tids = append(tids, tid)
-	}
-	sort.Ints(tids)
+	man := reportManifest{Meta: report.MetaOf(rep)}
+	tids := report.ThreadIDs(rep)
 	for _, tid := range tids {
 		for _, l := range rep.FLLs[tid] {
 			name := fmt.Sprintf("fll-t%d-c%d.bin", tid, l.CID)
@@ -97,24 +76,15 @@ func LoadReport(dir string) (*CrashReport, error) {
 		return nil, fmt.Errorf("bugnet: bad manifest: %w", err)
 	}
 	rep := &CrashReport{
-		PID:    man.PID,
-		Binary: man.Binary,
-		FLLs:   make(map[int][]*FLL),
-		MRLs:   make(map[int][]*MRL),
+		FLLs: make(map[int][]*FLL),
+		MRLs: make(map[int][]*MRL),
 	}
-	if man.Crash != nil {
-		rep.Crash = &CrashInfo{
-			TID: man.Crash.TID,
-			Fault: &FaultInfo{
-				Cause: FaultCause(man.Crash.Cause),
-				PC:    man.Crash.PC,
-				Addr:  man.Crash.Addr,
-				IC:    man.Crash.IC,
-			},
-		}
-	}
+	man.Meta.Apply(rep)
 	for _, ref := range man.FLLs {
-		raw, err := os.ReadFile(filepath.Join(dir, ref.File))
+		if err := checkTID(ref.TID); err != nil {
+			return nil, err
+		}
+		raw, err := readLogFile(dir, ref.File)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +95,10 @@ func LoadReport(dir string) (*CrashReport, error) {
 		rep.FLLs[ref.TID] = append(rep.FLLs[ref.TID], l)
 	}
 	for _, ref := range man.MRLs {
-		raw, err := os.ReadFile(filepath.Join(dir, ref.File))
+		if err := checkTID(ref.TID); err != nil {
+			return nil, err
+		}
+		raw, err := readLogFile(dir, ref.File)
 		if err != nil {
 			return nil, err
 		}
@@ -136,4 +109,26 @@ func LoadReport(dir string) (*CrashReport, error) {
 		rep.MRLs[ref.TID] = append(rep.MRLs[ref.TID], l)
 	}
 	return rep, nil
+}
+
+// checkTID bounds manifest thread ids like report.Unpack does for packed
+// archives: replay allocates per-thread state indexed by TID, so a
+// hostile manifest claiming TID -1 or 2e9 must die here, not as a panic
+// or a 16 GB allocation in the replay tools.
+func checkTID(tid int) error {
+	if tid < 0 || tid > report.MaxTID {
+		return fmt.Errorf("bugnet: manifest references implausible thread id %d", tid)
+	}
+	return nil
+}
+
+// readLogFile reads one manifest-referenced log, confining the reference
+// to the report directory. Reports can come from untrusted machines; a
+// hostile manifest must not turn LoadReport into an arbitrary file read
+// ("../../etc/passwd" or an absolute path).
+func readLogFile(dir, name string) ([]byte, error) {
+	if name == "" || name != filepath.Base(name) || !filepath.IsLocal(name) {
+		return nil, fmt.Errorf("bugnet: manifest references file %q outside the report directory", name)
+	}
+	return os.ReadFile(filepath.Join(dir, name))
 }

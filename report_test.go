@@ -1,0 +1,191 @@
+package bugnet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// savedReport records the demo crash and saves it, returning the report
+// and its directory.
+func savedReport(t *testing.T) (*CrashReport, string) {
+	t.Helper()
+	img, err := Assemble("demo.s", demoSource)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	res, rep, _ := Record(img, MachineConfig{}, Config{IntervalLength: 16})
+	if res.Crash == nil {
+		t.Fatal("no crash")
+	}
+	dir := filepath.Join(t.TempDir(), "report")
+	if err := SaveReport(dir, rep); err != nil {
+		t.Fatalf("SaveReport: %v", err)
+	}
+	return rep, dir
+}
+
+func TestLoadReportMissingManifest(t *testing.T) {
+	if _, err := LoadReport(t.TempDir()); err == nil {
+		t.Fatal("loaded a report from an empty directory")
+	}
+}
+
+func TestLoadReportCorruptManifest(t *testing.T) {
+	_, dir := savedReport(t)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(dir); err == nil || !strings.Contains(err.Error(), "bad manifest") {
+		t.Fatalf("corrupt manifest: err = %v", err)
+	}
+}
+
+func TestLoadReportMissingLogFile(t *testing.T) {
+	_, dir := savedReport(t)
+	if err := os.Remove(filepath.Join(dir, "fll-t0-c0.bin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(dir); err == nil {
+		t.Fatal("loaded a report with a missing log file")
+	}
+}
+
+func TestLoadReportTruncatedFLL(t *testing.T) {
+	_, dir := savedReport(t)
+	name := filepath.Join(dir, "fll-t0-c0.bin")
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(dir); err == nil {
+		t.Fatal("loaded a report with a truncated FLL")
+	}
+}
+
+func TestLoadReportCorruptMRL(t *testing.T) {
+	_, dir := savedReport(t)
+	// The uniprocessor demo records no MRLs; fabricate a manifest entry
+	// pointing at a garbage payload.
+	mj := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	man["mrls"] = []map[string]any{{"tid": 0, "cid": 0, "file": "mrl-t0-c0.bin"}}
+	raw, _ = json.Marshal(man)
+	if err := os.WriteFile(mj, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mrl-t0-c0.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(dir); err == nil {
+		t.Fatal("loaded a report with a corrupt MRL")
+	}
+}
+
+func TestLoadReportRejectsPathTraversal(t *testing.T) {
+	_, dir := savedReport(t)
+	// Plant a secret outside the report directory, then point the
+	// manifest at it with a traversal reference.
+	outside := filepath.Join(filepath.Dir(dir), "secret.bin")
+	if err := os.WriteFile(outside, []byte("secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, hostile := range []string{"../secret.bin", "/etc/passwd", "sub/../../secret.bin", ""} {
+		mj := filepath.Join(dir, "manifest.json")
+		raw, err := os.ReadFile(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man map[string]any
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatal(err)
+		}
+		flls := man["flls"].([]any)
+		flls[0].(map[string]any)["file"] = hostile
+		raw, _ = json.Marshal(man)
+		if err := os.WriteFile(mj, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadReport(dir)
+		if err == nil {
+			t.Fatalf("manifest file %q accepted", hostile)
+		}
+		if !strings.Contains(err.Error(), "outside the report directory") {
+			t.Errorf("manifest file %q: err = %v, want confinement error", hostile, err)
+		}
+	}
+}
+
+func TestLoadReportRejectsImplausibleTID(t *testing.T) {
+	_, dir := savedReport(t)
+	for _, tid := range []int{-1, 2_000_000_000} {
+		mj := filepath.Join(dir, "manifest.json")
+		raw, err := os.ReadFile(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man map[string]any
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatal(err)
+		}
+		man["flls"].([]any)[0].(map[string]any)["tid"] = tid
+		raw, _ = json.Marshal(man)
+		if err := os.WriteFile(mj, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadReport(dir)
+		if err == nil || !strings.Contains(err.Error(), "implausible thread id") {
+			t.Errorf("tid %d: err = %v, want implausible-TID error", tid, err)
+		}
+	}
+}
+
+func TestSaveLoadReportCrashMetadata(t *testing.T) {
+	rep, dir := savedReport(t)
+	got, err := LoadReport(dir)
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+	if got.Crash == nil {
+		t.Fatal("crash metadata lost")
+	}
+	g, w := got.Crash.Fault, rep.Crash.Fault
+	if got.Crash.TID != rep.Crash.TID || g.Cause != w.Cause || g.PC != w.PC ||
+		g.Addr != w.Addr || g.IC != w.IC {
+		t.Errorf("crash fault round trip: got %+v want %+v", g, w)
+	}
+	if got.Binary != rep.Binary {
+		t.Errorf("binary id round trip: got %+v want %+v", got.Binary, rep.Binary)
+	}
+}
+
+func TestSaveReportCleanRun(t *testing.T) {
+	img, err := Assemble("clean.s", "main: li a0, 0\n  li a7, 1\n  syscall\n")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	_, rep, _ := Record(img, MachineConfig{}, Config{IntervalLength: 16})
+	dir := filepath.Join(t.TempDir(), "clean")
+	if err := SaveReport(dir, rep); err != nil {
+		t.Fatalf("SaveReport: %v", err)
+	}
+	got, err := LoadReport(dir)
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+	if got.Crash != nil {
+		t.Errorf("clean run grew a crash record: %+v", got.Crash)
+	}
+}
