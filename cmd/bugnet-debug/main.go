@@ -1,41 +1,68 @@
-// Command bugnet-debug is the replay debugger the paper motivates: it
-// opens a saved crash report against the matching binary and lets the
-// developer navigate the recorded window deterministically — forward,
-// backward (by deterministic re-execution), with breakpoints and
-// inspection of every memory location the window touched.
+// Command bugnet-debug is the time-travel replay debugger the paper
+// motivates: it navigates a recorded crash window deterministically in
+// both directions, with breakpoints, data watchpoints and inspection of
+// every memory location the window touched (§7.1 semantics: anything else
+// is unknown — BugNet ships no core dump).
 //
-// Usage:
+// Reverse execution is O(checkpoint-interval), not O(window): the engine
+// (internal/timetravel) checkpoints full replay state periodically and
+// implements backward motion as "restore nearest checkpoint + bounded
+// forward re-execution".
+//
+// Local mode opens a saved report directory against the matching binary:
 //
 //	bugnet-debug -dir report/ -bug gzip
+//
+// Remote mode debugs a report stored in a bugnet-serve triage service,
+// driving a server-side session over the JSON debug API — the developer
+// needs no local copy of the report:
+//
+//	bugnet-debug -remote http://triage:8080 -report <id>
 //
 // Commands (stdin, one per line, so sessions can be scripted):
 //
 //	s [n]         step n instructions (default 1)
-//	c             continue to breakpoint / end of window
+//	rs [n]        reverse-step n instructions
+//	c             continue to breakpoint / watchpoint / end of window
+//	rc            reverse-continue to previous breakpoint / watch change
 //	b <sym|hex>   set a breakpoint
 //	d <sym|hex>   delete a breakpoint
+//	watch <sym|hex>    watch a word; stops when its known value changes
+//	unwatch <sym|hex>  remove a watchpoint
 //	runto <sym>   run to an address once
-//	goto <n>      travel to absolute instruction position n (backwards ok)
-//	reset         back to the start of the window
+//	seek <n>      travel to absolute instruction position n (either way)
+//	goto <n>      alias of seek
+//	reset         back to the start of the window (seek 0)
 //	regs          print the register file
 //	x <sym|hex>   examine a memory word (reports unknown if untouched)
+//	bt [n]        backtrace: the last n fetched instructions
 //	where         print position, pc, symbol and disassembly
-//	q             quit
+//	q             quit (closes the remote session)
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"bugnet"
 	"bugnet/internal/cli"
-	"bugnet/internal/core"
-	"bugnet/internal/isa"
+	"bugnet/internal/timetravel"
 )
+
+// driver abstracts where commands execute: an in-process engine or a
+// remote bugnet-serve session.
+type driver interface {
+	do(c timetravel.Command) timetravel.Outcome
+	close()
+}
 
 func main() {
 	dir := flag.String("dir", "bugnet-report", "crash report directory")
@@ -44,58 +71,141 @@ func main() {
 	asmFile := flag.String("asm", "", "assembly source the report was recorded from")
 	scale := flag.Int("scale", 100, "bug-window scale used when recording")
 	tid := flag.Int("tid", -1, "thread to debug (default: the crashing thread)")
+	remote := flag.String("remote", "", "bugnet-serve base URL for a remote debug session")
+	reportID := flag.String("report", "", "stored report id to debug (remote mode)")
+	ckptEvery := flag.Uint64("ckpt", 10_000, "checkpoint interval in instructions (local mode)")
 	flag.Parse()
 
-	img, _, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	rep, err := bugnet.LoadReport(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if rep.Binary.TextLen != 0 {
-		if err := rep.Binary.Matches(img); err != nil {
+	var d driver
+	if *remote != "" {
+		if *reportID == "" {
+			fmt.Fprintln(os.Stderr, "-remote needs -report <id>")
+			os.Exit(2)
+		}
+		rd, err := openRemote(strings.TrimRight(*remote, "/"), *reportID, *tid)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	}
-	t := *tid
-	if t < 0 {
-		if rep.Crash != nil {
-			t = rep.Crash.TID
-		} else {
-			t = 0
+		d = rd
+	} else {
+		ld, err := openLocal(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale},
+			*dir, *tid, *ckptEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		d = ld
 	}
-	logs := rep.FLLs[t]
-	if len(logs) == 0 {
-		fmt.Fprintf(os.Stderr, "no logs for thread %d\n", t)
-		os.Exit(1)
-	}
-	d, err := core.NewDebugger(img, logs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	// Replay must match the recording options the report carries.
-	if rep.LogCodeLoads || rep.DictOptions != (bugnet.Config{}).DictOptions {
-		d.LogCodeLoads = rep.LogCodeLoads
-		d.DictOptions = rep.DictOptions
-		d.Reset()
-	}
-
-	fmt.Printf("replay window: %d instructions of thread %d\n", d.Window(), t)
-	if f := d.Fault(); f != nil {
-		fmt.Printf("recorded crash at %s: %s\n", d.SymbolAt(f.PC), d.Disasm(f.PC))
-	}
-	repl(d, img)
+	defer d.close()
+	repl(d)
 }
 
-func repl(d *core.Debugger, img *bugnet.Image) {
-	where(d)
+// --- local mode ---
+
+type localDriver struct{ eng *timetravel.Engine }
+
+func (l *localDriver) do(c timetravel.Command) timetravel.Outcome { return l.eng.Exec(c) }
+func (l *localDriver) close()                                     {}
+
+func openLocal(sel cli.Selection, dir string, tid int, ckptEvery uint64) (*localDriver, error) {
+	img, _, err := cli.Pick(sel)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := bugnet.LoadReport(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Binary.TextLen != 0 {
+		if err := rep.Binary.Matches(img); err != nil {
+			return nil, err
+		}
+	}
+	eng, tid, err := timetravel.NewEngineForThread(img, rep, tid,
+		timetravel.Config{CheckpointEvery: ckptEvery})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("replay window: %d instructions of thread %d\n", eng.Window(), tid)
+	if f := eng.Fault(); f != nil {
+		fmt.Printf("recorded crash at %s: %s\n", eng.SymbolAt(f.PC), eng.Disasm(f.PC))
+	}
+	return &localDriver{eng: eng}, nil
+}
+
+// --- remote mode ---
+
+type remoteDriver struct {
+	base string
+	id   string
+}
+
+func openRemote(base, reportID string, tid int) (*remoteDriver, error) {
+	req := timetravel.OpenRequest{Report: reportID}
+	if tid >= 0 {
+		req.TID = &tid
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/debug/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("open session: %s: %s", resp.Status, readErr(resp.Body))
+	}
+	var info timetravel.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("open session: %v", err)
+	}
+	fmt.Printf("remote session %s over report %s\n", info.ID, info.Report)
+	fmt.Printf("replay window: %d instructions of thread %d\n", info.Window, info.TID)
+	if info.Fault != nil {
+		fmt.Printf("recorded crash at %s: %s (%s)\n", info.Fault.Symbol, info.Fault.Disasm, info.Fault.Cause)
+	}
+	return &remoteDriver{base: base, id: info.ID}, nil
+}
+
+func (r *remoteDriver) do(c timetravel.Command) timetravel.Outcome {
+	body, _ := json.Marshal(c)
+	resp, err := http.Post(r.base+"/debug/sessions/"+r.id+"/cmd", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return timetravel.Outcome{Error: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return timetravel.Outcome{Error: fmt.Sprintf("%s: %s", resp.Status, readErr(resp.Body))}
+	}
+	var out timetravel.Outcome
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return timetravel.Outcome{Error: err.Error()}
+	}
+	return out
+}
+
+func (r *remoteDriver) close() {
+	req, _ := http.NewRequest(http.MethodDelete, r.base+"/debug/sessions/"+r.id, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+func readErr(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// --- REPL ---
+
+func repl(d driver) {
+	show(d.do(timetravel.Command{Cmd: "where"}))
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("(bugnet) ")
 	for sc.Scan() {
@@ -104,110 +214,156 @@ func repl(d *core.Debugger, img *bugnet.Image) {
 			fmt.Print("(bugnet) ")
 			continue
 		}
-		switch fields[0] {
-		case "q", "quit", "exit":
+		cmd, ok := parse(fields)
+		if cmd.Cmd == "quit" {
 			return
-		case "s", "step":
-			n := uint64(1)
-			if len(fields) > 1 {
-				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
-					n = v
-				}
-			}
-			reason, err := d.Step(n)
-			report(d, reason, err)
-		case "c", "continue":
-			reason, err := d.Continue()
-			report(d, reason, err)
-		case "b", "break":
-			if pc, ok := resolve(img, fields); ok {
-				d.AddBreak(pc)
-				fmt.Printf("breakpoint at %s\n", d.SymbolAt(pc))
-			}
-		case "d", "delete":
-			if pc, ok := resolve(img, fields); ok {
-				d.ClearBreak(pc)
-			}
-		case "runto":
-			if pc, ok := resolve(img, fields); ok {
-				reason, err := d.RunTo(pc)
-				report(d, reason, err)
-			}
-		case "goto":
-			if len(fields) > 1 {
-				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
-					if err := d.Goto(v); err != nil {
-						fmt.Println("error:", err)
-					}
-					where(d)
-				}
-			}
-		case "reset":
-			d.Reset()
-			where(d)
-		case "regs":
-			regs(d)
-		case "x", "examine":
-			if addr, ok := resolve(img, fields); ok {
-				v, known := d.ReadWord(addr)
-				if known {
-					fmt.Printf("%#08x: %#08x (%d)\n", addr, v, int32(v))
-				} else {
-					fmt.Printf("%#08x: unknown — not touched in the recorded window (no core dump in BugNet)\n", addr)
-				}
-			}
-		case "where", "w":
-			where(d)
-		default:
-			fmt.Println("commands: s [n] | c | b <sym> | d <sym> | runto <sym> | goto <n> | reset | regs | x <sym> | where | q")
+		}
+		if ok {
+			show(d.do(cmd))
 		}
 		fmt.Print("(bugnet) ")
 	}
 }
 
-func report(d *core.Debugger, reason core.StopReason, err error) {
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	fmt.Printf("stopped: %v\n", reason)
-	where(d)
-	if reason == core.StopEnd && d.Fault() != nil {
-		fmt.Printf("the next instruction is the recorded crash: %s\n", d.Disasm(d.Fault().PC))
-	}
-}
-
-func where(d *core.Debugger) {
-	fmt.Printf("[%d/%d] %s:  %s\n", d.Pos(), d.Window(), d.SymbolAt(d.PC()), d.Disasm(d.PC()))
-}
-
-func regs(d *core.Debugger) {
-	st := d.Registers()
-	fmt.Printf("pc = %#08x\n", st.PC)
-	for i := 0; i < isa.NumRegs; i += 4 {
-		for j := i; j < i+4; j++ {
-			fmt.Printf("%-4s= %#08x  ", isa.RegName(uint8(j)), st.Regs[j])
+// parse turns a REPL line into a protocol command. ok is false when the
+// line was malformed (a usage hint was printed).
+func parse(fields []string) (timetravel.Command, bool) {
+	count := func() uint64 {
+		if len(fields) > 1 {
+			if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				return v
+			}
 		}
-		fmt.Println()
+		return 0
+	}
+	target := func() (timetravel.Command, bool) {
+		if len(fields) < 2 {
+			fmt.Println("need an address or symbol")
+			return timetravel.Command{}, false
+		}
+		// The raw token travels as Sym and resolves where the image lives
+		// (server side in remote mode): symbol first, then hex, then
+		// decimal — bare digits like "100" have always meant 0x100 here.
+		return timetravel.Command{Sym: fields[1]}, true
+	}
+
+	switch fields[0] {
+	case "q", "quit", "exit":
+		return timetravel.Command{Cmd: "quit"}, false
+	case "s", "step":
+		return timetravel.Command{Cmd: "step", N: count()}, true
+	case "rs", "rstep":
+		return timetravel.Command{Cmd: "rstep", N: count()}, true
+	case "c", "continue", "cont":
+		return timetravel.Command{Cmd: "cont"}, true
+	case "rc", "rcont":
+		return timetravel.Command{Cmd: "rcont"}, true
+	case "seek", "goto":
+		if len(fields) < 2 {
+			fmt.Println("need a position")
+			return timetravel.Command{}, false
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad position:", fields[1])
+			return timetravel.Command{}, false
+		}
+		return timetravel.Command{Cmd: "seek", Pos: v}, true
+	case "reset":
+		return timetravel.Command{Cmd: "seek", Pos: 0}, true
+	case "b", "break":
+		c, ok := target()
+		c.Cmd = "break"
+		return c, ok
+	case "d", "delete":
+		c, ok := target()
+		c.Cmd = "delete"
+		return c, ok
+	case "watch":
+		c, ok := target()
+		c.Cmd = "watch"
+		return c, ok
+	case "unwatch":
+		c, ok := target()
+		c.Cmd = "unwatch"
+		return c, ok
+	case "regs":
+		return timetravel.Command{Cmd: "regs"}, true
+	case "x", "examine":
+		c, ok := target()
+		c.Cmd = "mem"
+		if len(fields) > 2 {
+			if v, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+				c.N = v
+			}
+		}
+		return c, ok
+	case "bt", "backtrace":
+		return timetravel.Command{Cmd: "backtrace", N: count()}, true
+	case "where", "w":
+		return timetravel.Command{Cmd: "where"}, true
+	case "runto":
+		// runto = temporary breakpoint + continue, composed client-side.
+		c, ok := target()
+		if !ok {
+			return c, false
+		}
+		c.Cmd = "runto"
+		return c, true
+	default:
+		fmt.Println("commands: s [n] | rs [n] | c | rc | b <sym> | d <sym> | watch <sym> | unwatch <sym> |" +
+			" runto <sym> | seek <n> | reset | regs | x <sym> [n] | bt [n] | where | q")
+		return timetravel.Command{}, false
 	}
 }
 
-// resolve turns a symbol name or hex/decimal literal into an address.
-func resolve(img *bugnet.Image, fields []string) (uint32, bool) {
-	if len(fields) < 2 {
-		fmt.Println("need an address or symbol")
-		return 0, false
+// show renders one outcome.
+func show(out timetravel.Outcome) {
+	if out.Error != "" {
+		fmt.Println("error:", out.Error)
+		if out.Window == 0 {
+			// Transport-level failure: there is no position to report.
+			return
+		}
 	}
-	arg := fields[1]
-	if addr, ok := img.Symbol(arg); ok {
-		return addr, true
+	if out.Stop != "" {
+		fmt.Printf("stopped: %s\n", out.Stop)
 	}
-	if v, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 32); err == nil {
-		return uint32(v), true
+	if out.Watch != nil {
+		w := out.Watch
+		fmt.Printf("watch %#08x: %s -> %s\n", w.Addr, watchVal(w.OldKnown, w.Old), watchVal(w.NewKnown, w.New))
 	}
-	if v, err := strconv.ParseUint(arg, 10, 32); err == nil {
-		return uint32(v), true
+	for _, m := range out.Mem {
+		if m.Known {
+			fmt.Printf("%#08x: %#08x (%d)\n", m.Addr, m.Value, int32(m.Value))
+		} else {
+			fmt.Printf("%#08x: unknown — not touched in the recorded window (no core dump in BugNet)\n", m.Addr)
+		}
 	}
-	fmt.Printf("cannot resolve %q\n", arg)
-	return 0, false
+	if len(out.Regs) > 0 {
+		fmt.Printf("pc = %#08x\n", out.PC)
+		for i := 0; i < len(out.Regs); i += 4 {
+			for j := i; j < i+4 && j < len(out.Regs); j++ {
+				fmt.Printf("%-4s= %#08x  ", out.Regs[j].Name, out.Regs[j].Value)
+			}
+			fmt.Println()
+		}
+	}
+	for _, f := range out.Backtrace {
+		fmt.Printf("  %#08x %-24s %s\n", f.PC, f.Symbol, f.Disasm)
+	}
+	if len(out.Breaks) > 0 {
+		fmt.Printf("breakpoints: %d\n", len(out.Breaks))
+	}
+	if len(out.Watches) > 0 {
+		fmt.Printf("watchpoints: %d\n", len(out.Watches))
+	}
+	fmt.Printf("[%d/%d] %s:  %s\n", out.Pos, out.Window, out.Symbol, out.Disasm)
+}
+
+func watchVal(known bool, v uint32) string {
+	if !known {
+		return "unknown"
+	}
+	return fmt.Sprintf("%#x", v)
 }

@@ -16,8 +16,15 @@
 // any -image assembly sources; uploads from unknown builds are stored and
 // bucketed but their verdict is "failed: no registered binary".
 //
-// Endpoints: POST /reports, GET /reports/{id}[?raw=1], GET /buckets,
-// GET /buckets/{key}, GET /healthz.
+// The server also hosts remote time-travel debug sessions over its stored
+// reports (internal/timetravel): POST /debug/sessions opens a session on a
+// report id, bugnet-debug -remote drives it interactively with reverse
+// execution and watchpoints, and the session pins the report blob against
+// store eviction while open.
+//
+// Endpoints: POST /reports, GET /reports[?offset=&limit=],
+// GET /reports/{id}[?raw=1], GET /buckets[?offset=&limit=],
+// GET /buckets/{key}, GET /healthz, and the /debug/sessions API.
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bugnet/internal/asm"
+	"bugnet/internal/timetravel"
 	"bugnet/internal/triage"
 	"bugnet/internal/workload"
 )
@@ -49,6 +58,10 @@ func main() {
 	scale := flag.Int("scale", 100, "bug-window scale the fleet's recorders use")
 	depth := flag.Int("backtrace", 16, "backtrace depth in instructions")
 	maxWindow := flag.Uint64("maxwindow", 0, "max replay window per report in instructions (0 = default 100M)")
+	sessions := flag.Int("debug-sessions", 8, "max concurrent remote debug sessions")
+	idle := flag.Duration("debug-idle", 10*time.Minute, "idle timeout for remote debug sessions")
+	ckptEvery := flag.Uint64("debug-ckpt", 10_000, "debug checkpoint interval in instructions")
+	ckptBudget := flag.Int64("debug-ckpt-budget", 64<<20, "per-session checkpoint byte budget")
 	var images imageList
 	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
 	flag.Parse()
@@ -87,9 +100,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Remote time-travel debug sessions over the stored reports.
+	sessionWindow := *maxWindow
+	if sessionWindow == 0 {
+		// Mirror the triage default so interactive sessions accept exactly
+		// the reports automatic triage would replay.
+		sessionWindow = triage.DefaultMaxReplayWindow
+	}
+	mgr := timetravel.NewManager(svc, timetravel.ManagerConfig{
+		MaxSessions: *sessions,
+		IdleTimeout: *idle,
+		MaxWindow:   sessionWindow,
+		Engine: timetravel.Config{
+			CheckpointEvery:  *ckptEvery,
+			CheckpointBudget: *ckptBudget,
+			MaxPages:         triage.DefaultMaxReplayPages,
+		},
+	})
+	defer mgr.Close()
+
 	// Shut down cleanly on SIGINT/SIGTERM: stop accepting uploads, then
 	// drain the replay queue so no verdict is lost mid-flight.
-	srv := &http.Server{Addr: *addr, Handler: triage.NewHandler(svc)}
+	srv := &http.Server{Addr: *addr, Handler: triage.NewHandlerWithDebug(svc, mgr)}
 	shutdownDone := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -126,6 +126,14 @@ func (r *Reader) Align() {
 	}
 }
 
+// Clone returns an independent reader at the same position. The underlying
+// buffer is shared (readers never mutate it), so cloning is O(1); replay
+// checkpointing uses it to freeze a log cursor.
+func (r *Reader) Clone() *Reader {
+	cp := *r
+	return &cp
+}
+
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() uint64 { return r.nbit - r.pos }
 

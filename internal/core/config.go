@@ -112,6 +112,14 @@ func (t *traceRing) push(e TraceEntry) {
 	}
 }
 
+// clone returns a deep copy of the ring, for replay checkpointing.
+func (t *traceRing) clone() *traceRing {
+	if t == nil {
+		return nil
+	}
+	return &traceRing{buf: append([]TraceEntry(nil), t.buf...), next: t.next, full: t.full}
+}
+
 // entries returns the retained trace oldest-first.
 func (t *traceRing) entries() []TraceEntry {
 	if !t.full {

@@ -10,11 +10,15 @@ import (
 )
 
 // Debugger is the developer-side tool the paper motivates: deterministic
-// replay debugging over the recorded window (§1, §5). It wraps the replay
-// state machine with breakpoints, single-stepping, register and memory
+// replay debugging over the recorded window (§1, §5). It is a thin adapter
+// over ReplayMachine — breakpoints, single-stepping, register and memory
 // inspection, and travel back in time by re-executing from the window
 // start (replay is deterministic, so going back is just running forward
 // again — the Ronsse/De Bosschere style the paper cites).
+//
+// For O(K) reverse execution backed by periodic replay-state checkpoints,
+// plus watchpoints and remote sessions, see internal/timetravel, which
+// builds on the same ReplayMachine.
 //
 // Memory inspection follows the paper's §7.1 semantics: BugNet logs carry
 // no core dump, so only locations the replayed window actually touched
@@ -32,12 +36,8 @@ type Debugger struct {
 	LogCodeLoads bool
 	DictOptions  dict.Options
 
-	st     *state
-	pos    uint64 // instructions executed so far
-	total  uint64 // window length (sum of log lengths)
-	known  map[uint32]bool
+	m      *ReplayMachine
 	breaks map[uint32]bool
-	done   bool
 }
 
 // StopReason tells why the debugger returned control.
@@ -72,49 +72,46 @@ func NewDebugger(img *asm.Image, logs []*fll.Log) (*Debugger, error) {
 		logs:   logs,
 		breaks: make(map[uint32]bool),
 	}
-	for _, l := range logs {
-		d.total += l.Length
-	}
 	d.reset()
 	return d, nil
 }
 
-// reset rebuilds the replay state at the start of the window.
+// reset rebuilds the replay machine at the start of the window, picking up
+// the current LogCodeLoads/DictOptions.
 func (d *Debugger) reset() {
 	r := NewReplayer(d.img, d.logs)
 	r.LogCodeLoads = d.LogCodeLoads
 	r.DictOptions = d.DictOptions
-	d.known = make(map[uint32]bool)
-	r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
-		d.known[wordAddr] = true
-	}
-	d.st = r.newState()
-	d.pos = 0
-	d.done = !d.st.next()
+	d.m = r.Machine(MachineOptions{TrackKnown: true})
 }
 
 // Reset travels back to the beginning of the recorded window.
+//
+// Reset discards all replay-derived state: position, registers, replayed
+// memory and the §7.1 known-memory map are re-derived from the logs, so a
+// ReadWord that was known before Reset reports unknown again until
+// re-execution touches the location. Breakpoints are user configuration,
+// not replay state, and survive Reset — matching a conventional debugger's
+// restart semantics.
 func (d *Debugger) Reset() { d.reset() }
 
 // Window returns the total instructions the retained logs cover.
-func (d *Debugger) Window() uint64 { return d.total }
+func (d *Debugger) Window() uint64 { return d.m.Window() }
 
 // Pos returns the number of instructions executed so far.
-func (d *Debugger) Pos() uint64 { return d.pos }
+func (d *Debugger) Pos() uint64 { return d.m.Pos() }
 
 // Done reports whether the window is exhausted.
-func (d *Debugger) Done() bool { return d.done }
+func (d *Debugger) Done() bool { return d.m.Done() }
 
 // PC returns the current program counter.
-func (d *Debugger) PC() uint32 { return d.st.c.PC }
+func (d *Debugger) PC() uint32 { return d.m.PC() }
 
 // Registers returns the current architectural state.
-func (d *Debugger) Registers() cpu.Snapshot { return d.st.c.State() }
+func (d *Debugger) Registers() cpu.Snapshot { return d.m.Registers() }
 
 // Fault returns the crash record of the final log, if any.
-func (d *Debugger) Fault() *fll.FaultRecord {
-	return d.logs[len(d.logs)-1].Fault
-}
+func (d *Debugger) Fault() *fll.FaultRecord { return d.m.Fault() }
 
 // AddBreak sets a breakpoint at pc.
 func (d *Debugger) AddBreak(pc uint32) { d.breaks[pc] = true }
@@ -131,50 +128,23 @@ func (d *Debugger) Breakpoints() []uint32 {
 	return out
 }
 
-// step advances exactly one instruction, handling interval transitions.
-func (d *Debugger) step() error {
-	for d.st.intervalDone() {
-		if err := d.st.finishInterval(); err != nil {
-			return err
-		}
-		if !d.st.next() {
-			d.done = true
-			return nil
-		}
-	}
-	if err := d.st.step(); err != nil {
-		return err
-	}
-	d.pos++
-	for d.st.intervalDone() {
-		if err := d.st.finishInterval(); err != nil {
-			return err
-		}
-		if !d.st.next() {
-			d.done = true
-			return nil
-		}
-	}
-	return nil
-}
-
 // Step executes up to n instructions, stopping early at a breakpoint or
 // the end of the window.
 func (d *Debugger) Step(n uint64) (StopReason, error) {
 	for i := uint64(0); i < n; i++ {
-		if d.done {
+		if d.m.Done() {
 			return StopEnd, nil
 		}
-		if err := d.step(); err != nil {
+		if err := d.m.StepOne(); err != nil {
 			return StopEnd, err
 		}
 		// The breakpoint check precedes the end check: the window's final
 		// PC is the faulting instruction, and a breakpoint there must
 		// report as hit.
-		if d.breaks[d.st.c.PC] {
+		if d.breaks[d.m.PC()] {
 			return StopBreak, nil
 		}
-		if d.done {
+		if d.m.Done() {
 			return StopEnd, nil
 		}
 	}
@@ -185,16 +155,16 @@ func (d *Debugger) Step(n uint64) (StopReason, error) {
 // faulting instruction, if any, is next).
 func (d *Debugger) Continue() (StopReason, error) {
 	for {
-		if d.done {
+		if d.m.Done() {
 			return StopEnd, nil
 		}
-		if err := d.step(); err != nil {
+		if err := d.m.StepOne(); err != nil {
 			return StopEnd, err
 		}
-		if d.breaks[d.st.c.PC] {
+		if d.breaks[d.m.PC()] {
 			return StopBreak, nil
 		}
-		if d.done {
+		if d.m.Done() {
 			return StopEnd, nil
 		}
 	}
@@ -212,13 +182,15 @@ func (d *Debugger) RunTo(pc uint32) (StopReason, error) {
 }
 
 // Goto travels to an absolute instruction position in the window,
-// re-executing from the start if the target lies in the past.
+// re-executing from the start if the target lies in the past. This is the
+// O(window) baseline; timetravel.Engine.SeekTo is the checkpointed O(K)
+// path.
 func (d *Debugger) Goto(pos uint64) error {
-	if pos < d.pos {
+	if pos < d.m.Pos() {
 		d.reset()
 	}
-	for d.pos < pos && !d.done {
-		if err := d.step(); err != nil {
+	for d.m.Pos() < pos && !d.m.Done() {
+		if err := d.m.StepOne(); err != nil {
 			return err
 		}
 	}
@@ -229,22 +201,7 @@ func (d *Debugger) Goto(pos uint64) error {
 // recorded window never touched — their values were not logged and cannot
 // be examined (paper §7.1).
 func (d *Debugger) ReadWord(addr uint32) (value uint32, known bool) {
-	wordAddr := addr &^ 3
-	if !d.known[wordAddr] {
-		// Text is always known: the developer has the binary.
-		if wordAddr >= d.img.TextBase && int(wordAddr-d.img.TextBase)+4 <= len(d.img.Text) {
-			v, err := d.st.mem.LoadWord(wordAddr)
-			if err == nil {
-				return v, true
-			}
-		}
-		return 0, false
-	}
-	v, err := d.st.mem.LoadWord(wordAddr)
-	if err != nil {
-		return 0, false
-	}
-	return v, true
+	return d.m.ReadWord(addr)
 }
 
 // Disasm renders the instruction at pc.
@@ -255,9 +212,15 @@ func (d *Debugger) Disasm(pc uint32) string {
 // SymbolAt returns the closest preceding symbol and offset for an address,
 // for human-readable locations.
 func (d *Debugger) SymbolAt(pc uint32) string {
+	return SymbolAt(d.img, pc)
+}
+
+// SymbolAt renders pc as the closest preceding symbol plus offset, falling
+// back to the bare address. Shared by the debugger adapters.
+func SymbolAt(img *asm.Image, pc uint32) string {
 	bestName := ""
 	bestAddr := uint32(0)
-	for name, addr := range d.img.Symbols {
+	for name, addr := range img.Symbols {
 		if addr <= pc && (bestName == "" || addr > bestAddr ||
 			(addr == bestAddr && name < bestName)) {
 			bestName, bestAddr = name, addr

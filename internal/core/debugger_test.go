@@ -189,3 +189,49 @@ func TestDebuggerSymbolsAndDisasm(t *testing.T) {
 		t.Error("window length zero")
 	}
 }
+
+// TestDebuggerResetSemantics pins the documented Reset contract: replay
+// state (position and the §7.1 known-memory map) is re-derived from
+// scratch, while breakpoints — user configuration — survive.
+func TestDebuggerResetSemantics(t *testing.T) {
+	d, img := newTestDebugger(t)
+	mark := img.MustSymbol("mark")
+	slots := img.MustSymbol("slots")
+	d.AddBreak(mark)
+
+	// Execute past the first stores so slots[0] is known.
+	if _, err := d.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, known := d.ReadWord(slots); !known {
+		t.Fatal("slots[0] should be known after the first store")
+	}
+
+	d.Reset()
+	if d.Pos() != 0 || d.Done() {
+		t.Fatalf("after Reset: pos=%d done=%v", d.Pos(), d.Done())
+	}
+	// The known map was cleared: the location is unknown again until
+	// re-execution touches it.
+	if _, known := d.ReadWord(slots); known {
+		t.Fatal("Reset must clear the known-memory map")
+	}
+	// Breakpoints survive: the next Continue stops at mark again, and the
+	// re-derived state is identical to the first visit.
+	reason, err := d.Continue()
+	if err != nil || reason != StopBreak {
+		t.Fatalf("continue after Reset: %v, %v", reason, err)
+	}
+	if d.PC() != mark {
+		t.Fatalf("stopped at %#x; want %#x", d.PC(), mark)
+	}
+	if got := d.Registers().Regs[isa.RegS0]; got != 0 {
+		t.Errorf("s0 at first hit after Reset = %d; want 0", got)
+	}
+	if got := d.Breakpoints(); len(got) != 1 || got[0] != mark {
+		t.Errorf("breakpoints after Reset = %v", got)
+	}
+}

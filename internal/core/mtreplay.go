@@ -73,14 +73,14 @@ func NewMultiReplayer(img *asm.Image, report *CrashReport) *MultiReplayer {
 	}
 }
 
-// threadCtx is one thread's replay machinery plus its constraint queue.
+// threadCtx is one thread's replay machine plus its constraint queue. The
+// machine's Pos is the thread's replay-local progress; its snapshot/restore
+// capability is what a future parallel interval replay would checkpoint.
 type threadCtx struct {
 	tid         int
-	st          *state
+	m           *ReplayMachine
 	constraints []constraint
 	nextCon     int
-	progress    uint64 // instructions replayed (replay-local)
-	done        bool
 }
 
 // Run replays all threads under the MRL ordering constraints.
@@ -168,19 +168,16 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 		if det != nil {
 			tcc := tc
 			r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
-				det.access(tcc.tid, tcc.progress, pc, wordAddr, isWrite)
+				det.access(tcc.tid, tcc.m.Pos(), pc, wordAddr, isWrite)
 			}
 		}
-		tc.st = r.newState()
-		if !tc.st.next() {
-			tc.done = true
-		}
+		tc.m = r.Machine(MachineOptions{})
 	}
 
 	// Interleave, honoring constraints.
 	active := 0
 	for _, tid := range tids {
-		if !ctxs[tid].done {
+		if !ctxs[tid].m.Done() {
 			active++
 		}
 	}
@@ -188,7 +185,7 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 		progressed := false
 		for _, tid := range tids {
 			tc := ctxs[tid]
-			if tc.done || !m.satisfied(tc, ctxs) {
+			if tc.m.Done() || !m.satisfied(tc, ctxs) {
 				continue
 			}
 			executed, err := m.stepThread(tc)
@@ -201,7 +198,7 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 					res.Order = append(res.Order, tid)
 				}
 			}
-			if tc.done {
+			if tc.m.Done() {
 				active--
 				progressed = true
 			}
@@ -212,7 +209,7 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 	}
 
 	for _, tid := range tids {
-		res.Threads[tid] = ctxs[tid].st.result()
+		res.Threads[tid] = ctxs[tid].m.Result()
 	}
 	if det != nil {
 		res.Races = det.races()
@@ -224,14 +221,14 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 // constraint gating the instruction at the current progress index must see
 // the remote thread far enough along.
 func (m *MultiReplayer) satisfied(tc *threadCtx, ctxs []*threadCtx) bool {
-	for tc.nextCon < len(tc.constraints) && tc.constraints[tc.nextCon].local == tc.progress {
+	for tc.nextCon < len(tc.constraints) && tc.constraints[tc.nextCon].local == tc.m.Pos() {
 		c := tc.constraints[tc.nextCon]
 		rc := ctxs[c.remote]
 		if rc == nil {
 			tc.nextCon++ // remote thread left no logs at all: vacuous
 			continue
 		}
-		if rc.progress < c.rIC {
+		if rc.m.Pos() < c.rIC {
 			return false // must wait for the remote thread
 		}
 		tc.nextCon++
@@ -239,32 +236,11 @@ func (m *MultiReplayer) satisfied(tc *threadCtx, ctxs []*threadCtx) bool {
 	return true
 }
 
-// stepThread advances one thread by at most one instruction, handling
-// interval transitions. It reports whether an instruction executed.
+// stepThread advances one thread by at most one instruction (the machine
+// handles interval transitions). It reports whether an instruction
+// executed — crossing into end-of-window executes nothing.
 func (m *MultiReplayer) stepThread(tc *threadCtx) (bool, error) {
-	st := tc.st
-	for st.intervalDone() {
-		if err := st.finishInterval(); err != nil {
-			return false, err
-		}
-		if !st.next() {
-			tc.done = true
-			return false, nil
-		}
-	}
-	if err := st.step(); err != nil {
-		return false, err
-	}
-	tc.progress++
-	// Close out trailing finished intervals so done is observed promptly.
-	for st.intervalDone() {
-		if err := st.finishInterval(); err != nil {
-			return true, err
-		}
-		if !st.next() {
-			tc.done = true
-			break
-		}
-	}
-	return true, nil
+	before := tc.m.Pos()
+	err := tc.m.StepOne()
+	return tc.m.Pos() > before, err
 }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sort"
+
+	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
+	"bugnet/internal/mem"
+)
+
+// MachineOptions tunes a ReplayMachine.
+type MachineOptions struct {
+	// TrackKnown maintains the §7.1 known-memory map: the set of word
+	// addresses the replayed window has touched (injected first loads or
+	// replayed stores). Debuggers need it for ReadWord's unknown-memory
+	// semantics; the multithreaded triage replay disables it to keep one
+	// map write off the per-access hot path.
+	TrackKnown bool
+}
+
+// ReplayMachine is the incremental single-thread replay engine: the replay
+// state machine of Replayer, advanced one instruction at a time with
+// interval transitions handled internally, plus full-state snapshot and
+// restore. It is the shared substrate of the local debugger
+// (core.Debugger), the time-travel subsystem (internal/timetravel), the
+// multithreaded replayer, and — via snapshots — any future parallel
+// interval replay.
+//
+// The machine takes ownership of the Replayer it is built from: Machine
+// installs an access hook wrapper (chaining any hook already set, as the
+// multithreaded replayer's race detector relies on), and the Replayer must
+// not be mutated or reused afterwards.
+type ReplayMachine struct {
+	r     *Replayer
+	st    *state
+	pos   uint64
+	total uint64
+	done  bool
+	known map[uint32]bool // nil unless TrackKnown
+}
+
+// Machine wraps the replayer in an incremental stepping engine positioned
+// at the start of the window.
+func (r *Replayer) Machine(opts MachineOptions) *ReplayMachine {
+	m := &ReplayMachine{r: r}
+	for _, l := range r.logs {
+		m.total += l.Length
+	}
+	if opts.TrackKnown {
+		m.known = make(map[uint32]bool)
+		user := r.OnAccess
+		r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
+			m.known[wordAddr] = true
+			if user != nil {
+				user(pc, wordAddr, isWrite)
+			}
+		}
+	}
+	m.st = r.newState()
+	m.done = !m.st.next()
+	return m
+}
+
+// Reset rewinds the machine to the start of the window, re-deriving all
+// replay state (including the known-memory map) from the logs.
+func (m *ReplayMachine) Reset() {
+	if m.known != nil {
+		m.known = make(map[uint32]bool)
+	}
+	m.st = m.r.newState()
+	m.pos = 0
+	m.done = !m.st.next()
+}
+
+// Window returns the total instructions the retained logs cover.
+func (m *ReplayMachine) Window() uint64 { return m.total }
+
+// Pos returns the number of instructions executed so far.
+func (m *ReplayMachine) Pos() uint64 { return m.pos }
+
+// Done reports whether the window is exhausted.
+func (m *ReplayMachine) Done() bool { return m.done }
+
+// PC returns the current program counter.
+func (m *ReplayMachine) PC() uint32 { return m.st.c.PC }
+
+// Registers returns the current architectural state.
+func (m *ReplayMachine) Registers() cpu.Snapshot { return m.st.c.State() }
+
+// Fault returns the crash record of the final log, if any.
+func (m *ReplayMachine) Fault() *fll.FaultRecord {
+	if len(m.r.logs) == 0 {
+		return nil
+	}
+	return m.r.logs[len(m.r.logs)-1].Fault
+}
+
+// Trace returns the verification/backtrace ring (oldest first), empty
+// unless the Replayer was built with TraceDepth > 0.
+func (m *ReplayMachine) Trace() []TraceEntry {
+	if m.st.trace == nil {
+		return nil
+	}
+	return m.st.trace.entries()
+}
+
+// Result builds the replay summary at the current position (the
+// multithreaded replayer calls it once each thread's window is exhausted).
+func (m *ReplayMachine) Result() *ReplayResult { return m.st.result() }
+
+// StepOne advances exactly one instruction, handling interval transitions
+// on both sides. At the end of the window it sets Done and returns nil.
+func (m *ReplayMachine) StepOne() error {
+	for m.st.intervalDone() {
+		if err := m.st.finishInterval(); err != nil {
+			return err
+		}
+		if !m.st.next() {
+			m.done = true
+			return nil
+		}
+	}
+	if err := m.st.step(); err != nil {
+		return err
+	}
+	m.pos++
+	for m.st.intervalDone() {
+		if err := m.st.finishInterval(); err != nil {
+			return err
+		}
+		if !m.st.next() {
+			m.done = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// Known reports whether the recorded window has touched addr's word so
+// far. Always false when the machine was built without TrackKnown.
+func (m *ReplayMachine) Known(addr uint32) bool { return m.known[addr&^3] }
+
+// KnownWords returns the touched word addresses in ascending order.
+func (m *ReplayMachine) KnownWords() []uint32 {
+	out := make([]uint32, 0, len(m.known))
+	for a := range m.known {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadWord inspects replayed memory under the paper's §7.1 semantics:
+// known is false for locations the recorded window has not touched —
+// their values were never logged and cannot be examined. Program text is
+// always known (the developer has the binary). Requires TrackKnown.
+func (m *ReplayMachine) ReadWord(addr uint32) (value uint32, known bool) {
+	wordAddr := addr &^ 3
+	if !m.known[wordAddr] {
+		img := m.r.img
+		if wordAddr >= img.TextBase && int(wordAddr-img.TextBase)+4 <= len(img.Text) {
+			if v, err := m.st.mem.LoadWord(wordAddr); err == nil {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	v, err := m.st.mem.LoadWord(wordAddr)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReplaySnapshot is a frozen deep copy of an in-flight replay: memory
+// image, architectural state, log cursors (interval index, bit position,
+// prefetched entry), dictionary contents, trace ring and known-memory map.
+// Restoring one reproduces the replay exactly as it was at Pos — the
+// checkpoint primitive behind O(K) reverse execution. A snapshot is
+// immutable and may be restored any number of times.
+type ReplaySnapshot struct {
+	pos  uint64
+	done bool
+
+	mem    *mem.Memory
+	regs   cpu.Snapshot
+	ic     uint64
+	halted bool
+	fault  *cpu.FaultInfo
+
+	idx      int
+	executed uint64
+	total    uint64
+	injected uint64
+	reader   *fll.Reader // refers to its own frozen dictionary clone
+	trace    *traceRing
+	err      error
+
+	known map[uint32]bool
+	bytes int64
+}
+
+// Pos returns the instruction position the snapshot was taken at.
+func (s *ReplaySnapshot) Pos() uint64 { return s.pos }
+
+// SizeBytes estimates the snapshot's memory footprint, for checkpoint
+// byte budgets: the dominant terms are the copied memory pages and the
+// known-memory map.
+func (s *ReplaySnapshot) SizeBytes() int64 { return s.bytes }
+
+// Snapshot captures the machine's complete replay state.
+func (m *ReplayMachine) Snapshot() *ReplaySnapshot {
+	st := m.st
+	s := &ReplaySnapshot{
+		pos:      m.pos,
+		done:     m.done,
+		mem:      st.mem.Snapshot(),
+		regs:     st.c.State(),
+		ic:       st.c.IC,
+		halted:   st.c.Halted,
+		idx:      st.idx,
+		executed: st.executed,
+		total:    st.total,
+		injected: st.injected,
+		trace:    st.trace.clone(),
+		err:      st.err,
+	}
+	if st.c.Fault != nil {
+		f := *st.c.Fault
+		s.fault = &f
+	}
+	if st.reader != nil {
+		d := st.d.Clone()
+		s.reader = st.reader.Clone(d)
+	}
+	if m.known != nil {
+		s.known = make(map[uint32]bool, len(m.known))
+		for a := range m.known {
+			s.known[a] = true
+		}
+	}
+	s.bytes = s.mem.Footprint() + int64(len(s.known))*8 + 512
+	if st.d != nil {
+		s.bytes += int64(st.d.Size()) * 8
+	}
+	if s.trace != nil {
+		s.bytes += int64(len(s.trace.buf)) * 12
+	}
+	return s
+}
+
+// Restore installs a snapshot, deep-copying out of it so the snapshot
+// stays reusable. The machine must have been built from the same logs the
+// snapshot was taken over.
+func (m *ReplayMachine) Restore(s *ReplaySnapshot) {
+	st := m.st
+	st.mem = s.mem.Snapshot()
+	st.c.Mem = st.mem
+	st.c.InvalidateFetchCache()
+	st.c.Restore(s.regs)
+	st.c.IC = s.ic
+	st.c.Halted = s.halted
+	st.c.Fault = nil
+	if s.fault != nil {
+		f := *s.fault
+		st.c.Fault = &f
+	}
+	st.idx = s.idx
+	st.cur = nil
+	if s.idx >= 1 && s.idx <= len(st.logs) {
+		st.cur = st.logs[s.idx-1]
+	}
+	st.executed = s.executed
+	st.total = s.total
+	st.injected = s.injected
+	st.trace = s.trace.clone()
+	st.err = s.err
+	st.d = nil
+	st.reader = nil
+	if s.reader != nil {
+		// The snapshot's reader refers to the snapshot's frozen dictionary;
+		// clone the pair so the restored cursor updates a private table.
+		d := s.reader.Dict().Clone()
+		st.d = d
+		st.reader = s.reader.Clone(d)
+	}
+	m.pos = s.pos
+	m.done = s.done
+	if m.known != nil {
+		m.known = make(map[uint32]bool, len(s.known))
+		for a := range s.known {
+			m.known[a] = true
+		}
+	}
+}

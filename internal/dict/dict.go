@@ -181,6 +181,15 @@ func (t *Table) Update(v uint32) {
 	t.entries[victim] = entry{val: v, count: 1}
 }
 
+// Clone returns a deep copy of the table — contents, ordering, counters and
+// statistics. Replay checkpointing clones the table so a restored replay
+// decodes ranks against the exact mid-interval dictionary state.
+func (t *Table) Clone() *Table {
+	cp := *t
+	cp.entries = append([]entry(nil), t.entries...)
+	return &cp
+}
+
 // Stats returns cumulative lookup statistics.
 func (t *Table) Stats() Stats { return t.stats }
 

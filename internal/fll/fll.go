@@ -329,6 +329,25 @@ func (r *Reader) Op(memValue uint32) (value uint32, injected bool, err error) {
 	return memValue, false, nil
 }
 
+// Clone returns an independent reader that continues from r's exact
+// position — bit cursor, prefetched entry and consumed count. d must hold
+// dictionary state identical to r's table (typically its Clone); the clone
+// updates d as it consumes entries, leaving r's table untouched. Replay
+// checkpointing uses Clone to freeze and later restore a log cursor
+// mid-interval.
+func (r *Reader) Clone(d *dict.Table) *Reader {
+	if d == nil || d.Size() != r.dict.Size() {
+		panic("fll: clone dictionary geometry does not match reader")
+	}
+	cp := *r
+	cp.dict = d
+	cp.r = r.r.Clone()
+	return &cp
+}
+
+// Dict returns the dictionary table the reader decodes ranks against.
+func (r *Reader) Dict() *dict.Table { return r.dict }
+
 // Err returns the first decode error, if any.
 func (r *Reader) Err() error { return r.err }
 

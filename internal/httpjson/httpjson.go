@@ -1,0 +1,22 @@
+// Package httpjson holds the JSON response helpers shared by the BugNet
+// HTTP surfaces (triage API, remote-debug API). Keeping them in one place
+// keeps the error envelope — {"error": msg} — wire-compatible across
+// endpoints; clients like bugnet-debug parse it uniformly.
+package httpjson
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Write encodes v as the response body with the given status code.
+func Write(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Error writes the shared error envelope.
+func Error(w http.ResponseWriter, code int, msg string) {
+	Write(w, code, map[string]string{"error": msg})
+}

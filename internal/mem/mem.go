@@ -280,10 +280,13 @@ func (m *Memory) PageNumbers() []uint32 {
 	return out
 }
 
-// Snapshot returns a deep copy of the address space. FDR's replayer uses
-// snapshots as the core-dump image from which checkpoint state is rebuilt.
+// Snapshot returns a deep copy of the address space, including the map
+// limit. FDR's replayer uses snapshots as the core-dump image from which
+// checkpoint state is rebuilt; replay checkpointing uses them as the
+// known-memory image of a restore point.
 func (m *Memory) Snapshot() *Memory {
 	s := New()
+	s.MapLimit = m.MapLimit
 	for n, p := range m.pages {
 		cp := *p
 		s.pages[n] = &cp

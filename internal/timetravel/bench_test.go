@@ -1,0 +1,122 @@
+package timetravel
+
+import (
+	"fmt"
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+	"bugnet/internal/kernel"
+)
+
+// benchWindow records a clean-exit loop workload of roughly `instrs`
+// replayed instructions and returns its report and image.
+func benchWindow(b *testing.B, instrs uint64) (*core.CrashReport, *asm.Image) {
+	b.Helper()
+	iters := instrs / 8 // 8 instructions per loop body
+	src := fmt.Sprintf(`
+        .data
+buf:    .space 64
+        .text
+main:   li   s0, %d
+        la   s1, buf
+loop:   andi t0, s0, 15
+        slli t0, t0, 2
+        add  t0, s1, t0
+        lw   t1, (t0)
+        add  t1, t1, s0
+        sw   t1, (t0)
+        addi s0, s0, -1
+        bnez s0, loop
+        li   a0, 0
+        li   a7, 1
+        syscall
+`, iters)
+	img := asm.MustAssemble("bench.s", src)
+	res, rep, _ := core.Record(img, kernel.Config{},
+		core.Config{IntervalLength: 10_000, Cache: tinyCache()})
+	if res.Crash != nil {
+		b.Fatalf("bench workload crashed: %v", res.Crash)
+	}
+	return rep, img
+}
+
+// engineAtEnd builds an engine, runs it to the window end (populating the
+// checkpoint set), and returns it.
+func engineAtEnd(b *testing.B, rep *core.CrashReport, img *asm.Image) *Engine {
+	b.Helper()
+	eng, _, err := NewEngineForThread(img, rep, -1, Config{CheckpointEvery: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Continue(); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkReverseStep measures one backward step at the end of windows of
+// growing length. With checkpoints the cost is bounded by CheckpointEvery
+// — the ns/op must stay near-constant as the window quadruples — where the
+// re-execute-from-zero baseline below grows linearly.
+func BenchmarkReverseStep(b *testing.B) {
+	for _, window := range []uint64{40_000, 80_000, 160_000} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			rep, img := benchWindow(b, window)
+			eng := engineAtEnd(b, rep, img)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ReverseStep(1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReverseStepLinear is the pre-checkpoint baseline: core.Debugger
+// travels backward by re-executing from the window start, so one reverse
+// step costs O(window).
+func BenchmarkReverseStepLinear(b *testing.B) {
+	for _, window := range []uint64{40_000, 80_000, 160_000} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			rep, img := benchWindow(b, window)
+			d, err := core.NewDebugger(img, rep.FLLs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Continue(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Goto(d.Pos() - 1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeek measures random absolute seeks across a warmed window:
+// restore nearest checkpoint + at most CheckpointEvery forward steps.
+func BenchmarkSeek(b *testing.B) {
+	rep, img := benchWindow(b, 160_000)
+	eng := engineAtEnd(b, rep, img)
+	window := eng.Window()
+	// A fixed pseudo-random walk, independent of b.N splits.
+	next := uint64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next = next*6364136223846793005 + 1442695040888963407
+		if err := eng.SeekTo(next % (window + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

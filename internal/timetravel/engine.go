@@ -1,0 +1,495 @@
+// Package timetravel is the interactive time-travel debugging subsystem:
+// checkpointed reverse execution over a recorded replay window, plus the
+// session layer that exposes it to remote developers over HTTP.
+//
+// The paper's whole point is developer-side deterministic replay debugging
+// (§1, §5), but naive "back in time" is re-execution from the window start
+// — O(window) per reverse step. This package wraps core.ReplayMachine with
+// periodic full-state checkpoints (CPU snapshot, known-memory image, log
+// cursors, backtrace ring) taken every CheckpointEvery instructions under
+// a byte budget, so any backward motion becomes "restore the nearest
+// checkpoint + bounded forward re-execution": ReverseStep, ReverseContinue
+// and SeekTo all cost O(CheckpointEvery), independent of how long the
+// recorded window is. Data watchpoints honor the paper's §7.1
+// unknown-memory semantics: a watch fires when the watched word's *known*
+// value changes — a replayed store rewriting it, or a logged first-load
+// injection making it known in the first place.
+package timetravel
+
+import (
+	"fmt"
+	"sort"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
+	"bugnet/internal/fll"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// CheckpointEvery is the checkpoint interval K in replayed
+	// instructions; reverse motion costs at most one checkpoint restore
+	// plus K forward steps. Default 10_000.
+	CheckpointEvery uint64
+	// CheckpointBudget bounds the bytes retained across all checkpoints.
+	// When exceeded, the checkpoint whose removal creates the smallest
+	// coverage gap is evicted (never the window-start anchor, never the
+	// newest), so dense recent history thins toward sparse old history and
+	// the reverse-step bound degrades gracefully to the widest surviving
+	// gap. Default 64 MB.
+	CheckpointBudget int64
+	// TraceDepth is the backtrace ring length carried through replay and
+	// checkpoints. Default 16.
+	TraceDepth int
+	// MaxPages caps replay memory in 4 KB pages (see
+	// core.Replayer.MaxPages); sessions over untrusted stored reports set
+	// it. 0 = unlimited.
+	MaxPages int
+	// LogCodeLoads and DictOptions must match the recording configuration
+	// (CrashReport carries them).
+	LogCodeLoads bool
+	DictOptions  dict.Options
+}
+
+func (c *Config) fillDefaults() {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10_000
+	}
+	if c.CheckpointBudget == 0 {
+		c.CheckpointBudget = 64 << 20
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = 16
+	}
+}
+
+// StopReason tells why the engine returned control.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopStep  StopReason = iota // requested step count exhausted
+	StopBreak                   // hit a breakpoint
+	StopWatch                   // a watched word's known value changed
+	StopEnd                     // reached the end of the recorded window
+	StopStart                   // reached the start of the window (reverse)
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopStep:
+		return "step"
+	case StopBreak:
+		return "breakpoint"
+	case StopWatch:
+		return "watchpoint"
+	case StopEnd:
+		return "end-of-window"
+	case StopStart:
+		return "start-of-window"
+	}
+	return "unknown"
+}
+
+// WatchHit describes the transition that fired a watchpoint. Known=false
+// values are the §7.1 "untouched, value unavailable" state.
+type WatchHit struct {
+	Addr     uint32 `json:"addr"`
+	OldKnown bool   `json:"old_known"`
+	Old      uint32 `json:"old"`
+	NewKnown bool   `json:"new_known"`
+	New      uint32 `json:"new"`
+}
+
+// watchVal is a watched word's last observed state.
+type watchVal struct {
+	known bool
+	val   uint32
+}
+
+// checkpoint is one restore point.
+type checkpoint struct {
+	pos  uint64
+	snap *core.ReplaySnapshot
+}
+
+// Engine is a time-travel debugger over one thread's retained logs:
+// forward and reverse stepping, breakpoints, data watchpoints, absolute
+// seeks, register/memory inspection and a rolling backtrace. Like the
+// paper's debugger (§4.6: "any thread can be replayed independent of the
+// other threads"), it replays one thread; cross-thread ordering stays the
+// multithreaded replayer's job.
+//
+// Engine is not safe for concurrent use; Session serializes access.
+type Engine struct {
+	img *asm.Image
+	cfg Config
+	m   *core.ReplayMachine
+
+	ckpts      []*checkpoint // ascending by pos; ckpts[0] is the pos-0 anchor
+	ckptBytes  int64
+	nextCkptAt uint64
+
+	breaks     map[uint32]bool
+	watchAddrs []uint32 // sorted word addresses, for deterministic reporting
+	watchVals  map[uint32]watchVal
+	lastWatch  *WatchHit
+}
+
+// NewEngine opens one thread's logs for time-travel debugging.
+func NewEngine(img *asm.Image, logs []*fll.Log, cfg Config) (*Engine, error) {
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("timetravel: engine needs at least one log")
+	}
+	cfg.fillDefaults()
+	r := core.NewReplayer(img, logs)
+	r.LogCodeLoads = cfg.LogCodeLoads
+	r.DictOptions = cfg.DictOptions
+	r.MaxPages = cfg.MaxPages
+	r.TraceDepth = cfg.TraceDepth
+	e := &Engine{
+		img:       img,
+		cfg:       cfg,
+		m:         r.Machine(core.MachineOptions{TrackKnown: true}),
+		breaks:    make(map[uint32]bool),
+		watchVals: make(map[uint32]watchVal),
+	}
+	// The window-start anchor: every backward seek has somewhere to land.
+	e.ckpts = append(e.ckpts, &checkpoint{pos: 0, snap: e.m.Snapshot()})
+	e.ckptBytes = e.ckpts[0].snap.SizeBytes()
+	e.nextCkptAt = cfg.CheckpointEvery
+	return e, nil
+}
+
+// NewEngineForThread opens one thread of a crash report, adopting the
+// recording options the report carries. tid < 0 selects the crashing
+// thread (thread 0 if the report records a clean stop).
+func NewEngineForThread(img *asm.Image, rep *core.CrashReport, tid int, cfg Config) (*Engine, int, error) {
+	if tid < 0 {
+		tid = 0
+		if rep.Crash != nil {
+			tid = rep.Crash.TID
+		}
+	}
+	logs := rep.FLLs[tid]
+	if len(logs) == 0 {
+		return nil, tid, fmt.Errorf("timetravel: report has no logs for thread %d", tid)
+	}
+	cfg.LogCodeLoads = rep.LogCodeLoads
+	cfg.DictOptions = rep.DictOptions
+	e, err := NewEngine(img, logs, cfg)
+	return e, tid, err
+}
+
+// Window returns the total instructions the retained logs cover.
+func (e *Engine) Window() uint64 { return e.m.Window() }
+
+// Pos returns the current instruction position.
+func (e *Engine) Pos() uint64 { return e.m.Pos() }
+
+// Done reports whether the window is exhausted.
+func (e *Engine) Done() bool { return e.m.Done() }
+
+// PC returns the current program counter.
+func (e *Engine) PC() uint32 { return e.m.PC() }
+
+// Registers returns the current architectural state.
+func (e *Engine) Registers() cpu.Snapshot { return e.m.Registers() }
+
+// Fault returns the crash record of the final log, if any.
+func (e *Engine) Fault() *fll.FaultRecord { return e.m.Fault() }
+
+// ReadWord inspects replayed memory under §7.1 semantics.
+func (e *Engine) ReadWord(addr uint32) (value uint32, known bool) { return e.m.ReadWord(addr) }
+
+// Backtrace returns the trail of the last TraceDepth fetched instructions
+// at the current position, oldest first.
+func (e *Engine) Backtrace() []core.TraceEntry { return e.m.Trace() }
+
+// SymbolAt renders pc as symbol+offset.
+func (e *Engine) SymbolAt(pc uint32) string { return core.SymbolAt(e.img, pc) }
+
+// Disasm renders the instruction at pc.
+func (e *Engine) Disasm(pc uint32) string { return e.img.DisassembleAt(pc) }
+
+// Image returns the binary the engine replays.
+func (e *Engine) Image() *asm.Image { return e.img }
+
+// LastWatch returns the transition behind the most recent StopWatch.
+func (e *Engine) LastWatch() *WatchHit { return e.lastWatch }
+
+// AddBreak sets a breakpoint at pc.
+func (e *Engine) AddBreak(pc uint32) { e.breaks[pc] = true }
+
+// ClearBreak removes a breakpoint.
+func (e *Engine) ClearBreak(pc uint32) { delete(e.breaks, pc) }
+
+// Breakpoints returns the breakpoint set in ascending order.
+func (e *Engine) Breakpoints() []uint32 {
+	out := make([]uint32, 0, len(e.breaks))
+	for pc := range e.breaks {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddWatch sets a data watchpoint on the word containing addr, primed with
+// the word's current known state.
+func (e *Engine) AddWatch(addr uint32) {
+	w := addr &^ 3
+	if _, ok := e.watchVals[w]; ok {
+		return
+	}
+	v, known := e.m.ReadWord(w)
+	e.watchVals[w] = watchVal{known: known, val: v}
+	e.watchAddrs = append(e.watchAddrs, w)
+	sort.Slice(e.watchAddrs, func(i, j int) bool { return e.watchAddrs[i] < e.watchAddrs[j] })
+}
+
+// ClearWatch removes the watchpoint on addr's word.
+func (e *Engine) ClearWatch(addr uint32) {
+	w := addr &^ 3
+	if _, ok := e.watchVals[w]; !ok {
+		return
+	}
+	delete(e.watchVals, w)
+	for i, a := range e.watchAddrs {
+		if a == w {
+			e.watchAddrs = append(e.watchAddrs[:i], e.watchAddrs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Watches returns the watched word addresses in ascending order.
+func (e *Engine) Watches() []uint32 {
+	return append([]uint32(nil), e.watchAddrs...)
+}
+
+// Checkpoints reports the live checkpoint count and their byte footprint.
+func (e *Engine) Checkpoints() (count int, bytes int64) {
+	return len(e.ckpts), e.ckptBytes
+}
+
+// primeWatches re-reads every watched word, so motion that is navigation
+// (seeks, restores) rather than execution never fires a watchpoint.
+func (e *Engine) primeWatches() {
+	for _, a := range e.watchAddrs {
+		v, known := e.m.ReadWord(a)
+		e.watchVals[a] = watchVal{known: known, val: v}
+	}
+}
+
+// checkWatches scans the watched words (in address order) for a change
+// since the last observation, updating the stored state either way.
+func (e *Engine) checkWatches() *WatchHit {
+	var hit *WatchHit
+	for _, a := range e.watchAddrs {
+		v, known := e.m.ReadWord(a)
+		prev := e.watchVals[a]
+		if known != prev.known || v != prev.val {
+			e.watchVals[a] = watchVal{known: known, val: v}
+			if hit == nil {
+				hit = &WatchHit{Addr: a, OldKnown: prev.known, Old: prev.val, NewKnown: known, New: v}
+			}
+		}
+	}
+	return hit
+}
+
+// ckptIndexAtOrBefore returns the index of the latest checkpoint with
+// pos <= target. The pos-0 anchor guarantees one exists.
+func (e *Engine) ckptIndexAtOrBefore(target uint64) int {
+	i := sort.Search(len(e.ckpts), func(i int) bool { return e.ckpts[i].pos > target })
+	return i - 1
+}
+
+// maybeCheckpoint takes a checkpoint when the machine crosses the next
+// scheduled position, then enforces the byte budget. Restores re-align
+// nextCkptAt, so checkpoint positions stay on the K grid and re-executed
+// stretches find their old checkpoints instead of duplicating them.
+func (e *Engine) maybeCheckpoint() {
+	pos := e.m.Pos()
+	if pos < e.nextCkptAt {
+		return
+	}
+	e.nextCkptAt = pos + e.cfg.CheckpointEvery
+	i := e.ckptIndexAtOrBefore(pos)
+	if e.ckpts[i].pos == pos {
+		return // already have one here (re-execution after a restore)
+	}
+	c := &checkpoint{pos: pos, snap: e.m.Snapshot()}
+	e.ckpts = append(e.ckpts, nil)
+	copy(e.ckpts[i+2:], e.ckpts[i+1:])
+	e.ckpts[i+1] = c
+	e.ckptBytes += c.snap.SizeBytes()
+	e.evict()
+}
+
+// evict thins checkpoints until the byte budget is met: repeatedly drop
+// the interior checkpoint whose removal creates the smallest gap, sparing
+// the pos-0 anchor and the newest. Old dense history decays toward
+// exponential spacing; the reverse-step bound becomes the widest gap.
+func (e *Engine) evict() {
+	for e.ckptBytes > e.cfg.CheckpointBudget && len(e.ckpts) > 2 {
+		best, bestGap := -1, uint64(0)
+		for i := 1; i < len(e.ckpts)-1; i++ {
+			gap := e.ckpts[i+1].pos - e.ckpts[i-1].pos
+			if best == -1 || gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		e.ckptBytes -= e.ckpts[best].snap.SizeBytes()
+		e.ckpts = append(e.ckpts[:best], e.ckpts[best+1:]...)
+	}
+}
+
+// forwardOne executes one instruction and handles checkpointing.
+func (e *Engine) forwardOne() error {
+	if err := e.m.StepOne(); err != nil {
+		return err
+	}
+	e.maybeCheckpoint()
+	return nil
+}
+
+// Step executes up to n instructions, stopping early at a breakpoint, a
+// watchpoint change, or the end of the window.
+func (e *Engine) Step(n uint64) (StopReason, error) {
+	for i := uint64(0); i < n; i++ {
+		if e.m.Done() {
+			return StopEnd, nil
+		}
+		if err := e.forwardOne(); err != nil {
+			return StopEnd, err
+		}
+		if hit := e.checkWatches(); hit != nil {
+			e.lastWatch = hit
+			return StopWatch, nil
+		}
+		// Breakpoint before end-of-window, as in core.Debugger: the final
+		// PC is the faulting instruction and a breakpoint there must hit.
+		if e.breaks[e.m.PC()] {
+			return StopBreak, nil
+		}
+		if e.m.Done() {
+			return StopEnd, nil
+		}
+	}
+	return StopStep, nil
+}
+
+// Continue runs forward until a breakpoint, watchpoint, or the end of the
+// window (where the faulting instruction, if any, is next).
+func (e *Engine) Continue() (StopReason, error) {
+	return e.Step(^uint64(0)) // the window is far shorter than 2^64
+}
+
+// SeekTo travels to an absolute position: it restores the nearest
+// checkpoint at or before the target whenever that lands closer than the
+// current position — backward always, forward when a checkpoint lets the
+// seek skip ahead — then re-executes to the target, so on a warmed window
+// the cost is bounded by the checkpoint spacing, not the distance.
+// Breakpoints and watchpoints do not fire during a seek.
+func (e *Engine) SeekTo(target uint64) error {
+	if target > e.m.Window() {
+		target = e.m.Window()
+	}
+	if c := e.ckpts[e.ckptIndexAtOrBefore(target)]; target < e.m.Pos() || c.pos > e.m.Pos() {
+		e.m.Restore(c.snap)
+		e.nextCkptAt = c.pos + e.cfg.CheckpointEvery
+	}
+	for e.m.Pos() < target && !e.m.Done() {
+		if err := e.forwardOne(); err != nil {
+			return err
+		}
+	}
+	e.primeWatches()
+	return nil
+}
+
+// ReverseStep travels n instructions backward. It reports StopStart when
+// the request was clamped at the window start.
+func (e *Engine) ReverseStep(n uint64) (StopReason, error) {
+	pos := e.m.Pos()
+	if n >= pos {
+		if err := e.SeekTo(0); err != nil {
+			return StopStart, err
+		}
+		if n > pos {
+			return StopStart, nil
+		}
+		return StopStep, nil
+	}
+	if err := e.SeekTo(pos - n); err != nil {
+		return StopStep, err
+	}
+	return StopStep, nil
+}
+
+// ReverseContinue runs backward to the most recent earlier position where
+// a breakpoint or watchpoint would stop execution, or to the window start.
+//
+// A breakpoint stop is a position p < Pos whose PC is a breakpoint. A
+// watchpoint stop is the position of the instruction that changed the
+// watched word — reverse lands *before* the mutator commits, so the
+// developer inspects the pre-corruption state and the culprit's PC, while
+// forward execution stops just after the change (conventional debugger
+// asymmetry).
+//
+// The scan walks checkpoint gaps newest-first: restore the previous
+// checkpoint, re-execute forward to the scan limit recording the last
+// stop, and only widen backward when a gap contains none — so the common
+// "the write was recent" case costs one gap, and the worst case is one
+// pass over the window.
+func (e *Engine) ReverseContinue() (StopReason, error) {
+	limit := e.m.Pos()
+	for {
+		i := e.ckptIndexAtOrBefore(limit)
+		c := e.ckpts[i]
+		if c.pos == limit && limit > 0 {
+			// The checkpoint sits exactly at the scan limit; the gap to
+			// scan is the one before it.
+			c = e.ckpts[i-1]
+		}
+		e.m.Restore(c.snap)
+		e.nextCkptAt = c.pos + e.cfg.CheckpointEvery
+		e.primeWatches()
+
+		hitPos, hitReason := int64(-1), StopStep
+		var hitWatch *WatchHit
+		if e.breaks[e.m.PC()] && e.m.Pos() < limit {
+			hitPos, hitReason = int64(e.m.Pos()), StopBreak
+		}
+		for e.m.Pos() < limit && !e.m.Done() {
+			p := e.m.Pos()
+			if err := e.forwardOne(); err != nil {
+				return StopStep, err
+			}
+			if hit := e.checkWatches(); hit != nil {
+				// The instruction at p is the mutator.
+				hitPos, hitReason, hitWatch = int64(p), StopWatch, hit
+			}
+			if e.m.Pos() < limit && e.breaks[e.m.PC()] {
+				hitPos, hitReason, hitWatch = int64(e.m.Pos()), StopBreak, nil
+			}
+		}
+		if hitPos >= 0 {
+			if err := e.SeekTo(uint64(hitPos)); err != nil {
+				return hitReason, err
+			}
+			e.lastWatch = hitWatch
+			return hitReason, nil
+		}
+		if c.pos == 0 {
+			if err := e.SeekTo(0); err != nil {
+				return StopStart, err
+			}
+			return StopStart, nil
+		}
+		limit = c.pos
+	}
+}

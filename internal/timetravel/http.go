@@ -1,0 +1,120 @@
+package timetravel
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"bugnet/internal/httpjson"
+)
+
+// maxBodyBytes bounds one debug-API request body; commands and session
+// opens are tiny JSON documents.
+const maxBodyBytes = 1 << 16
+
+// OpenRequest is the body of POST /debug/sessions.
+type OpenRequest struct {
+	// Report is the stored report id (content address) to debug.
+	Report string `json:"report"`
+	// TID selects the thread; omitted or negative picks the crashing one.
+	TID *int `json:"tid,omitempty"`
+}
+
+// RegisterRoutes installs the remote-debug API onto mux:
+//
+//	POST   /debug/sessions           — open a session over a stored report
+//	GET    /debug/sessions           — list live sessions
+//	GET    /debug/sessions/{id}      — one session's state
+//	POST   /debug/sessions/{id}/cmd  — execute one Command
+//	DELETE /debug/sessions/{id}      — close a session
+//
+// The routes are transport only; every decision lives in Manager and
+// Engine, so tests drive them in-process and bugnet-serve mounts them
+// next to the triage API.
+func RegisterRoutes(mux *http.ServeMux, m *Manager) {
+	mux.HandleFunc("POST /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenRequest
+		if err := readJSON(w, r, &req); err != nil {
+			httpjson.Error(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Report == "" {
+			httpjson.Error(w, http.StatusBadRequest, "missing report id")
+			return
+		}
+		tid := -1
+		if req.TID != nil {
+			tid = *req.TID
+		}
+		s, err := m.Open(req.Report, tid)
+		switch {
+		case errors.Is(err, ErrUnknownReport):
+			httpjson.Error(w, http.StatusNotFound, err.Error())
+			return
+		case errors.Is(err, ErrSessionLimit):
+			httpjson.Error(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, ErrClosed):
+			httpjson.Error(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			// Undecodable report, unknown binary, oversized window: the
+			// request named something we cannot debug.
+			httpjson.Error(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		info, _ := m.Info(s.ID)
+		httpjson.Write(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+		httpjson.Write(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := m.Info(r.PathValue("id"))
+		if !ok {
+			httpjson.Error(w, http.StatusNotFound, "no such session")
+			return
+		}
+		httpjson.Write(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("POST /debug/sessions/{id}/cmd", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpjson.Error(w, http.StatusNotFound, "no such session")
+			return
+		}
+		var cmd Command
+		if err := readJSON(w, r, &cmd); err != nil {
+			httpjson.Error(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		httpjson.Write(w, http.StatusOK, s.Do(cmd))
+	})
+
+	mux.HandleFunc("DELETE /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !m.CloseSession(r.PathValue("id")) {
+			httpjson.Error(w, http.StatusNotFound, "no such session")
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// NewHandler returns a standalone handler serving only the debug API.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	RegisterRoutes(mux, m)
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,12 +1,14 @@
 package triage
 
 import (
-	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 
+	"bugnet/internal/httpjson"
 	"bugnet/internal/report"
+	"bugnet/internal/timetravel"
 )
 
 // MaxUploadBytes bounds one archive upload. Field reports are the retained
@@ -14,12 +16,45 @@ import (
 // is headroom, not a target.
 const MaxUploadBytes = 64 << 20
 
+// Pagination bounds for the listing endpoints: the server-side clamp
+// keeps one request from serializing an unbounded store.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// Page is the envelope of a paginated listing.
+type Page[T any] struct {
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+	Items  []T `json:"items"`
+}
+
+// pageParams parses ?offset=&limit= with server-side clamping.
+func pageParams(r *http.Request) (offset, limit int) {
+	q := r.URL.Query()
+	offset, _ = strconv.Atoi(q.Get("offset"))
+	if offset < 0 {
+		offset = 0
+	}
+	limit, _ = strconv.Atoi(q.Get("limit"))
+	if limit <= 0 {
+		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	return offset, limit
+}
+
 // NewHandler exposes a Service over HTTP:
 //
 //	POST /reports        — upload one packed archive; responds with the
 //	                       ingest result (201 new, 200 duplicate)
+//	GET  /reports        — paginated report listing (?offset=&limit=)
 //	GET  /reports/{id}   — report metadata and verdict (?raw=1: the blob)
-//	GET  /buckets        — all crash buckets, most-populated first
+//	GET  /buckets        — paginated crash buckets, most-populated first
 //	GET  /buckets/{key}  — one bucket
 //	GET  /healthz        — liveness plus occupancy counters
 //
@@ -27,42 +62,56 @@ const MaxUploadBytes = 64 << 20
 // tests drive it in-process with httptest and bugnet-serve just wraps it
 // in http.ListenAndServe.
 func NewHandler(s *Service) http.Handler {
+	return newHandler(s, nil)
+}
+
+// NewHandlerWithDebug additionally mounts the remote-debug API
+// (/debug/sessions...) on the same handler — the wiring that turns stored
+// field reports into interactive time-travel sessions.
+func NewHandlerWithDebug(s *Service, debug *timetravel.Manager) http.Handler {
+	return newHandler(s, debug)
+}
+
+func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	mux := http.NewServeMux()
+	if debug != nil {
+		timetravel.RegisterRoutes(mux, debug)
+	}
 
 	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
 		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
+				httpjson.Error(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
 			} else {
 				// Transport hiccup mid-body: a 5xx tells the recorder the
 				// report is still worth retrying.
-				httpError(w, http.StatusInternalServerError, "body read failed: "+err.Error())
+				httpjson.Error(w, http.StatusInternalServerError, "body read failed: "+err.Error())
 			}
 			return
 		}
 		res, err := s.Ingest(data)
 		switch {
 		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			httpjson.Error(w, http.StatusServiceUnavailable, err.Error())
 			return
 		case errors.Is(err, report.ErrBadArchive):
 			// Unpack rejected it: the client sent garbage, not us.
-			httpError(w, http.StatusBadRequest, err.Error())
+			httpjson.Error(w, http.StatusBadRequest, err.Error())
 			return
 		case err != nil:
 			// Store I/O failure (disk full, permissions): our fault, and a
 			// 4xx would make a well-behaved recorder discard the report
 			// instead of retrying.
-			httpError(w, http.StatusInternalServerError, err.Error())
+			httpjson.Error(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		code := http.StatusCreated
 		if res.Duplicate {
 			code = http.StatusOK
 		}
-		writeJSON(w, code, res)
+		httpjson.Write(w, code, res)
 	})
 
 	mux.HandleFunc("GET /reports/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -70,7 +119,7 @@ func NewHandler(s *Service) http.Handler {
 		if r.URL.Query().Get("raw") == "1" {
 			data, err := s.Store().Get(id)
 			if err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
+				httpjson.Error(w, http.StatusNotFound, err.Error())
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
@@ -79,28 +128,36 @@ func NewHandler(s *Service) http.Handler {
 		}
 		m, ok := s.Report(id)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such report")
+			httpjson.Error(w, http.StatusNotFound, "no such report")
 			return
 		}
-		writeJSON(w, http.StatusOK, m)
+		httpjson.Write(w, http.StatusOK, m)
+	})
+
+	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, r *http.Request) {
+		offset, limit := pageParams(r)
+		items, total := s.ReportsPage(offset, limit)
+		httpjson.Write(w, http.StatusOK, Page[ReportMeta]{Total: total, Offset: offset, Limit: limit, Items: items})
 	})
 
 	mux.HandleFunc("GET /buckets", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Buckets())
+		offset, limit := pageParams(r)
+		items, total := s.BucketsPage(offset, limit)
+		httpjson.Write(w, http.StatusOK, Page[Bucket]{Total: total, Offset: offset, Limit: limit, Items: items})
 	})
 
 	mux.HandleFunc("GET /buckets/{key}", func(w http.ResponseWriter, r *http.Request) {
 		b, ok := s.Bucket(r.PathValue("key"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such bucket")
+			httpjson.Error(w, http.StatusNotFound, "no such bucket")
 			return
 		}
-		writeJSON(w, http.StatusOK, b)
+		httpjson.Write(w, http.StatusOK, b)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Store().Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
+		httpjson.Write(w, http.StatusOK, map[string]any{
 			"status":         "ok",
 			"reports":        st.RetainedCount,
 			"retained_bytes": st.RetainedBytes,
@@ -111,14 +168,4 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -71,11 +71,19 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatal("raw download differs from upload")
 	}
 
-	// Buckets.
-	var buckets []Bucket
+	// Buckets (paginated envelope).
+	var buckets Page[Bucket]
 	getJSON(t, srv.URL+"/buckets", &buckets)
-	if len(buckets) != 1 || buckets[0].Count != 2 || buckets[0].Key != ing.BucketKey {
+	if buckets.Total != 1 || len(buckets.Items) != 1 ||
+		buckets.Items[0].Count != 2 || buckets.Items[0].Key != ing.BucketKey {
 		t.Fatalf("buckets = %+v", buckets)
+	}
+
+	// Report listing (paginated envelope).
+	var reports Page[ReportMeta]
+	getJSON(t, srv.URL+"/reports", &reports)
+	if reports.Total != 1 || len(reports.Items) != 1 || reports.Items[0].ID != ing.ID {
+		t.Fatalf("reports = %+v", reports)
 	}
 	var b Bucket
 	getJSON(t, srv.URL+"/buckets/"+ing.BucketKey, &b)

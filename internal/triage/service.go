@@ -11,6 +11,7 @@ import (
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
 	"bugnet/internal/report"
+	"bugnet/internal/timetravel"
 )
 
 // Config parameterizes a triage service.
@@ -49,6 +50,17 @@ type Config struct {
 	// evicted to admit the newcomer (default 65536).
 	MaxBuckets int
 }
+
+// DefaultMaxReplayWindow is the default per-report replay budget in
+// instructions, roughly the paper's largest bug window. The interactive
+// debug-session layer uses the same default so sessions accept exactly
+// the reports automatic triage would replay.
+const DefaultMaxReplayWindow = 100_000_000
+
+// DefaultMaxReplayPages is the default per-report replay memory budget in
+// 4 KB pages (64 MB). Shared with the debug-session layer for the same
+// reason as DefaultMaxReplayWindow.
+const DefaultMaxReplayPages = 16384
 
 // Verdict states.
 const (
@@ -184,10 +196,10 @@ func New(cfg Config) (*Service, error) {
 		cfg.MaxQueue = 1024
 	}
 	if cfg.MaxReplayWindow == 0 {
-		cfg.MaxReplayWindow = 100_000_000
+		cfg.MaxReplayWindow = DefaultMaxReplayWindow
 	}
 	if cfg.MaxReplayPages <= 0 {
-		cfg.MaxReplayPages = 16384
+		cfg.MaxReplayPages = DefaultMaxReplayPages
 	}
 	if cfg.MaxBuckets <= 0 {
 		cfg.MaxBuckets = 65536
@@ -613,6 +625,35 @@ func (s *Service) replay(rep *core.CrashReport) (v *Verdict) {
 	return v
 }
 
+// OpenReport pins, reads and decodes one stored report and resolves its
+// binary — the timetravel.ReportSource contract behind remote debug
+// sessions. The pin excludes the blob from budget eviction until release
+// runs (idempotent), so an open session keeps its evidence alive however
+// hard ingest churns the store.
+func (s *Service) OpenReport(id string) (*core.CrashReport, *asm.Image, func(), error) {
+	if !s.store.Pin(id) {
+		return nil, nil, nil, fmt.Errorf("%w: no stored report %q", timetravel.ErrUnknownReport, id)
+	}
+	var once sync.Once
+	release := func() { once.Do(func() { s.store.Unpin(id) }) }
+	data, err := s.store.Get(id)
+	if err != nil {
+		release()
+		return nil, nil, nil, fmt.Errorf("reading report %s: %w", id, err)
+	}
+	rep, err := report.Unpack(data)
+	if err != nil {
+		release()
+		return nil, nil, nil, err
+	}
+	img, err := s.cfg.Resolver(rep.Binary)
+	if err != nil {
+		release()
+		return nil, nil, nil, err
+	}
+	return rep, img, release, nil
+}
+
 // WaitIdle blocks until startup recovery has finished and every queued
 // replay has completed. Tests and graceful drains use it; steady-state
 // serving never needs to.
@@ -627,10 +668,30 @@ func (s *Service) WaitIdle() {
 
 // Buckets returns all buckets, most-populated first (ties by key).
 func (s *Service) Buckets() []Bucket {
+	b, _ := s.BucketsPage(0, 0)
+	return b
+}
+
+// BucketsPage returns one page of the bucket listing (most-populated
+// first, ties by key) plus the total bucket count. limit <= 0 means "the
+// rest"; a large store's HTTP listing always pages.
+func (s *Service) BucketsPage(offset, limit int) ([]Bucket, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Bucket, 0, len(s.buckets))
+	all := make([]*Bucket, 0, len(s.buckets))
 	for _, b := range s.buckets {
+		all = append(all, b)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	total := len(all)
+	all = page(all, offset, limit)
+	out := make([]Bucket, 0, len(all))
+	for _, b := range all {
 		cp := *b
 		cp.ReportIDs = append([]string(nil), b.ReportIDs...)
 		if b.Verdict != nil {
@@ -639,13 +700,47 @@ func (s *Service) Buckets() []Bucket {
 		}
 		out = append(out, cp)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	return out, total
+}
+
+// ReportsPage returns one page of stored-report metadata (ordered by id,
+// which is stable under concurrent ingest) plus the total count.
+func (s *Service) ReportsPage(offset, limit int) ([]ReportMeta, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.reports))
+	for id := range s.reports {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	total := len(ids)
+	ids = page(ids, offset, limit)
+	out := make([]ReportMeta, 0, len(ids))
+	for _, id := range ids {
+		m := s.reports[id]
+		cp := *m
+		if m.Verdict != nil {
+			v := *m.Verdict
+			cp.Verdict = &v
 		}
-		return out[i].Key < out[j].Key
-	})
-	return out
+		out = append(out, cp)
+	}
+	return out, total
+}
+
+// page slices a window out of a listing.
+func page[T any](all []T, offset, limit int) []T {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(all) {
+		offset = len(all)
+	}
+	all = all[offset:]
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	return all
 }
 
 // Bucket returns one bucket by key.

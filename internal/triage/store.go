@@ -31,6 +31,7 @@ type Store struct {
 
 	index map[string]*blobInfo
 	order []string // insertion order, oldest first; eviction order key
+	pins  map[string]int
 	seq   uint64
 	stats StoreStats
 
@@ -72,7 +73,8 @@ func OpenStore(dir string, budget int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{root: dir, budget: budget, index: make(map[string]*blobInfo)}
+	s := &Store{root: dir, budget: budget, index: make(map[string]*blobInfo),
+		pins: make(map[string]int)}
 	type existing struct {
 		id    string
 		bytes int64
@@ -210,6 +212,44 @@ func (s *Store) Get(id string) ([]byte, error) {
 	return os.ReadFile(s.path(id))
 }
 
+// Pin excludes a blob from budget eviction until every matching Unpin
+// runs; pins nest. Open debug sessions pin the report they replay so
+// interactive debugging never races the budget. Pinning an unknown id
+// reports false. Pinned bytes still count against the budget, so a flood
+// of pins can hold the store over budget until the sessions close —
+// bounded by the session layer's concurrency cap.
+func (s *Store) Pin(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; !ok {
+		return false
+	}
+	s.pins[id]++
+	return true
+}
+
+// Unpin drops one pin and re-runs eviction, so blobs kept alive past the
+// budget by a debug session age out as soon as it closes.
+func (s *Store) Unpin(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.pins[id]; ok {
+		if n <= 1 {
+			delete(s.pins, id)
+		} else {
+			s.pins[id] = n - 1
+		}
+	}
+	s.evictLocked()
+}
+
+// Pinned reports whether a blob currently holds pins.
+func (s *Store) Pinned(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pins[id] > 0
+}
+
 // Has reports whether a blob is retained.
 func (s *Store) Has(id string) bool {
 	s.mu.Lock()
@@ -242,7 +282,8 @@ func (s *Store) IDs() []string {
 }
 
 // Delete removes one blob outright, counting it as evicted. The service
-// uses it to reclaim blobs that no longer decode at recovery.
+// uses it to reclaim blobs that no longer decode at recovery; undecodable
+// bytes serve no session, so Delete ignores pins.
 func (s *Store) Delete(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -251,6 +292,7 @@ func (s *Store) Delete(id string) {
 		return
 	}
 	delete(s.index, id)
+	delete(s.pins, id)
 	for i, x := range s.order {
 		if x == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -265,14 +307,20 @@ func (s *Store) Delete(id string) {
 }
 
 // evictLocked deletes oldest blobs until the budget is met, sparing the
-// newest. Caller holds s.mu.
+// newest and skipping pinned blobs (open debug sessions hold them).
+// Caller holds s.mu.
 func (s *Store) evictLocked() {
 	if s.budget <= 0 {
 		return
 	}
-	for s.stats.RetainedBytes > s.budget && len(s.order) > 1 {
-		id := s.order[0]
-		s.order = s.order[1:]
+	i := 0
+	for s.stats.RetainedBytes > s.budget && i < len(s.order)-1 {
+		id := s.order[i]
+		if s.pins[id] > 0 {
+			i++
+			continue
+		}
+		s.order = append(s.order[:i], s.order[i+1:]...)
 		bi := s.index[id]
 		delete(s.index, id)
 		s.stats.RetainedBytes -= bi.bytes

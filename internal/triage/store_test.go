@@ -139,3 +139,75 @@ func TestStoreReopenReindexes(t *testing.T) {
 		t.Errorf("orphaned .tmp not reclaimed on reopen: %v", err)
 	}
 }
+
+func TestStorePinBlocksEviction(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, _, err := s.Put(blobOf(100, 'a'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pin(pinned) {
+		t.Fatal("pin of a stored blob failed")
+	}
+	if s.Pin("0000000000000000000000000000000000000000000000000000000000000000") {
+		t.Fatal("pin of an unknown id must fail")
+	}
+	// Flood past the budget: the pinned blob must survive while newer
+	// unpinned blobs around it age out.
+	var rest []string
+	for i := 1; i < 5; i++ {
+		id, _, err := s.Put(blobOf(100, byte('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, id)
+	}
+	if !s.Has(pinned) {
+		t.Fatal("pinned blob evicted")
+	}
+	if !s.Pinned(pinned) {
+		t.Fatal("Pinned lost the pin")
+	}
+	if s.Has(rest[0]) || s.Has(rest[1]) {
+		t.Fatal("unpinned older blobs must evict first")
+	}
+	// Pins nest: one Unpin of two leaves the blob protected.
+	s.Pin(pinned)
+	s.Unpin(pinned)
+	if !s.Has(pinned) {
+		t.Fatal("blob evicted while still pinned once")
+	}
+}
+
+func TestStoreUnpinReRunsEviction(t *testing.T) {
+	// A pin can hold the store over budget (pinned + newest > budget);
+	// the final Unpin must immediately reclaim the space.
+	s, err := OpenStore(t.TempDir(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, _, err := s.Put(blobOf(100, 'a'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(pinned)
+	if _, _, err := s.Put(blobOf(100, 'b')); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(pinned) {
+		t.Fatal("pinned blob evicted")
+	}
+	if st := s.Stats(); st.RetainedBytes != 200 {
+		t.Fatalf("expected the pin to hold the store over budget: %+v", st)
+	}
+	s.Unpin(pinned)
+	if s.Has(pinned) {
+		t.Fatal("unpinned over-budget blob must evict")
+	}
+	if st := s.Stats(); st.RetainedBytes != 100 {
+		t.Fatalf("after unpin: %+v", st)
+	}
+}
