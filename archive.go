@@ -1,6 +1,10 @@
 package bugnet
 
-import "bugnet/internal/report"
+import (
+	"io"
+
+	"bugnet/internal/report"
+)
 
 // ErrBadArchive reports a structurally invalid packed report archive.
 var ErrBadArchive = report.ErrBadArchive
@@ -10,6 +14,11 @@ var ErrBadArchive = report.ErrBadArchive
 // in their wire formats. Packing is deterministic, so identical reports
 // produce identical bytes (and therefore identical ReportIDs).
 func PackReport(rep *CrashReport) ([]byte, error) { return report.Pack(rep) }
+
+// PackReportTo streams the archive into w, copying each log's encoded
+// section straight from its view — at most one section in memory, so a
+// disk-spilled window uploads without ever being materialized whole.
+func PackReportTo(w io.Writer, rep *CrashReport) error { return report.PackTo(w, rep) }
 
 // UnpackReport decodes an archive produced by PackReport, validating all
 // framing and checksums before any log is decoded.

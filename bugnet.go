@@ -120,10 +120,17 @@ func Record(img *Image, mcfg MachineConfig, rcfg Config) (*Result, *CrashReport,
 	return core.Record(img, mcfg, rcfg)
 }
 
-// NewReplayer builds a single-thread replayer over the logs of one thread
-// (report.FLLs[tid]).
-func NewReplayer(img *Image, logs []*FLL) *Replayer {
+// NewReplayer builds a single-thread replayer over the log views of one
+// thread (report.FLLs[tid]); only the interval currently replaying is held
+// decoded.
+func NewReplayer(img *Image, logs []*FLLRef) *Replayer {
 	return core.NewReplayer(img, logs)
+}
+
+// NewReplayerLogs wraps already-decoded logs for replay (tests, synthetic
+// windows).
+func NewReplayerLogs(img *Image, logs []*FLL) *Replayer {
+	return core.NewReplayerLogs(img, logs)
 }
 
 // NewMultiReplayer builds a replayer over every thread of a report, with
@@ -146,7 +153,7 @@ func IdentifyBinary(img *Image) BinaryID { return core.IdentifyBinary(img) }
 // NewDebugger opens one thread's logs for interactive deterministic
 // replay: breakpoints, stepping, backwards time travel, and inspection of
 // every memory location the recorded window touched.
-func NewDebugger(img *Image, logs []*FLL) (*Debugger, error) {
+func NewDebugger(img *Image, logs []*FLLRef) (*Debugger, error) {
 	return core.NewDebugger(img, logs)
 }
 

@@ -9,24 +9,33 @@
 //	bugnet-record -spec mcf -steps 2000000 -out r/ # a SPEC analogue window
 //	bugnet-record -asm prog.s -out report/         # your own program
 //	bugnet-record -bug gzip -submit http://triage.example:8080
+//	bugnet-record -spec mcf -log-dir spill/ -log-budget 1073741824
 //
 // With -submit the report is additionally packed into a single archive and
 // uploaded to a bugnet-serve endpoint, completing the paper's
 // customer-site-to-developer pipeline (§4.8).
+//
+// With -log-dir the log regions spill to append-only segment files under
+// the directory instead of living in process memory, so the replay window
+// is bounded by -log-budget (the bytes the "OS" dedicates to the region,
+// paper §4.7) rather than by RAM — the continuous-recording configuration
+// for multi-gigabyte windows.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"bugnet"
 	"bugnet/internal/cli"
+	"bugnet/internal/logstore"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 	interval := flag.Uint64("interval", 100_000, "checkpoint interval length in instructions")
 	steps := flag.Uint64("steps", 50_000_000, "machine step budget")
 	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
+	logDir := flag.String("log-dir", "", "spill the FLL/MRL log regions to segment files under this directory")
+	logBudget := flag.Int64("log-budget", 0, "byte budget per log region (0 = unlimited); with -log-dir this bounds disk, not RAM")
 	flag.Parse()
 
 	img, mcfg, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
@@ -47,17 +58,41 @@ func main() {
 	}
 	mcfg.MaxSteps = *steps
 
-	res, rep, rec := bugnet.Record(img, mcfg, bugnet.Config{IntervalLength: *interval})
+	rcfg := bugnet.Config{IntervalLength: *interval, FLLBudget: *logBudget, MRLBudget: *logBudget}
+	if *logDir != "" {
+		var err error
+		if rcfg.FLLStore, err = openSpill(filepath.Join(*logDir, "fll"), *logBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "opening FLL spill:", err)
+			os.Exit(1)
+		}
+		defer rcfg.FLLStore.Close()
+		if rcfg.MRLStore, err = openSpill(filepath.Join(*logDir, "mrl"), *logBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "opening MRL spill:", err)
+			os.Exit(1)
+		}
+		defer rcfg.MRLStore.Close()
+	}
+
+	res, rep, rec := bugnet.Record(img, mcfg, rcfg)
 	logged, total := rec.LoggedOps()
 	fmt.Printf("executed %d instructions in %d steps; logged %d of %d loggable ops (%.1f%%)\n",
 		res.Instructions, res.Steps, logged, total, 100*float64(logged)/float64(max64(total, 1)))
-	fmt.Printf("FLL bytes retained: %d; MRL bytes retained: %d\n",
-		rec.FLLStore().Stats().RetainedBytes, rec.MRLStore().Stats().RetainedBytes)
+	fst, mst := rec.FLLStore().Stats(), rec.MRLStore().Stats()
+	fmt.Printf("FLL region: %d retained bytes in %d logs (%d evicted); MRL region: %d retained bytes in %d logs\n",
+		fst.RetainedBytes, fst.RetainedCount, fst.EvictedCount, mst.RetainedBytes, mst.RetainedCount)
+	if *logDir != "" {
+		fmt.Printf("log regions spilled to %s (%d encoded bytes on disk)\n",
+			*logDir, fst.RetainedEncodedBytes+mst.RetainedEncodedBytes)
+	}
 	if res.Crash != nil {
 		fmt.Printf("CRASH: thread %d: %v\n", res.Crash.TID, res.Crash.Fault)
 		fmt.Printf("faulting instruction: %s\n", bugnet.Disassemble(img, res.Crash.Fault.PC))
 	} else {
 		fmt.Printf("clean stop (exit code %d)\n", res.ExitCode)
+	}
+	if err := rec.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "recording degraded:", err)
+		os.Exit(1)
 	}
 	if err := bugnet.SaveReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "saving report:", err)
@@ -73,15 +108,43 @@ func main() {
 	}
 }
 
-// upload packs the report and POSTs it to a bugnet-serve endpoint.
-func upload(base string, rep *bugnet.CrashReport) error {
-	blob, err := bugnet.PackReport(rep)
+// openSpill opens one disk-backed log region for a fresh recording. A
+// spill directory still holding a previous run's window is refused: a new
+// process restarts CIDs and timestamps, so mixing runs would corrupt the
+// report (duplicate interval ids, broken FLL/MRL pairing). The refusal
+// probes the directory *before* any store is built under the new budget —
+// logstore.Open re-trims recovered contents to its budget, which would
+// delete the old run's segments — so the old window really does stay
+// untouched for bugnet-inspect; record into an empty directory.
+func openSpill(dir string, budget int64) (*logstore.Store, error) {
+	probe, err := logstore.OpenDisk(dir, logstore.DiskOptions{})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	recovered, err := probe.Recover()
+	probe.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(recovered) > 0 {
+		return nil, fmt.Errorf("%s already holds a recorded window (%d logs); point -log-dir at an empty directory", dir, len(recovered))
+	}
+	b, err := logstore.OpenDisk(dir, logstore.DiskOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return logstore.Open(budget, b)
+}
+
+// upload streams the packed report to a bugnet-serve endpoint: sections
+// flow from the log stores through the packer into the request body, so a
+// disk-spilled multi-gigabyte window uploads in O(section) memory.
+func upload(base string, rep *bugnet.CrashReport) error {
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(bugnet.PackReportTo(pw, rep)) }()
 	url := strings.TrimRight(base, "/") + "/reports"
 	client := &http.Client{Timeout: 60 * time.Second}
-	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(blob))
+	resp, err := client.Post(url, "application/octet-stream", pr)
 	if err != nil {
 		return err
 	}

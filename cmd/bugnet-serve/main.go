@@ -58,6 +58,7 @@ func main() {
 	scale := flag.Int("scale", 100, "bug-window scale the fleet's recorders use")
 	depth := flag.Int("backtrace", 16, "backtrace depth in instructions")
 	maxWindow := flag.Uint64("maxwindow", 0, "max replay window per report in instructions (0 = default 100M)")
+	logDir := flag.String("log-dir", "", "disk spool for in-flight uploads (default <dir>/spool); uploads stream here while hashed, then rename into the store")
 	sessions := flag.Int("debug-sessions", 8, "max concurrent remote debug sessions")
 	idle := flag.Duration("debug-idle", 10*time.Minute, "idle timeout for remote debug sessions")
 	ckptEvery := flag.Uint64("debug-ckpt", 10_000, "debug checkpoint interval in instructions")
@@ -94,6 +95,7 @@ func main() {
 		BacktraceDepth:  *depth,
 		MaxReplayWindow: *maxWindow,
 		Resolver:        reg.Resolve,
+		SpoolDir:        *logDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -63,7 +63,7 @@ func main() {
 	entries := 0
 	for _, logs := range report.MRLs {
 		for _, l := range logs {
-			entries += len(l.Entries)
+			entries += int(l.NumEntries)
 		}
 	}
 	fmt.Printf("memory race log: %d coherence-reply entries after Netzer reduction\n", entries)

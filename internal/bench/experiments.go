@@ -2,13 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"time"
 
 	"bugnet/internal/bus"
 	"bugnet/internal/core"
 	"bugnet/internal/dict"
 	"bugnet/internal/fdr"
-	"bugnet/internal/fll"
-	"bugnet/internal/mrl"
+	"bugnet/internal/logstore"
 	"bugnet/internal/workload"
 )
 
@@ -232,10 +234,11 @@ func DictSweep(scale int) (fig5, fig6 *Table) {
 			row5 = append(row5, pct(hit))
 
 			var unc, comp uint64
-			for _, it := range rec.FLLStore().All() {
-				l := it.Payload.(*fll.Log)
-				unc += l.UncompressedBits
-				comp += l.EntryBits
+			for _, logs := range rec.Report().FLLs {
+				for _, l := range logs {
+					unc += l.UncompressedBits
+					comp += l.EntryBits
+				}
 			}
 			ratio := 1.0
 			if comp > 0 {
@@ -416,11 +419,14 @@ func AblationNetzer(scale int) *Table {
 	return t
 }
 
-// mrlEntries counts retained MRL entries.
+// mrlEntries counts retained MRL entries (from view metadata; the logs
+// stay encoded).
 func mrlEntries(rec *core.Recorder) int {
 	n := 0
-	for _, it := range rec.MRLStore().All() {
-		n += len(it.Payload.(*mrl.Log).Entries)
+	for _, logs := range rec.Report().MRLs {
+		for _, l := range logs {
+			n += int(l.NumEntries)
+		}
 	}
 	return n
 }
@@ -457,6 +463,105 @@ func AblationDictGeometry(scale int) *Table {
 	return t
 }
 
+// BackendCompare measures the spill-to-disk log retention against the
+// in-memory region at recording time: the replay window each backend
+// sustains under its budget, and the record-path overhead the disk
+// segments add. The memory row's budget stands in for a capped heap; the
+// disk rows show (a) parity at an equal budget — identical retention
+// decisions, so a report packed from either backend is byte-identical —
+// and (b) the window a disk budget several times the heap cap retains,
+// which the memory region cannot hold (paper §4.7 at disk scale).
+func BackendCompare(scale int) *Table {
+	window := scaled(paperWindow, scale)
+	interval := scaled(paperInterval, scale) / 10
+	if interval < 10 {
+		interval = 10
+	}
+	w := workload.ByName("gzip")
+
+	// Size the heap cap to force eviction: record once unbudgeted to learn
+	// the full window's FLL bytes, then cap at a quarter of it.
+	probe := recordWindow(w, window, core.Config{IntervalLength: interval})
+	full := probe.FLLStore().Stats().RetainedBytes
+	heapCap := full / 4
+	if heapCap < 1 {
+		heapCap = 1
+	}
+
+	t := &Table{
+		ID:     "backend",
+		Title:  fmt.Sprintf("Log retention backends at recording time (gzip, %s-instruction run, FLL budgets vs %s full window)", human(window), kb(full)+" KB"),
+		Header: []string{"Backend", "Budget KB", "Replay window", "Retained KB", "Encoded KB", "Evicted logs", "Record ns/instr"},
+	}
+
+	type cfgRow struct {
+		name   string
+		budget int64
+		disk   bool
+	}
+	rows := []cfgRow{
+		{"memory (capped heap)", heapCap, false},
+		{"disk segments", heapCap, true},
+		{"disk segments", heapCap * 8, true},
+	}
+	var windows []uint64
+	for _, r := range rows {
+		// One closure per row so the deferred cleanup runs on every exit
+		// path, including the error rows.
+		func() {
+			cfg := core.Config{IntervalLength: interval, FLLBudget: r.budget, MRLBudget: r.budget}
+			if r.disk {
+				dir, err := os.MkdirTemp("", "bugnet-bench-backend-*")
+				if err != nil {
+					t.AddRow(r.name, "-", "-", "-", "-", "-", "error: "+err.Error())
+					return
+				}
+				defer os.RemoveAll(dir)
+				fb, err := logstore.OpenDisk(filepath.Join(dir, "fll"), logstore.DiskOptions{})
+				if err != nil {
+					t.AddRow(r.name, "-", "-", "-", "-", "-", "error: "+err.Error())
+					return
+				}
+				fs, err := logstore.Open(r.budget, fb)
+				if err != nil {
+					fb.Close()
+					t.AddRow(r.name, "-", "-", "-", "-", "-", "error: "+err.Error())
+					return
+				}
+				defer fs.Close()
+				cfg.FLLStore = fs
+			}
+			// Time the recorded phase only — the unrecorded warmup must not
+			// dilute the overhead figure this experiment exists to measure.
+			m := w.Machine(w.Warmup, nil)
+			m.Run()
+			rec := core.NewRecorder(m, cfg)
+			m.SetMaxSteps(w.Warmup + window)
+			start := time.Now()
+			m.Run()
+			rec.Flush()
+			elapsed := time.Since(start)
+			st := rec.FLLStore().Stats()
+			win := rec.FLLStore().ReplayWindow(0)
+			windows = append(windows, win)
+			nsPerInstr := float64(elapsed.Nanoseconds()) / float64(window)
+			t.AddRow(r.name, kb(r.budget), human(win), kb(st.RetainedBytes),
+				kb(st.RetainedEncodedBytes), fmt.Sprintf("%d", st.EvictedCount),
+				fmt.Sprintf("%.1f", nsPerInstr))
+		}()
+	}
+	if len(windows) == 3 {
+		if windows[0] == windows[1] {
+			t.Note("equal budgets retain identical windows (%s = %s): the backends share eviction semantics, so packed reports are byte-identical", human(windows[0]), human(windows[1]))
+		} else {
+			t.Note("RETENTION MISMATCH: memory retained %s but disk retained %s at the same budget — the backends' eviction semantics have diverged", human(windows[0]), human(windows[1]))
+		}
+		t.Note("the 8x disk budget sustains a %s-instruction window the capped heap cannot retain", human(windows[2]))
+	}
+	t.Note("record-path overhead is the whole simulation loop including the backend's segment writes")
+	return t
+}
+
 // All runs every experiment at the given scale in paper order.
 func All(scale int) []*Table {
 	fig5, fig6 := DictSweep(scale)
@@ -473,6 +578,7 @@ func All(scale int) []*Table {
 		AblationPreserveFL(scale),
 		AblationNetzer(scale),
 		AblationDictGeometry(scale),
+		BackendCompare(scale),
 	}
 }
 
@@ -502,6 +608,8 @@ func ByID(id string, scale int) ([]*Table, error) {
 		return []*Table{AblationNetzer(scale)}, nil
 	case "ablation-dict":
 		return []*Table{AblationDictGeometry(scale)}, nil
+	case "backend":
+		return []*Table{BackendCompare(scale)}, nil
 	case "all":
 		return All(scale), nil
 	}
@@ -512,5 +620,5 @@ func ByID(id string, scale int) ([]*Table, error) {
 func IDs() []string {
 	return []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "overhead",
-		"ablation-preservefl", "ablation-netzer", "ablation-dict", "all"}
+		"ablation-preservefl", "ablation-netzer", "ablation-dict", "backend", "all"}
 }

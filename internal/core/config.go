@@ -14,6 +14,7 @@ import (
 	"bugnet/internal/bus"
 	"bugnet/internal/cache"
 	"bugnet/internal/dict"
+	"bugnet/internal/logstore"
 )
 
 // Config parameterizes the recorder.
@@ -40,12 +41,20 @@ type Config struct {
 	// first-load bits. Default cache.DefaultConfig.
 	Cache cache.Config
 
-	// FLLBudget and MRLBudget bound the main-memory regions backing the
-	// Checkpoint Buffer and Memory Race Buffer (paper §4.7). Oldest
-	// checkpoints are discarded when a region fills. Non-positive budgets
-	// retain everything (used by experiments measuring log growth).
+	// FLLBudget and MRLBudget bound the log regions backing the Checkpoint
+	// Buffer and Memory Race Buffer (paper §4.7). Oldest checkpoints are
+	// discarded when a region fills. Non-positive budgets retain
+	// everything (used by experiments measuring log growth).
 	FLLBudget int64
 	MRLBudget int64
+
+	// FLLStore and MRLStore, when non-nil, are the pre-opened log regions
+	// the recorder appends into — the hook for spill-to-disk recording
+	// (build them with logstore.Open over a logstore.Disk backend). Nil
+	// selects fresh in-memory regions bounded by FLLBudget/MRLBudget,
+	// whose budgets are then ignored in favor of the stores' own.
+	FLLStore *logstore.Store
+	MRLStore *logstore.Store
 
 	// MaxThreads sizes MRL entry fields; defaults to the machine's cores.
 	MaxThreads int

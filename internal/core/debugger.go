@@ -28,7 +28,7 @@ import (
 // responsible for the faulty behavior."
 type Debugger struct {
 	img  *asm.Image
-	logs []*fll.Log
+	logs []*fll.Ref
 
 	// LogCodeLoads and DictOptions must match the recording configuration
 	// (CrashReport carries them). Set them before stepping, then call
@@ -63,7 +63,7 @@ func (s StopReason) String() string {
 }
 
 // NewDebugger opens one thread's logs for interactive replay.
-func NewDebugger(img *asm.Image, logs []*fll.Log) (*Debugger, error) {
+func NewDebugger(img *asm.Image, logs []*fll.Ref) (*Debugger, error) {
 	if len(logs) == 0 {
 		return nil, fmt.Errorf("core: debugger needs at least one log")
 	}

@@ -118,15 +118,21 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 		}
 	}
 
-	// Build per-thread constraint lists from the MRLs.
+	// Build per-thread constraint lists from the MRLs. Each MRL is
+	// materialized once here (the constraints are compact) and dropped; a
+	// log whose paired FLL fell out of the window is never decoded at all.
 	for _, tid := range tids {
 		tc := &threadCtx{tid: tid}
 		ctxs[tid] = tc
-		for _, ml := range m.report.MRLs[tid] {
-			localBase, ok := base[tid][ml.CID]
+		for _, mref := range m.report.MRLs[tid] {
+			localBase, ok := base[tid][mref.CID]
 			if !ok {
-				res.DroppedConstraints += len(ml.Entries)
+				res.DroppedConstraints += int(mref.NumEntries)
 				continue // the paired FLL fell out of the window
+			}
+			ml, err := mref.Open()
+			if err != nil {
+				return nil, fmt.Errorf("core: materializing MRL T%d C%d: %w", tid, mref.CID, err)
 			}
 			for _, e := range ml.Entries {
 				rt := int(e.RemoteTID)

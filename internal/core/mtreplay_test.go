@@ -119,7 +119,7 @@ func TestMTRecordProducesMRLs(t *testing.T) {
 	entries := 0
 	for _, logs := range rep.MRLs {
 		for _, l := range logs {
-			entries += len(l.Entries)
+			entries += int(l.NumEntries)
 		}
 	}
 	if entries == 0 {
@@ -250,7 +250,7 @@ func TestMTNetzerAblation(t *testing.T) {
 		n := 0
 		for _, logs := range rep.MRLs {
 			for _, l := range logs {
-				n += len(l.Entries)
+				n += int(l.NumEntries)
 			}
 		}
 		return n

@@ -33,6 +33,31 @@ type Recorder struct {
 	// experiment harness.
 	loggedOps uint64
 	totalOps  uint64
+
+	// fllMeta/mrlMeta cache the finalized metadata of the *retained*
+	// intervals, keyed by (TID, CID), so Report can hand out lazy views
+	// without re-reading the whole window from the backend. The caches
+	// are pruned in store-eviction order (fllKeys/mrlKeys mirror append
+	// order), so recorder memory stays bounded by the region budget even
+	// under continuous recording. They are only maintained when the
+	// stores were empty at attach time (metaCacheOK): recovered items
+	// from an earlier run could collide on (TID, CID) and must re-parse
+	// from their bytes instead.
+	fllMeta     map[metaKey]fll.Meta
+	mrlMeta     map[metaKey]mrl.Meta
+	fllKeys     []metaKey
+	mrlKeys     []metaKey
+	metaCacheOK bool
+
+	// err is the first report-assembly failure (an interval that no longer
+	// loads back from its store); see Err.
+	err error
+}
+
+// metaKey identifies one interval's logs within a recording.
+type metaKey struct {
+	tid int
+	cid uint32
 }
 
 // threadRec is the per-processor recording state: the structures of the
@@ -66,9 +91,18 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 		cfg:     cfg,
 		m:       m,
 		threads: make([]*threadRec, len(m.Threads)),
-		flls:    logstore.New(cfg.FLLBudget),
-		mrls:    logstore.New(cfg.MRLBudget),
+		flls:    cfg.FLLStore,
+		mrls:    cfg.MRLStore,
 	}
+	if r.flls == nil {
+		r.flls = logstore.New(cfg.FLLBudget)
+	}
+	if r.mrls == nil {
+		r.mrls = logstore.New(cfg.MRLBudget)
+	}
+	r.fllMeta = make(map[metaKey]fll.Meta)
+	r.mrlMeta = make(map[metaKey]mrl.Meta)
+	r.metaCacheOK = r.flls.Stats().TotalCount == 0 && r.mrls.Stats().TotalCount == 0
 	if len(m.Threads) > 1 {
 		r.dir = coherence.New(len(m.Threads), cfg.Cache.L1.BlockBytes)
 		r.red = mrl.NewReducer(len(m.Threads))
@@ -90,12 +124,31 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 // Flush finalizes all open checkpoint intervals. Call it when recording
 // ends without a fault or exit (for example when an experiment's step
 // budget expires) so the final partial intervals land in the log stores.
+//
+// Flush is idempotent: finalizing closes each thread's writer, and
+// endInterval refuses threads with no open writer, so a second Flush (or
+// a Flush after a fault already collected the logs) appends nothing — no
+// empty duplicate intervals reach the stores.
 func (r *Recorder) Flush() {
 	for _, t := range r.threads {
 		if t != nil {
 			r.endInterval(t, fll.EndExit, nil)
 		}
 	}
+}
+
+// Err returns the first log-store failure recording swallowed (a disk
+// spill that could not be written or reclaimed). The hardware hooks have
+// no error path, so recording keeps going — tools must check Err before
+// trusting the retained window.
+func (r *Recorder) Err() error {
+	if err := r.err; err != nil {
+		return err
+	}
+	if err := r.flls.Err(); err != nil {
+		return err
+	}
+	return r.mrls.Err()
 }
 
 // Config returns the recorder's effective configuration.
@@ -388,33 +441,51 @@ func (r *Recorder) startInterval(t *threadRec) {
 	}
 }
 
-// endInterval finalizes the thread's current FLL (and MRL) into the log
-// stores.
+// endInterval finalizes the thread's current FLL (and MRL) straight to
+// their wire encodings and retains the bytes in the log stores. Nothing
+// decoded outlives the interval: replay re-materializes a log on demand
+// through the lazy views Report hands out.
 func (r *Recorder) endInterval(t *threadRec, end fll.EndKind, fault *fll.FaultRecord) {
 	if t == nil || t.w == nil {
 		return
 	}
 	length := t.c.IC - t.startIC
-	log := t.w.Close(length, end, fault)
+	meta, data := t.w.CloseEncoded(length, end, fault)
 	t.w = nil
 	r.flls.Append(logstore.Item{
 		TID:          t.tid,
 		CID:          t.cid,
-		Timestamp:    log.Timestamp,
-		Bytes:        log.SizeBytes(),
+		Timestamp:    meta.Timestamp,
+		Bytes:        meta.SizeBytes(),
 		Instructions: length,
-		Payload:      log,
-	})
+	}, data)
+	if r.metaCacheOK {
+		r.fllMeta[metaKey{t.tid, t.cid}] = meta
+		r.fllKeys = append(r.fllKeys, metaKey{t.tid, t.cid})
+		// Evictions are strictly oldest-first and the key queue mirrors
+		// append order, so trimming the front keeps cache == retained.
+		for len(r.fllKeys) > r.flls.Stats().RetainedCount {
+			delete(r.fllMeta, r.fllKeys[0])
+			r.fllKeys = r.fllKeys[1:]
+		}
+	}
 	if t.mw != nil {
-		ml := t.mw.Close()
+		mm, mdata := t.mw.CloseEncoded()
 		t.mw = nil
 		r.mrls.Append(logstore.Item{
 			TID:       t.tid,
 			CID:       t.cid,
-			Timestamp: ml.Timestamp,
-			Bytes:     ml.SizeBytes(),
-			Payload:   ml,
-		})
+			Timestamp: mm.Timestamp,
+			Bytes:     mm.SizeBytes(),
+		}, mdata)
+		if r.metaCacheOK {
+			r.mrlMeta[metaKey{t.tid, t.cid}] = mm
+			r.mrlKeys = append(r.mrlKeys, metaKey{t.tid, t.cid})
+			for len(r.mrlKeys) > r.mrls.Stats().RetainedCount {
+				delete(r.mrlMeta, r.mrlKeys[0])
+				r.mrlKeys = r.mrlKeys[1:]
+			}
+		}
 	}
 }
 
@@ -456,7 +527,10 @@ func (b BinaryID) Matches(img *asm.Image) error {
 
 // CrashReport is what BugNet ships back to the developer: the retained
 // logs of every thread plus the crash identity. The developer combines it
-// with the exact same binaries to replay (paper §5.1).
+// with the exact same binaries to replay (paper §5.1). Logs travel as
+// lazy views — metadata decoded, entry streams materialized on demand —
+// so a report over a disk-spilled or file-backed window never needs the
+// whole window in memory.
 type CrashReport struct {
 	PID    uint32
 	Binary BinaryID
@@ -466,11 +540,20 @@ type CrashReport struct {
 	LogCodeLoads bool
 	DictOptions  dict.Options
 	Crash        *kernel.CrashInfo // nil if the program did not crash
-	FLLs         map[int][]*fll.Log
-	MRLs         map[int][]*mrl.Log
+	FLLs         map[int][]*fll.Ref
+	MRLs         map[int][]*mrl.Ref
+	// FLLStats and MRLStats snapshot the recording log regions' occupancy
+	// and eviction churn at collection time: how much of the execution the
+	// window covers and how much the budget discarded (paper §7.2).
+	FLLStats logstore.Stats
+	MRLStats logstore.Stats
 }
 
-// Report collects the retained logs. Call after machine.Run returns.
+// Report collects the retained logs as lazy views over the log stores.
+// Call after machine.Run returns, and keep the recorder's stores open for
+// as long as the report is replayed or packed. An interval that no longer
+// loads back (spill corruption) is dropped from the report and surfaces
+// through Err.
 func (r *Recorder) Report() *CrashReport {
 	rep := &CrashReport{
 		PID:          r.cfg.PID,
@@ -478,16 +561,48 @@ func (r *Recorder) Report() *CrashReport {
 		LogCodeLoads: r.cfg.LogCodeLoads,
 		DictOptions:  r.cfg.DictOptions,
 		Crash:        r.m.Crash(),
-		FLLs:         make(map[int][]*fll.Log),
-		MRLs:         make(map[int][]*mrl.Log),
+		FLLs:         make(map[int][]*fll.Ref),
+		MRLs:         make(map[int][]*mrl.Ref),
+		FLLStats:     r.flls.Stats(),
+		MRLStats:     r.mrls.Stats(),
 	}
 	for _, it := range r.flls.All() {
-		rep.FLLs[it.TID] = append(rep.FLLs[it.TID], it.Payload.(*fll.Log))
+		// The cached metadata makes report assembly pure bookkeeping — no
+		// re-read of the window. Items the cache cannot vouch for
+		// (recovered from an earlier run) re-parse from their bytes.
+		if m, ok := r.fllMeta[metaKey{it.TID, it.CID}]; ok && r.metaCacheOK {
+			rep.FLLs[it.TID] = append(rep.FLLs[it.TID],
+				fll.NewLazyRef(m, it.EncodedBytes, r.flls.Loader(it.Seq)))
+			continue
+		}
+		ref, err := fll.OpenLazy(r.flls.Loader(it.Seq))
+		if err != nil {
+			r.fail(fmt.Errorf("core: FLL T%d C%d unreadable: %w", it.TID, it.CID, err))
+			continue
+		}
+		rep.FLLs[it.TID] = append(rep.FLLs[it.TID], ref)
 	}
 	for _, it := range r.mrls.All() {
-		rep.MRLs[it.TID] = append(rep.MRLs[it.TID], it.Payload.(*mrl.Log))
+		if m, ok := r.mrlMeta[metaKey{it.TID, it.CID}]; ok && r.metaCacheOK {
+			rep.MRLs[it.TID] = append(rep.MRLs[it.TID],
+				mrl.NewLazyRef(m, it.EncodedBytes, r.mrls.Loader(it.Seq)))
+			continue
+		}
+		ref, err := mrl.OpenLazy(r.mrls.Loader(it.Seq))
+		if err != nil {
+			r.fail(fmt.Errorf("core: MRL T%d C%d unreadable: %w", it.TID, it.CID, err))
+			continue
+		}
+		rep.MRLs[it.TID] = append(rep.MRLs[it.TID], ref)
 	}
 	return rep
+}
+
+// fail records the first report-assembly failure.
+func (r *Recorder) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
 }
 
 // Record is the one-call convenience path: build a machine for img, attach

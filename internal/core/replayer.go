@@ -42,9 +42,14 @@ type ReplayResult struct {
 // taking first-load values from the log and everything else from replayed
 // computation. Synchronous interrupts become NOPs; execution continues
 // into the next FLL.
+//
+// Logs arrive as lazy views: only the interval currently being replayed
+// is held decoded, so the replayable window is bounded by where the
+// encoded bytes live (a disk-backed log store, a report archive on disk),
+// not by process memory.
 type Replayer struct {
 	img  *asm.Image
-	logs []*fll.Log
+	logs []*fll.Ref
 
 	// TraceDepth mirrors the recorder option for divergence checking.
 	TraceDepth int
@@ -67,8 +72,23 @@ type Replayer struct {
 
 // NewReplayer builds a replayer for one thread's logs, which must be in
 // recording order (as CrashReport delivers them).
-func NewReplayer(img *asm.Image, logs []*fll.Log) *Replayer {
+func NewReplayer(img *asm.Image, logs []*fll.Ref) *Replayer {
 	return &Replayer{img: img, logs: logs}
+}
+
+// NewReplayerLogs wraps already-decoded logs, for callers that built them
+// in memory (tests, synthetic windows).
+func NewReplayerLogs(img *asm.Image, logs []*fll.Log) *Replayer {
+	return &Replayer{img: img, logs: WrapFLLs(logs)}
+}
+
+// WrapFLLs views decoded logs as refs, in order.
+func WrapFLLs(logs []*fll.Log) []*fll.Ref {
+	refs := make([]*fll.Ref, len(logs))
+	for i, l := range logs {
+		refs[i] = fll.NewRef(l)
+	}
+	return refs
 }
 
 // Run replays all logs to completion.
@@ -84,6 +104,9 @@ func (r *Replayer) Run() (*ReplayResult, error) {
 			return nil, err
 		}
 	}
+	if st.err != nil {
+		return nil, st.err
+	}
 	return st.result(), nil
 }
 
@@ -94,9 +117,9 @@ type state struct {
 	mem *mem.Memory
 	c   *cpu.CPU
 
-	logs     []*fll.Log
-	idx      int // current log index (idx-1 after next())
-	cur      *fll.Log
+	logs     []*fll.Ref
+	idx      int      // current log index (idx-1 after next())
+	cur      *fll.Log // the one interval held decoded
 	reader   *fll.Reader
 	d        *dict.Table
 	executed uint64 // instructions executed within the current interval
@@ -136,12 +159,19 @@ func (r *Replayer) newState() *state {
 	return st
 }
 
-// next advances to the next FLL; false when all are consumed.
+// next advances to the next FLL, materializing it from its view (the
+// previously decoded interval is dropped); false when all are consumed or
+// a log failed to load, which parks the error in st.err.
 func (st *state) next() bool {
-	if st.idx >= len(st.logs) {
+	if st.err != nil || st.idx >= len(st.logs) {
 		return false
 	}
-	st.cur = st.logs[st.idx]
+	l, err := st.logs[st.idx].Open()
+	if err != nil {
+		st.err = fmt.Errorf("core: materializing interval C%d: %w", st.logs[st.idx].CID, err)
+		return false
+	}
+	st.cur = l
 	st.idx++
 	st.executed = 0
 	st.d = dict.NewWithOptions(int(st.cur.DictSize), st.r.DictOptions)

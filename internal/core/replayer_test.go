@@ -326,8 +326,16 @@ func TestReplayDetectsTamperedLog(t *testing.T) {
 	img := asm.MustAssemble("t.s", sumProgram)
 	_, rep, _ := Record(img, kernel.Config{}, Config{Cache: tinyCache()})
 	logs := rep.FLLs[0]
-	// Corrupt the instruction count of the first log.
-	logs[0].Length += 3
+	// Corrupt the instruction count of the first log (tamper the decoded
+	// object and re-wrap it, so the mutation actually reaches replay — a
+	// lazy view's metadata is display-only).
+	l0, err := logs[0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *l0
+	tampered.Length += 3
+	logs[0] = fll.NewRef(&tampered)
 	r := NewReplayer(img, logs)
 	if _, err := r.Run(); err == nil {
 		t.Error("replay of tampered log succeeded; want divergence error")

@@ -111,13 +111,18 @@ func (m *ReplayMachine) Result() *ReplayResult { return m.st.result() }
 // StepOne advances exactly one instruction, handling interval transitions
 // on both sides. At the end of the window it sets Done and returns nil.
 func (m *ReplayMachine) StepOne() error {
+	if m.done {
+		// Includes the window that never opened: a first interval whose
+		// encoded bytes failed to load parks its error in the state.
+		return m.st.err
+	}
 	for m.st.intervalDone() {
 		if err := m.st.finishInterval(); err != nil {
 			return err
 		}
 		if !m.st.next() {
 			m.done = true
-			return nil
+			return m.st.err
 		}
 	}
 	if err := m.st.step(); err != nil {
@@ -130,7 +135,7 @@ func (m *ReplayMachine) StepOne() error {
 		}
 		if !m.st.next() {
 			m.done = true
-			return nil
+			return m.st.err
 		}
 	}
 	return nil
@@ -266,9 +271,11 @@ func (m *ReplayMachine) Restore(s *ReplaySnapshot) {
 		st.c.Fault = &f
 	}
 	st.idx = s.idx
+	// The current decoded interval rides inside the snapshot's reader; a
+	// lazy window is never re-materialized on restore.
 	st.cur = nil
-	if s.idx >= 1 && s.idx <= len(st.logs) {
-		st.cur = st.logs[s.idx-1]
+	if s.reader != nil {
+		st.cur = s.reader.Log()
 	}
 	st.executed = s.executed
 	st.total = s.total

@@ -166,7 +166,10 @@ func TestPropertyCorruptedLogsNeverSilentlyDiverge(t *testing.T) {
 	// Pre-serialize the pristine logs.
 	blobs := make([][]byte, len(logs))
 	for i, l := range logs {
-		blobs[i] = l.Marshal()
+		var err error
+		if blobs[i], err = l.Encoded(); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	f := func(seed int64) bool {
@@ -177,11 +180,11 @@ func TestPropertyCorruptedLogsNeverSilentlyDiverge(t *testing.T) {
 		bit := rng.Intn(len(blob) * 8)
 		blob[bit/8] ^= 1 << uint(bit%8)
 
-		corrupted, err := fll.Unmarshal(blob)
+		corrupted, err := fll.OpenEncoded(blob)
 		if err != nil {
 			return true // rejected at decode: loud failure, fine
 		}
-		mutated := append([]*fll.Log(nil), logs...)
+		mutated := append([]*fll.Ref(nil), logs...)
 		mutated[victim] = corrupted
 
 		defer func() {

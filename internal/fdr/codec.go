@@ -1,0 +1,161 @@
+package fdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bugnet/internal/isa"
+)
+
+// The checkpoint codec serializes a SafetyNet checkpoint for the encoded
+// log stores: like the BugNet logs, FDR's retained state lives as bytes
+// behind a logstore.Backend and is re-materialized on demand, so the
+// baseline's retention can spill to disk through the same machinery.
+
+var ckptMagic = [4]byte{'F', 'D', 'R', 'C'}
+
+const ckptVersion = 1
+
+// ErrBadCheckpoint reports a malformed serialized checkpoint.
+var ErrBadCheckpoint = errors.New("fdr: bad serialized checkpoint")
+
+// marshal encodes the checkpoint.
+func (c *checkpoint) marshal() []byte {
+	le := binary.LittleEndian
+	size := 5 + 4 + 8 + 8 + 4 + len(c.startIC)*8 + 4 + len(c.regs)*(4+8+1+4+isa.NumRegs*4) + 4
+	for _, u := range c.undo {
+		size += 8 + len(u.old)
+	}
+	out := make([]byte, 0, size)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		le.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		le.PutUint64(tmp[:8], v)
+		out = append(out, tmp[:8]...)
+	}
+	out = append(out, ckptMagic[:]...)
+	out = append(out, ckptVersion)
+	put32(c.id)
+	put64(c.startStep)
+	put64(c.instructions)
+	put32(uint32(len(c.startIC)))
+	for _, ic := range c.startIC {
+		put64(ic)
+	}
+	put32(uint32(len(c.regs)))
+	for i := range c.regs {
+		rc := &c.regs[i]
+		put32(uint32(int32(rc.tid)))
+		put64(rc.ic)
+		if rc.live {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		put32(rc.state.PC)
+		for _, r := range rc.state.Regs {
+			put32(r)
+		}
+	}
+	put32(uint32(len(c.undo)))
+	for _, u := range c.undo {
+		put32(u.addr)
+		put32(uint32(len(u.old)))
+		out = append(out, u.old...)
+	}
+	return out
+}
+
+// unmarshalCheckpoint decodes a serialized checkpoint.
+func unmarshalCheckpoint(data []byte) (*checkpoint, error) {
+	le := binary.LittleEndian
+	pos := 0
+	need := func(n int) error {
+		if len(data)-pos < n {
+			return fmt.Errorf("%w: truncated at offset %d", ErrBadCheckpoint, pos)
+		}
+		return nil
+	}
+	if err := need(5); err != nil {
+		return nil, err
+	}
+	if [4]byte(data[:4]) != ckptMagic || data[4] != ckptVersion {
+		return nil, ErrBadCheckpoint
+	}
+	pos = 5
+	get32 := func() uint32 {
+		v := le.Uint32(data[pos:])
+		pos += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := le.Uint64(data[pos:])
+		pos += 8
+		return v
+	}
+	c := &checkpoint{}
+	if err := need(4 + 8 + 8 + 4); err != nil {
+		return nil, err
+	}
+	c.id = get32()
+	c.startStep = get64()
+	c.instructions = get64()
+	nIC := int(get32())
+	if err := need(nIC * 8); err != nil {
+		return nil, err
+	}
+	c.startIC = make([]uint64, nIC)
+	for i := range c.startIC {
+		c.startIC[i] = get64()
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nRegs := int(get32())
+	if err := need(nRegs * (4 + 8 + 1 + 4 + isa.NumRegs*4)); err != nil {
+		return nil, err
+	}
+	c.regs = make([]regCheckpoint, nRegs)
+	for i := range c.regs {
+		rc := &c.regs[i]
+		rc.tid = int(int32(get32()))
+		rc.ic = get64()
+		rc.live = data[pos] == 1
+		pos++
+		rc.state.PC = get32()
+		for j := range rc.state.Regs {
+			rc.state.Regs[j] = get32()
+		}
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nUndo := int(get32())
+	// Bound the count by the remaining payload (each entry costs at least
+	// its 8-byte header) before allocating: a tampered count must fail
+	// loudly, not drive a huge allocation.
+	if nUndo > (len(data)-pos)/8 {
+		return nil, fmt.Errorf("%w: undo count %d exceeds payload", ErrBadCheckpoint, nUndo)
+	}
+	c.undo = make([]undoEntry, 0, nUndo)
+	for i := 0; i < nUndo; i++ {
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		addr := get32()
+		n := int(get32())
+		if err := need(n); err != nil {
+			return nil, err
+		}
+		c.undo = append(c.undo, undoEntry{addr: addr, old: append([]byte(nil), data[pos:pos+n]...)})
+		pos += n
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(data)-pos)
+	}
+	return c, nil
+}

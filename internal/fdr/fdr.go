@@ -283,17 +283,16 @@ func (r *Recorder) closeCheckpoint() {
 		Timestamp:    c.startStep,
 		Bytes:        c.undoBytes(r.cfg.BlockBytes) + c.regBytes(),
 		Instructions: c.instructions,
-		Payload:      c,
-	})
+	}, c.marshal())
 	for tid, w := range r.mws {
 		if w == nil {
 			continue
 		}
-		ml := w.Close()
+		mm, mdata := w.CloseEncoded()
 		r.mrls.Append(logstore.Item{
-			TID: tid, CID: ml.CID, Timestamp: ml.Timestamp,
-			Bytes: ml.SizeBytes(), Payload: ml,
-		})
+			TID: tid, CID: mm.CID, Timestamp: mm.Timestamp,
+			Bytes: mm.SizeBytes(),
+		}, mdata)
 		delete(r.mws, tid)
 	}
 }
@@ -454,11 +453,16 @@ func (r *Recorder) Finalize() {
 	}
 }
 
-// Sizes aggregates the log sizes for the Table 2 comparison.
+// Sizes aggregates the log sizes for the Table 2 comparison. Per-category
+// checkpoint splits decode each retained checkpoint on demand; the
+// aggregate Bytes/Instructions come from store metadata alone.
 func (r *Recorder) Sizes() SizeReport {
 	var s SizeReport
 	for _, it := range r.retained.All() {
-		c := it.Payload.(*checkpoint)
+		c, err := r.checkpointAt(it)
+		if err != nil {
+			continue // unreadable spill: excluded from the report
+		}
 		s.CacheCheckpointBytes += c.undoBytes(r.cfg.BlockBytes)
 		s.MemCheckpointBytes += c.regBytes()
 		s.Checkpoints++
@@ -480,12 +484,28 @@ func (r *Recorder) Sizes() SizeReport {
 	return s
 }
 
-// Checkpoints returns the retained checkpoints oldest-first (for replay).
+// checkpointAt re-materializes one retained checkpoint from its encoded
+// bytes.
+func (r *Recorder) checkpointAt(it logstore.Item) (*checkpoint, error) {
+	data, err := r.retained.Load(it.Seq)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalCheckpoint(data)
+}
+
+// Checkpoints returns the retained checkpoints oldest-first, decoded (the
+// test surface). Replay walks them one at a time via checkpointAt instead
+// so the undo-log scan never holds the whole retained window decoded.
 func (r *Recorder) Checkpoints() []*checkpoint {
 	items := r.retained.All()
-	out := make([]*checkpoint, len(items))
-	for i, it := range items {
-		out[i] = it.Payload.(*checkpoint)
+	out := make([]*checkpoint, 0, len(items))
+	for _, it := range items {
+		c, err := r.checkpointAt(it)
+		if err != nil {
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }

@@ -37,11 +37,14 @@ func Replay(rec *Recorder, startIdx int) (*ReplayResult, error) {
 	if rec.everMP {
 		return nil, ErrUnsupported
 	}
-	cps := rec.Checkpoints()
-	if startIdx < 0 || startIdx >= len(cps) {
-		return nil, fmt.Errorf("fdr: checkpoint index %d out of range (%d retained)", startIdx, len(cps))
+	items := rec.retained.All()
+	if startIdx < 0 || startIdx >= len(items) {
+		return nil, fmt.Errorf("fdr: checkpoint index %d out of range (%d retained)", startIdx, len(items))
 	}
-	cp := cps[startIdx]
+	cp, err := rec.checkpointAt(items[startIdx])
+	if err != nil {
+		return nil, fmt.Errorf("fdr: loading checkpoint %d: %w", startIdx, err)
+	}
 
 	// Uniprocessor scope: exactly one live thread at the checkpoint.
 	var reg *regCheckpoint
@@ -58,10 +61,18 @@ func Replay(rec *Recorder, startIdx int) (*ReplayResult, error) {
 	}
 
 	// Rebuild memory at the checkpoint boundary: start from the core dump
-	// and apply undo logs newest-first down to (and including) cp.
+	// and apply undo logs newest-first down to (and including) cp. Each
+	// checkpoint is materialized from its encoded form for its walk step
+	// and dropped again — the retained window never sits decoded at once.
 	m := rec.coreEnd.Snapshot()
-	for i := len(cps) - 1; i >= startIdx; i-- {
-		for _, u := range cps[i].undo {
+	for i := len(items) - 1; i >= startIdx; i-- {
+		ci := cp
+		if i != startIdx {
+			if ci, err = rec.checkpointAt(items[i]); err != nil {
+				return nil, fmt.Errorf("fdr: loading checkpoint %d: %w", i, err)
+			}
+		}
+		for _, u := range ci.undo {
 			if err := m.StoreBytes(u.addr, u.old); err != nil {
 				return nil, fmt.Errorf("fdr: undo restore at %#x: %v", u.addr, err)
 			}

@@ -87,12 +87,13 @@ type FaultRecord struct {
 	Cause uint8  // cpu.FaultCause
 }
 
-// Log is a finalized First-Load Log.
-type Log struct {
+// Meta is everything a First-Load Log records except the entry stream
+// itself: the header plus the trailer counters. It is cheap to hold for
+// every retained interval, which is what lets a Ref describe a log (size,
+// coverage, fault record, start state) without materializing the entries.
+type Meta struct {
 	Header
-	// Entries is the bit-packed first-load record stream.
-	Entries []byte
-	// EntryBits is the exact bit length of Entries.
+	// EntryBits is the exact bit length of the entry stream.
 	EntryBits uint64
 	// NumEntries is the number of logged first-load values.
 	NumEntries uint64
@@ -111,6 +112,14 @@ type Log struct {
 	UncompressedBits uint64
 }
 
+// Log is a finalized First-Load Log: its metadata plus the bit-packed
+// first-load record stream.
+type Log struct {
+	Meta
+	// Entries is the bit-packed first-load record stream.
+	Entries []byte
+}
+
 // HeaderBytes is the serialized header cost: PID, TID, C-ID, DictSize
 // (4×4), Timestamp + IntervalLimit (2×8), PC (4), registers (32×4) — what
 // the hardware writes at interval start.
@@ -119,12 +128,12 @@ const HeaderBytes = 4*4 + 2*8 + 4 + isa.NumRegs*4
 // SizeBytes returns the log's storage footprint: header plus packed
 // entries plus the small trailer (length, counts, end cause). This is the
 // quantity behind the paper's FLL-size figures.
-func (l *Log) SizeBytes() int64 {
+func (m *Meta) SizeBytes() int64 {
 	trailer := int64(8 + 8 + 1) // length, entry count, end kind
-	if l.Fault != nil {
+	if m.Fault != nil {
 		trailer += 8 + 4 + 1
 	}
-	return HeaderBytes + int64((l.EntryBits+7)/8) + trailer
+	return HeaderBytes + int64((m.EntryBits+7)/8) + trailer
 }
 
 // bitsFor returns the width needed to represent values in [0, n].
@@ -199,14 +208,10 @@ func (w *Writer) Op(value uint32, logged bool) {
 // model samples it to account log production.
 func (w *Writer) Bits() uint64 { return w.w.Len() }
 
-// Close finalizes the log. length is the committed instruction count of
-// the interval; fault may carry the crash record.
-func (w *Writer) Close(length uint64, end EndKind, fault *FaultRecord) *Log {
-	buf := make([]byte, len(w.w.Bytes()))
-	copy(buf, w.w.Bytes())
-	return &Log{
+// meta assembles the finalized metadata.
+func (w *Writer) meta(length uint64, end EndKind, fault *FaultRecord) Meta {
+	return Meta{
 		Header:           w.hdr,
-		Entries:          buf,
 		EntryBits:        w.w.Len(),
 		NumEntries:       w.entries,
 		Ops:              w.ops,
@@ -215,6 +220,24 @@ func (w *Writer) Close(length uint64, end EndKind, fault *FaultRecord) *Log {
 		Fault:            fault,
 		UncompressedBits: w.uncBits,
 	}
+}
+
+// Close finalizes the log as a decoded object. length is the committed
+// instruction count of the interval; fault may carry the crash record.
+func (w *Writer) Close(length uint64, end EndKind, fault *FaultRecord) *Log {
+	buf := make([]byte, len(w.w.Bytes()))
+	copy(buf, w.w.Bytes())
+	return &Log{Meta: w.meta(length, end, fault), Entries: buf}
+}
+
+// CloseEncoded finalizes the log straight to its wire encoding (the bytes
+// Marshal would produce), plus the metadata the retention layer needs. The
+// recorder uses it so a finalized interval is never held decoded: the
+// bytes go directly into a log store, and replay re-materializes them on
+// demand through a Ref.
+func (w *Writer) CloseEncoded(length uint64, end EndKind, fault *FaultRecord) (Meta, []byte) {
+	m := w.meta(length, end, fault)
+	return m, appendMarshal(nil, &m, w.w.Bytes())
 }
 
 // Reader replays one FLL's entry stream. The replayer calls Op for every
@@ -348,6 +371,11 @@ func (r *Reader) Clone(d *dict.Table) *Reader {
 // Dict returns the dictionary table the reader decodes ranks against.
 func (r *Reader) Dict() *dict.Table { return r.dict }
 
+// Log returns the decoded log the reader was opened over. Snapshot
+// restore uses it to re-derive the current-interval pointer without
+// re-materializing the log from its encoded form.
+func (r *Reader) Log() *Log { return r.log }
+
 // Err returns the first decode error, if any.
 func (r *Reader) Err() error { return r.err }
 
@@ -372,10 +400,14 @@ const version = 1
 // ErrBadFormat reports a malformed serialized log.
 var ErrBadFormat = errors.New("fll: bad serialized log")
 
-// Marshal encodes the log for storage or transmission to the developer.
-func (l *Log) Marshal() []byte {
-	var out []byte
+// appendMarshal appends the wire encoding of (m, entries) to out. It is
+// the single serializer behind Log.Marshal and Writer.CloseEncoded, so the
+// two paths cannot drift.
+func appendMarshal(out []byte, m *Meta, entries []byte) []byte {
 	le := binary.LittleEndian
+	if out == nil {
+		out = make([]byte, 0, 5+HeaderBytes+5*8+16+len(entries)+12)
+	}
 	out = append(out, magic[:]...)
 	out = append(out, version)
 	var tmp [8]byte
@@ -388,32 +420,32 @@ func (l *Log) Marshal() []byte {
 		le.PutUint64(tmp[:8], v)
 		out = append(out, tmp[:8]...)
 	}
-	put32(l.PID)
-	put32(l.TID)
-	put32(l.CID)
-	put64(l.Timestamp)
-	put64(l.IntervalLimit)
-	put32(l.DictSize)
-	put32(l.State.PC)
-	for _, r := range l.State.Regs {
+	put32(m.PID)
+	put32(m.TID)
+	put32(m.CID)
+	put64(m.Timestamp)
+	put64(m.IntervalLimit)
+	put32(m.DictSize)
+	put32(m.State.PC)
+	for _, r := range m.State.Regs {
 		put32(r)
 	}
-	put64(l.EntryBits)
-	put64(l.NumEntries)
-	put64(l.Ops)
-	put64(l.Length)
-	put64(l.UncompressedBits)
-	out = append(out, byte(l.End))
-	if l.Fault != nil {
+	put64(m.EntryBits)
+	put64(m.NumEntries)
+	put64(m.Ops)
+	put64(m.Length)
+	put64(m.UncompressedBits)
+	out = append(out, byte(m.End))
+	if m.Fault != nil {
 		out = append(out, 1)
-		put64(l.Fault.IC)
-		put32(l.Fault.PC)
-		out = append(out, l.Fault.Cause)
+		put64(m.Fault.IC)
+		put32(m.Fault.PC)
+		out = append(out, m.Fault.Cause)
 	} else {
 		out = append(out, 0)
 	}
-	put64(uint64(len(l.Entries)))
-	out = append(out, l.Entries...)
+	put64(uint64(len(entries)))
+	out = append(out, entries...)
 	// Integrity checksum over everything above: logs travel from the
 	// user's machine to the developer, and a corrupted log must fail
 	// loudly at decode rather than replay a different execution.
@@ -422,21 +454,29 @@ func (l *Log) Marshal() []byte {
 	return out
 }
 
-// Unmarshal decodes a serialized log.
-func Unmarshal(data []byte) (*Log, error) {
+// Marshal encodes the log for storage or transmission to the developer.
+func (l *Log) Marshal() []byte {
+	return appendMarshal(nil, &l.Meta, l.Entries)
+}
+
+// parse validates a serialized log (checksum and framing) and splits it
+// into metadata and the entry-stream bytes, which alias data. It is the
+// single decoder behind Unmarshal and OpenEncoded.
+func parse(data []byte) (Meta, []byte, error) {
 	le := binary.LittleEndian
+	var m Meta
 	if len(data) < 4 {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
 	body, sum := data[:len(data)-4], le.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+		return m, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
 	}
 	data = body
 	pos := 0
 	need := func(n int) bool { return len(data)-pos >= n }
 	if !need(5) || [4]byte(data[:4]) != magic || data[4] != version {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
 	pos = 5
 	get32 := func() uint32 {
@@ -450,49 +490,149 @@ func Unmarshal(data []byte) (*Log, error) {
 		return v
 	}
 	if !need(4*4 + 2*8 + 4 + isa.NumRegs*4 + 5*8 + 2) {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
-	var l Log
-	l.PID = get32()
-	l.TID = get32()
-	l.CID = get32()
-	l.Timestamp = get64()
-	l.IntervalLimit = get64()
-	l.DictSize = get32()
-	l.State.PC = get32()
-	for i := range l.State.Regs {
-		l.State.Regs[i] = get32()
+	m.PID = get32()
+	m.TID = get32()
+	m.CID = get32()
+	m.Timestamp = get64()
+	m.IntervalLimit = get64()
+	m.DictSize = get32()
+	m.State.PC = get32()
+	for i := range m.State.Regs {
+		m.State.Regs[i] = get32()
 	}
-	l.EntryBits = get64()
-	l.NumEntries = get64()
-	l.Ops = get64()
-	l.Length = get64()
-	l.UncompressedBits = get64()
-	l.End = EndKind(data[pos])
+	m.EntryBits = get64()
+	m.NumEntries = get64()
+	m.Ops = get64()
+	m.Length = get64()
+	m.UncompressedBits = get64()
+	m.End = EndKind(data[pos])
 	pos++
 	hasFault := data[pos] == 1
 	pos++
 	if hasFault {
 		if !need(13) {
-			return nil, ErrBadFormat
+			return m, nil, ErrBadFormat
 		}
 		f := &FaultRecord{}
 		f.IC = get64()
 		f.PC = get32()
 		f.Cause = data[pos]
 		pos++
-		l.Fault = f
+		m.Fault = f
 	}
 	if !need(8) {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
 	n := get64()
 	if uint64(len(data)-pos) < n {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
-	l.Entries = append([]byte(nil), data[pos:pos+int(n)]...)
-	if l.EntryBits > n*8 {
-		return nil, ErrBadFormat
+	entries := data[pos : pos+int(n)]
+	if m.EntryBits > n*8 {
+		return m, nil, ErrBadFormat
 	}
-	return &l, nil
+	return m, entries, nil
+}
+
+// Unmarshal decodes a serialized log.
+func Unmarshal(data []byte) (*Log, error) {
+	m, entries, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{Meta: m, Entries: append([]byte(nil), entries...)}, nil
+}
+
+// Ref is a lazily-decoded First-Load Log: the full metadata (header,
+// counters, fault record) held decoded, with the entry stream materialized
+// only when Open is called. A window of Refs costs O(intervals) memory
+// instead of O(log bytes), which is what lets replay walk a window far
+// larger than RAM when the encoded bytes live in a disk-backed log store.
+type Ref struct {
+	Meta
+	load   func() ([]byte, error) // nil when log is set
+	log    *Log                   // memory-backed fast path
+	encLen int64                  // wire size when known; 0 = derive on demand
+}
+
+// NewRef wraps an already-decoded log as a view. Open returns l itself.
+func NewRef(l *Log) *Ref { return &Ref{Meta: l.Meta, log: l} }
+
+// OpenEncoded validates one serialized log and returns a view over it.
+// The metadata is decoded eagerly; the entry stream stays encoded (the
+// view retains data) until Open.
+func OpenEncoded(data []byte) (*Ref, error) {
+	m, _, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{Meta: m, load: func() ([]byte, error) { return data, nil },
+		encLen: int64(len(data))}, nil
+}
+
+// OpenLazy builds a view over a log whose encoded bytes live behind load
+// (a log-store item, a file). load is called once now to validate and
+// decode the metadata, and again on every Open, so the view itself pins
+// no log bytes in memory.
+func OpenLazy(load func() ([]byte, error)) (*Ref, error) {
+	data, err := load()
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{Meta: m, load: load, encLen: int64(len(data))}, nil
+}
+
+// ParseMeta validates one serialized log and returns its metadata without
+// retaining or copying the entry stream.
+func ParseMeta(data []byte) (Meta, error) {
+	m, _, err := parse(data)
+	return m, err
+}
+
+// NewLazyRef builds a view from metadata the caller already validated
+// (via ParseMeta over the same encodedLen bytes load returns) and a
+// loader. Archive readers use it to hand out views without re-reading
+// every section.
+func NewLazyRef(m Meta, encodedLen int64, load func() ([]byte, error)) *Ref {
+	return &Ref{Meta: m, load: load, encLen: encodedLen}
+}
+
+// Open materializes the full log. Memory-backed views return the shared
+// decoded log; lazy views re-load and decode, so the caller owns the
+// result and should drop it when the interval is consumed.
+func (r *Ref) Open() (*Log, error) {
+	if r.log != nil {
+		return r.log, nil
+	}
+	data, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// Encoded returns the log's wire encoding (the bytes Marshal produces)
+// without decoding the entry stream: streaming report packers copy it
+// section-to-section.
+func (r *Ref) Encoded() ([]byte, error) {
+	if r.load != nil {
+		return r.load()
+	}
+	return r.log.Marshal(), nil
+}
+
+// EncodedLen returns the wire size of the log without loading it — every
+// backing store knows it up front; memory-wrapped logs derive it once.
+// Size listings over huge lazy windows must not cost I/O.
+func (r *Ref) EncodedLen() int64 {
+	if r.encLen == 0 && r.log != nil {
+		r.encLen = int64(len(r.log.Marshal()))
+	}
+	return r.encLen
 }

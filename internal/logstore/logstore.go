@@ -1,85 +1,252 @@
-// Package logstore models BugNet's memory-backed log storage (paper §4.7).
+// Package logstore models BugNet's log-region storage (paper §4.7).
 //
 // The on-chip Checkpoint Buffer (CB) and Memory Race Buffer (MRB) are small
-// FIFOs whose contents are lazily drained into a main-memory region managed
-// by the operating system. The memory region holds the logs of multiple
-// consecutive checkpoints for every thread; when it fills, the logs of the
-// oldest checkpoint are discarded. The set of retained logs determines the
-// replay window — the number of instructions that can be replayed per
-// thread (paper §4.1, §7.2).
+// FIFOs whose contents are lazily drained into a log region managed by the
+// operating system. The region holds the logs of multiple consecutive
+// checkpoints for every thread; when it fills, the logs of the oldest
+// checkpoint are discarded. The set of retained logs determines the replay
+// window — the number of instructions that can be replayed per thread
+// (paper §4.1, §7.2).
 //
 // A Store manages one such region (one for FLLs, one for MRLs). Items are
-// opaque: the store cares only about their identity, size and coverage.
+// opaque *encoded* logs: the store cares only about their identity, size
+// and coverage, never about their decoded form — consumers re-materialize
+// a log on demand through its bytes. Where the bytes live is a Backend
+// decision: the in-memory FIFO models the paper's OS-managed RAM region,
+// while the disk-segment backend (disk.go) spills the region to
+// append-only segment files so the replay window is bounded by disk, not
+// by process memory.
 package logstore
 
-// Item is one retained log with its retention metadata.
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Item is one retained log's retention metadata. The encoded bytes travel
+// separately (Append takes them, Load returns them) so metadata listings
+// never touch the backend's data path.
 type Item struct {
-	TID          int
-	CID          uint32
-	Timestamp    uint64 // creation time (machine steps); eviction order key
-	Bytes        int64
-	Instructions uint64 // committed instructions covered (FLLs; 0 for MRLs)
-	Payload      any    // *fll.Log or *mrl.Log
+	// Seq is the store-assigned append sequence number, the key for Load.
+	// Sequences are monotonic and survive a disk backend's reopen.
+	Seq uint64
+	// TID and CID attribute the log to a thread's checkpoint interval.
+	TID int
+	CID uint32
+	// Timestamp is the creation time (machine steps); eviction order key.
+	Timestamp uint64
+	// Bytes is the accounting size charged against the region budget: the
+	// hardware storage footprint (fll/mrl SizeBytes), the quantity behind
+	// the paper's log-size figures.
+	Bytes int64
+	// EncodedBytes is the size of the serialized form the backend holds
+	// (Bytes plus wire framing and checksums).
+	EncodedBytes int64
+	// Instructions is the committed instructions covered (FLLs; 0 for MRLs).
+	Instructions uint64
 }
 
 // Stats describes a store's occupancy and lifetime churn.
 type Stats struct {
-	RetainedBytes int64
-	RetainedCount int
-	EvictedBytes  int64
-	EvictedCount  int
-	TotalBytes    int64 // everything ever appended
-	TotalCount    int
+	RetainedBytes int64 `json:"retained_bytes"`
+	RetainedCount int   `json:"retained_count"`
+	EvictedBytes  int64 `json:"evicted_bytes"`
+	EvictedCount  int   `json:"evicted_count"`
+	TotalBytes    int64 `json:"total_bytes"` // everything ever appended
+	TotalCount    int   `json:"total_count"`
+	// RetainedEncodedBytes is the serialized footprint the backend holds
+	// for the retained items (wire framing included).
+	RetainedEncodedBytes int64 `json:"retained_encoded_bytes"`
 }
 
-// Store is a budgeted FIFO of logs.
+// ErrEvicted reports a Load of an item that aged out of the region.
+var ErrEvicted = errors.New("logstore: item evicted")
+
+// Backend is a storage engine for encoded log bytes. The Store drives it
+// under its own lock and guarantees Append sequences are monotonic and
+// Evict always names the oldest live item; backends need no locking of
+// their own when used through a Store.
+type Backend interface {
+	// Append persists data as the newest item under it.Seq.
+	Append(it Item, data []byte) error
+	// Load returns the encoded bytes of a retained item. The returned
+	// slice must not be modified by the caller.
+	Load(seq uint64) ([]byte, error)
+	// Evict releases the oldest live item (always called in append order).
+	// Physical reclamation may lag: the disk backend frees whole segments
+	// once every item in them is evicted.
+	Evict(it Item) error
+	// Recover returns the items retained by a previous run, oldest first
+	// (nil for volatile backends). The Store calls it exactly once, before
+	// any Append.
+	Recover() ([]Item, error)
+	// Close releases backend resources. The Store is unusable afterwards.
+	Close() error
+}
+
+// Store is a budgeted FIFO of encoded logs over a Backend.
 type Store struct {
-	budget int64 // <= 0 means unlimited
-	items  []Item
-	stats  Stats
+	mu      sync.Mutex
+	budget  int64 // <= 0 means unlimited
+	backend Backend
+	items   []Item // retained metadata, oldest first
+	nextSeq uint64
+	stats   Stats
+	err     error // first backend failure; the store keeps best-effort serving
 }
 
-// New creates a store with the given main-memory budget in bytes.
-// A non-positive budget retains everything (useful for experiments that
-// measure how large logs would grow).
+// New creates a store over the in-memory FIFO backend with the given
+// region budget in bytes. A non-positive budget retains everything
+// (useful for experiments that measure how large logs would grow).
 func New(budget int64) *Store {
-	return &Store{budget: budget}
+	s, err := Open(budget, NewMemory())
+	if err != nil { // the memory backend cannot fail to recover
+		panic(err)
+	}
+	return s
 }
 
-// Append retains an item, evicting the oldest items if the budget is
-// exceeded. Items must be appended in nondecreasing Timestamp order, which
-// is how the hardware produces them.
-func (s *Store) Append(it Item) {
+// Open creates a store over an explicit backend, recovering any items a
+// previous run retained (disk backends) and re-applying the budget to
+// them — a region reopened under a smaller budget, or one whose physical
+// reclamation lagged a crash, trims back to shape immediately.
+func Open(budget int64, b Backend) (*Store, error) {
+	recovered, err := b.Recover()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{budget: budget, backend: b}
+	for _, it := range recovered {
+		s.items = append(s.items, it)
+		s.stats.RetainedBytes += it.Bytes
+		s.stats.RetainedEncodedBytes += it.EncodedBytes
+		s.stats.RetainedCount++
+		s.stats.TotalBytes += it.Bytes
+		s.stats.TotalCount++
+		if it.Seq >= s.nextSeq {
+			s.nextSeq = it.Seq + 1
+		}
+	}
+	s.mu.Lock()
+	err = s.evictLocked()
+	s.mu.Unlock()
+	return s, err
+}
+
+// Append retains one encoded log, evicting the oldest items if the budget
+// is exceeded. Items must be appended in nondecreasing Timestamp order,
+// which is how the hardware produces them. The item's Seq and
+// EncodedBytes are assigned by the store. The returned error reports this
+// call's failures only (the item not persisting, or this call's
+// reclamation failing); earlier swallowed failures stay behind Err.
+func (s *Store) Append(it Item, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it.Seq = s.nextSeq
+	it.EncodedBytes = int64(len(data))
+	if err := s.backend.Append(it, data); err != nil {
+		s.fail(err)
+		return err
+	}
+	s.nextSeq++
 	s.items = append(s.items, it)
 	s.stats.RetainedBytes += it.Bytes
+	s.stats.RetainedEncodedBytes += it.EncodedBytes
 	s.stats.RetainedCount++
 	s.stats.TotalBytes += it.Bytes
 	s.stats.TotalCount++
+	return s.evictLocked()
+}
+
+// evictLocked enforces the budget: oldest first, and the newest item is
+// always retained, so a single over-budget log is still recordable. It
+// returns the first reclamation failure of this pass (also recorded
+// sticky); logical eviction proceeds regardless so the budget holds.
+func (s *Store) evictLocked() error {
 	if s.budget <= 0 {
-		return
+		return nil
 	}
+	var firstErr error
 	drop := 0
 	for s.stats.RetainedBytes > s.budget && drop < len(s.items)-1 {
-		s.stats.RetainedBytes -= s.items[drop].Bytes
+		it := s.items[drop]
+		if err := s.backend.Evict(it); err != nil {
+			s.fail(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.stats.RetainedBytes -= it.Bytes
+		s.stats.RetainedEncodedBytes -= it.EncodedBytes
 		s.stats.RetainedCount--
-		s.stats.EvictedBytes += s.items[drop].Bytes
+		s.stats.EvictedBytes += it.Bytes
 		s.stats.EvictedCount++
 		drop++
 	}
 	if drop > 0 {
 		s.items = append(s.items[:0], s.items[drop:]...)
 	}
+	return firstErr
 }
 
-// Stats returns occupancy counters.
-func (s *Store) Stats() Stats { return s.stats }
+// fail records the first backend failure; later successes don't clear it.
+func (s *Store) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
 
-// All returns the retained items oldest-first. The slice is shared; do not
-// modify it.
-func (s *Store) All() []Item { return s.items }
+// Err returns the first backend failure the store swallowed while keeping
+// the recording path alive (a disk-spill write error, a reclamation
+// failure). Recording tools surface it at exit.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Load returns the encoded bytes of a retained item by sequence number.
+func (s *Store) Load(seq uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Load(seq)
+}
+
+// Loader returns a function that re-reads one item's encoded bytes — the
+// hook a lazy log view (fll.OpenLazy / mrl.OpenLazy) plugs into.
+func (s *Store) Loader(seq uint64) func() ([]byte, error) {
+	return func() ([]byte, error) { return s.Load(seq) }
+}
+
+// Close releases the backend.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Close()
+}
+
+// Stats returns occupancy counters. On a reopened disk region the lifetime
+// counters (Total*, Evicted*) restart from the recovered contents; the
+// retained counters are always exact.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// All returns the retained items' metadata oldest-first. The slice is a
+// copy; the encoded bytes are fetched per item via Load.
+func (s *Store) All() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Item(nil), s.items...)
+}
 
 // Thread returns the retained items of one thread, oldest-first.
 func (s *Store) Thread(tid int) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []Item
 	for _, it := range s.items {
 		if it.TID == tid {
@@ -92,6 +259,8 @@ func (s *Store) Thread(tid int) []Item {
 // ReplayWindow returns the number of instructions the retained items cover
 // for the given thread — the quantity the paper calls the replay window.
 func (s *Store) ReplayWindow(tid int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var n uint64
 	for _, it := range s.items {
 		if it.TID == tid {
@@ -103,6 +272,8 @@ func (s *Store) ReplayWindow(tid int) uint64 {
 
 // Threads returns the set of thread ids with retained items, ascending.
 func (s *Store) Threads() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	seen := make(map[int]bool)
 	for _, it := range s.items {
 		seen[it.TID] = true
@@ -117,4 +288,54 @@ func (s *Store) Threads() []int {
 		}
 	}
 	return out
+}
+
+// Memory is the volatile Backend modeling the paper's OS-managed main
+// memory log region: encoded bytes in a FIFO, gone with the process.
+type Memory struct {
+	base uint64 // Seq of data[0]
+	data [][]byte
+}
+
+// NewMemory creates an empty in-memory backend.
+func NewMemory() *Memory { return &Memory{} }
+
+// Append implements Backend.
+func (m *Memory) Append(it Item, data []byte) error {
+	if len(m.data) == 0 {
+		m.base = it.Seq
+	}
+	m.data = append(m.data, data)
+	return nil
+}
+
+// Load implements Backend.
+func (m *Memory) Load(seq uint64) ([]byte, error) {
+	if seq < m.base || seq >= m.base+uint64(len(m.data)) || m.data[seq-m.base] == nil {
+		return nil, fmt.Errorf("%w: seq %d", ErrEvicted, seq)
+	}
+	return m.data[seq-m.base], nil
+}
+
+// Evict implements Backend. Space is reclaimed immediately.
+func (m *Memory) Evict(it Item) error {
+	if it.Seq != m.base || len(m.data) == 0 {
+		return fmt.Errorf("logstore: memory eviction out of order (seq %d, oldest %d)", it.Seq, m.base)
+	}
+	m.data[0] = nil
+	m.data = m.data[1:]
+	m.base++
+	if len(m.data) == 0 {
+		m.data = nil
+	}
+	return nil
+}
+
+// Recover implements Backend: volatile storage recovers nothing.
+func (m *Memory) Recover() ([]Item, error) { return nil, nil }
+
+// Close implements Backend.
+func (m *Memory) Close() error {
+	m.data = nil
+	return nil
 }

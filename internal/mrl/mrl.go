@@ -41,15 +41,25 @@ type Entry struct {
 	RemoteIC  uint64 // instructions committed in the remote interval
 }
 
-// Log is a finalized Memory Race Log for one checkpoint interval.
-type Log struct {
+// Meta is everything a Memory Race Log records except the entries
+// themselves; a Ref holds it decoded so ordering-constraint consumers can
+// size and pair logs without materializing their entry lists.
+type Meta struct {
 	Header
-	Entries []Entry
 
 	// IntervalLimit and MaxThreads fix the bit widths used for size
 	// accounting, matching the paper's field sizing discussion.
 	IntervalLimit uint64
 	MaxThreads    uint32
+
+	// NumEntries is the number of logged ordering constraints.
+	NumEntries uint64
+}
+
+// Log is a finalized Memory Race Log for one checkpoint interval.
+type Log struct {
+	Meta
+	Entries []Entry
 }
 
 // headerBytes is the serialized header cost.
@@ -68,15 +78,15 @@ func bitsFor(n uint64) uint {
 // geometry: local.IC and remote.IC need log2(interval length) bits,
 // remote.TID log2(max live threads), remote.CID a fixed 16 bits (bounded
 // by how many checkpoints fit in memory, paper §4.2).
-func (l *Log) EntryBits() uint {
-	icBits := bitsFor(l.IntervalLimit)
-	tidBits := bitsFor(uint64(l.MaxThreads))
+func (m *Meta) EntryBits() uint {
+	icBits := bitsFor(m.IntervalLimit)
+	tidBits := bitsFor(uint64(m.MaxThreads))
 	return 2*icBits + tidBits + 16
 }
 
 // SizeBytes returns the storage footprint of the log.
-func (l *Log) SizeBytes() int64 {
-	bits := uint64(len(l.Entries)) * uint64(l.EntryBits())
+func (m *Meta) SizeBytes() int64 {
+	bits := m.NumEntries * uint64(m.EntryBits())
 	return headerBytes + int64((bits+7)/8) + 8 // +8: entry count
 }
 
@@ -102,14 +112,26 @@ func (w *Writer) Add(e Entry) { w.entries = append(w.entries, e) }
 // Len returns the number of entries so far.
 func (w *Writer) Len() int { return len(w.entries) }
 
-// Close finalizes the log.
-func (w *Writer) Close() *Log {
-	return &Log{
+// meta assembles the finalized metadata.
+func (w *Writer) meta() Meta {
+	return Meta{
 		Header:        w.hdr,
-		Entries:       w.entries,
 		IntervalLimit: w.intervalLimit,
 		MaxThreads:    w.maxThreads,
+		NumEntries:    uint64(len(w.entries)),
 	}
+}
+
+// Close finalizes the log as a decoded object.
+func (w *Writer) Close() *Log {
+	return &Log{Meta: w.meta(), Entries: w.entries}
+}
+
+// CloseEncoded finalizes the log straight to its wire encoding plus the
+// metadata the retention layer needs, mirroring fll.Writer.CloseEncoded.
+func (w *Writer) CloseEncoded() (Meta, []byte) {
+	m := w.meta()
+	return m, appendMarshal(&m, w.entries)
 }
 
 // Reducer decides which coherence-reply edges need logging. It maintains a
@@ -172,10 +194,11 @@ const version = 1
 // ErrBadFormat reports a malformed serialized log.
 var ErrBadFormat = errors.New("mrl: bad serialized log")
 
-// Marshal encodes the log for storage.
-func (l *Log) Marshal() []byte {
+// appendMarshal is the single serializer behind Log.Marshal and
+// Writer.CloseEncoded.
+func appendMarshal(m *Meta, entries []Entry) []byte {
 	le := binary.LittleEndian
-	out := make([]byte, 0, 64+len(l.Entries)*24)
+	out := make([]byte, 0, 64+len(entries)*24)
 	out = append(out, magic[:]...)
 	out = append(out, version)
 	var tmp [8]byte
@@ -187,14 +210,14 @@ func (l *Log) Marshal() []byte {
 		le.PutUint64(tmp[:8], v)
 		out = append(out, tmp[:8]...)
 	}
-	put32(l.PID)
-	put32(l.TID)
-	put32(l.CID)
-	put64(l.Timestamp)
-	put64(l.IntervalLimit)
-	put32(l.MaxThreads)
-	put64(uint64(len(l.Entries)))
-	for _, e := range l.Entries {
+	put32(m.PID)
+	put32(m.TID)
+	put32(m.CID)
+	put64(m.Timestamp)
+	put64(m.IntervalLimit)
+	put32(m.MaxThreads)
+	put64(uint64(len(entries)))
+	for _, e := range entries {
 		put64(e.LocalIC)
 		put32(e.RemoteTID)
 		put32(e.RemoteCID)
@@ -205,19 +228,27 @@ func (l *Log) Marshal() []byte {
 	return out
 }
 
-// Unmarshal decodes a serialized log.
-func Unmarshal(data []byte) (*Log, error) {
+// Marshal encodes the log for storage.
+func (l *Log) Marshal() []byte {
+	return appendMarshal(&l.Meta, l.Entries)
+}
+
+// parse validates a serialized log and decodes its metadata. If withEntries
+// is true the entry list is decoded too, else it is skipped (the lazy-view
+// path, which needs only the counters).
+func parse(data []byte, withEntries bool) (Meta, []Entry, error) {
 	le := binary.LittleEndian
+	var m Meta
 	if len(data) < 4 {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
 	body, sum := data[:len(data)-4], le.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+		return m, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
 	}
 	data = body
 	if len(data) < 5+headerBytes+12+8 || [4]byte(data[:4]) != magic || data[4] != version {
-		return nil, ErrBadFormat
+		return m, nil, ErrBadFormat
 	}
 	pos := 5
 	get32 := func() uint32 {
@@ -230,23 +261,113 @@ func Unmarshal(data []byte) (*Log, error) {
 		pos += 8
 		return v
 	}
-	var l Log
-	l.PID = get32()
-	l.TID = get32()
-	l.CID = get32()
-	l.Timestamp = get64()
-	l.IntervalLimit = get64()
-	l.MaxThreads = get32()
+	m.PID = get32()
+	m.TID = get32()
+	m.CID = get32()
+	m.Timestamp = get64()
+	m.IntervalLimit = get64()
+	m.MaxThreads = get32()
 	n := get64()
 	if n > uint64(len(data)-pos)/24 {
-		return nil, fmt.Errorf("%w: entry count %d exceeds payload", ErrBadFormat, n)
+		return m, nil, fmt.Errorf("%w: entry count %d exceeds payload", ErrBadFormat, n)
 	}
-	l.Entries = make([]Entry, n)
-	for i := range l.Entries {
-		l.Entries[i].LocalIC = get64()
-		l.Entries[i].RemoteTID = get32()
-		l.Entries[i].RemoteCID = get32()
-		l.Entries[i].RemoteIC = get64()
+	m.NumEntries = n
+	if !withEntries {
+		return m, nil, nil
 	}
-	return &l, nil
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i].LocalIC = get64()
+		entries[i].RemoteTID = get32()
+		entries[i].RemoteCID = get32()
+		entries[i].RemoteIC = get64()
+	}
+	return m, entries, nil
+}
+
+// Unmarshal decodes a serialized log.
+func Unmarshal(data []byte) (*Log, error) {
+	m, entries, err := parse(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{Meta: m, Entries: entries}, nil
+}
+
+// Ref is a lazily-decoded Memory Race Log: metadata decoded, entries
+// materialized only on Open. See fll.Ref for the retention rationale.
+type Ref struct {
+	Meta
+	load   func() ([]byte, error) // nil when log is set
+	log    *Log                   // memory-backed fast path
+	encLen int64                  // wire size when known; 0 = derive on demand
+}
+
+// NewRef wraps an already-decoded log as a view.
+func NewRef(l *Log) *Ref { return &Ref{Meta: l.Meta, log: l} }
+
+// OpenEncoded validates one serialized log and returns a view retaining
+// the encoded bytes; entries decode on Open.
+func OpenEncoded(data []byte) (*Ref, error) {
+	m, _, err := parse(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{Meta: m, load: func() ([]byte, error) { return data, nil },
+		encLen: int64(len(data))}, nil
+}
+
+// OpenLazy builds a view over encoded bytes behind load, validating and
+// decoding the metadata now and re-loading on every Open.
+func OpenLazy(load func() ([]byte, error)) (*Ref, error) {
+	data, err := load()
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := parse(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{Meta: m, load: load, encLen: int64(len(data))}, nil
+}
+
+// ParseMeta validates one serialized log and returns its metadata without
+// decoding the entry list.
+func ParseMeta(data []byte) (Meta, error) {
+	m, _, err := parse(data, false)
+	return m, err
+}
+
+// NewLazyRef builds a view from caller-validated metadata and a loader;
+// see fll.NewLazyRef.
+func NewLazyRef(m Meta, encodedLen int64, load func() ([]byte, error)) *Ref {
+	return &Ref{Meta: m, load: load, encLen: encodedLen}
+}
+
+// Open materializes the full log.
+func (r *Ref) Open() (*Log, error) {
+	if r.log != nil {
+		return r.log, nil
+	}
+	data, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// Encoded returns the log's wire encoding without decoding entries.
+func (r *Ref) Encoded() ([]byte, error) {
+	if r.load != nil {
+		return r.load()
+	}
+	return r.log.Marshal(), nil
+}
+
+// EncodedLen returns the wire size without loading; see fll.EncodedLen.
+func (r *Ref) EncodedLen() int64 {
+	if r.encLen == 0 && r.log != nil {
+		r.encLen = int64(len(r.log.Marshal()))
+	}
+	return r.encLen
 }

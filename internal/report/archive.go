@@ -12,11 +12,20 @@
 //	section*:  kind (1 byte) | length (u32) | payload | CRC32(kind‖length‖payload)
 //
 // Section kinds: 'M' (exactly one, first) holds the report metadata as
-// JSON — PID, BinaryID, and the crash record; 'F' and 'R' sections carry
-// one fll.Log / mrl.Log each in their existing Marshal wire formats, which
-// embed their own TID/CID and a second, inner checksum. Every section is
-// independently CRC-framed so truncation or corruption is localized at
-// decode time, before any log is replayed.
+// JSON — PID, BinaryID, the crash record, and the recording log-region
+// stats; 'F' and 'R' sections carry one fll.Log / mrl.Log each in their
+// existing Marshal wire formats, which embed their own TID/CID and a
+// second, inner checksum. Every section is independently CRC-framed so
+// truncation or corruption is localized at decode time, before any log is
+// replayed.
+//
+// I/O is streaming in both directions. PackTo copies each log's encoded
+// section straight from its lazy view into the writer — nothing is
+// re-encoded and at most one section is in memory at a time. An Archive
+// (OpenReaderAt / OpenFile) scans and CRC-validates the sections once,
+// then serves a CrashReport of lazy views that re-read their payloads
+// from the underlying source on demand, so replaying a multi-gigabyte
+// report from disk never loads the whole archive.
 //
 // Pack is deterministic (threads ascending, logs in recording order), so
 // the SHA-256 of the packed bytes is a stable content address: the same
@@ -25,6 +34,7 @@
 package report
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -32,12 +42,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"os"
 	"sort"
 
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
 	"bugnet/internal/fll"
 	"bugnet/internal/kernel"
+	"bugnet/internal/logstore"
 	"bugnet/internal/mrl"
 )
 
@@ -79,6 +92,11 @@ type Meta struct {
 	DictCounterBits int           `json:"dict_counter_bits,omitempty"`
 	DictInsertTop   bool          `json:"dict_insert_top,omitempty"`
 	Crash           *MetaCrash    `json:"crash,omitempty"`
+	// FLLStats and MRLStats carry the recording log regions' occupancy
+	// and eviction counters: how much window the report covers and how
+	// much the recorder's budget discarded before collection.
+	FLLStats *logstore.Stats `json:"fll_stats,omitempty"`
+	MRLStats *logstore.Stats `json:"mrl_stats,omitempty"`
 }
 
 // MetaCrash flattens kernel.CrashInfo for stable JSON.
@@ -108,6 +126,14 @@ func MetaOf(rep *core.CrashReport) Meta {
 			IC:    rep.Crash.Fault.IC,
 		}
 	}
+	if rep.FLLStats != (logstore.Stats{}) {
+		st := rep.FLLStats
+		m.FLLStats = &st
+	}
+	if rep.MRLStats != (logstore.Stats{}) {
+		st := rep.MRLStats
+		m.MRLStats = &st
+	}
 	return m
 }
 
@@ -128,6 +154,12 @@ func (m Meta) Apply(rep *core.CrashReport) {
 				IC:    m.Crash.IC,
 			},
 		}
+	}
+	if m.FLLStats != nil {
+		rep.FLLStats = *m.FLLStats
+	}
+	if m.MRLStats != nil {
+		rep.MRLStats = *m.MRLStats
 	}
 }
 
@@ -152,24 +184,35 @@ func ThreadIDs(rep *core.CrashReport) []int {
 	return tids
 }
 
-// appendSection frames one section onto out.
-func appendSection(out []byte, kind byte, payload []byte) []byte {
-	start := len(out)
-	out = append(out, kind)
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(payload)))
-	out = append(out, tmp[:]...)
-	out = append(out, payload...)
-	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(out[start:]))
-	return append(out, tmp[:]...)
+// writeSection streams one CRC-framed section.
+func writeSection(w io.Writer, kind byte, payload []byte) error {
+	var head [5]byte
+	head[0] = kind
+	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(head[:])
+	crc.Write(payload)
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
 }
 
-// Pack encodes a crash report as a single archive blob. The encoding is
+// PackTo streams a crash report into w as a single archive: the metadata
+// section, then every log's encoded bytes copied straight from its view —
+// at most one section is held in memory at a time, so a disk-spilled
+// window packs in O(largest section) memory. The byte stream is
 // deterministic: packing the same report twice yields identical bytes.
-func Pack(rep *core.CrashReport) ([]byte, error) {
+func PackTo(w io.Writer, rep *core.CrashReport) error {
 	mj, err := json.Marshal(MetaOf(rep))
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	tids := ThreadIDs(rep)
@@ -179,104 +222,264 @@ func Pack(rep *core.CrashReport) ([]byte, error) {
 		sections += uint32(len(rep.FLLs[tid]) + len(rep.MRLs[tid]))
 	}
 
-	out := make([]byte, 0, 64+len(mj))
-	out = append(out, magic[:]...)
-	out = append(out, version)
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], sections)
-	out = append(out, tmp[:]...)
-	out = appendSection(out, kindMeta, mj)
+	var hdr [9]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = version
+	binary.LittleEndian.PutUint32(hdr[5:], sections)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeSection(w, kindMeta, mj); err != nil {
+		return err
+	}
 	for _, tid := range tids {
 		for _, l := range rep.FLLs[tid] {
-			out = appendSection(out, kindFLL, l.Marshal())
+			data, err := l.Encoded()
+			if err != nil {
+				return fmt.Errorf("report: FLL T%d C%d: %w", tid, l.CID, err)
+			}
+			if err := writeSection(w, kindFLL, data); err != nil {
+				return err
+			}
 		}
 		for _, l := range rep.MRLs[tid] {
-			out = appendSection(out, kindMRL, l.Marshal())
+			data, err := l.Encoded()
+			if err != nil {
+				return fmt.Errorf("report: MRL T%d C%d: %w", tid, l.CID, err)
+			}
+			if err := writeSection(w, kindMRL, data); err != nil {
+				return err
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// Unpack decodes an archive produced by Pack, validating the framing and
-// every section checksum before decoding any log payload.
-func Unpack(data []byte) (*core.CrashReport, error) {
-	if len(data) < 9 || [4]byte(data[:4]) != magic {
+// Pack encodes a crash report as a single archive blob in memory; see
+// PackTo for the streaming form.
+func Pack(rep *core.CrashReport) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := PackTo(&buf, rep); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Section describes one archive section for inspection tools: its kind,
+// the log identity it carries, and its encoded payload size.
+type Section struct {
+	Kind byte
+	// TID and CID identify the log ('F'/'R' sections; meta reports -1/0).
+	TID int
+	CID uint32
+	// Offset and Len locate the payload within the archive.
+	Offset int64
+	Len    int
+}
+
+// section is the reader's internal index entry: Section plus the parsed
+// log metadata the lazy views are built from.
+type section struct {
+	Section
+	fmeta *fll.Meta
+	rmeta *mrl.Meta
+}
+
+// Archive is an opened report archive: framing and checksums validated,
+// section payloads left in place and served lazily. It stays readable for
+// as long as the underlying source does; Close releases a source the
+// archive owns (OpenFile).
+type Archive struct {
+	src    io.ReaderAt
+	closer io.Closer
+	meta   Meta
+	secs   []section
+}
+
+// OpenBytes opens an archive held in memory.
+func OpenBytes(data []byte) (*Archive, error) {
+	return OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+}
+
+// OpenFile opens an archive file; the returned Archive owns the handle
+// and must be Closed.
+func OpenFile(path string) (*Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	a, err := OpenReaderAt(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	a.closer = f
+	return a, nil
+}
+
+// OpenReaderAt scans and validates an archive in src, reading each
+// section once for its checksum and its metadata. Payloads are not
+// retained; Report hands out lazy views that re-read them on demand.
+func OpenReaderAt(src io.ReaderAt, size int64) (*Archive, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(io.NewSectionReader(src, 0, size), hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadArchive)
+	}
+	if [4]byte(hdr[:4]) != magic {
 		return nil, fmt.Errorf("%w: missing magic", ErrBadArchive)
 	}
-	if data[4] != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadArchive, data[4])
+	if hdr[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadArchive, hdr[4])
 	}
-	sections := binary.LittleEndian.Uint32(data[5:9])
+	sections := binary.LittleEndian.Uint32(hdr[5:9])
 	if sections == 0 || sections > MaxSections {
 		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadArchive, sections)
 	}
-	pos := 9
 
-	rep := &core.CrashReport{
-		FLLs: make(map[int][]*fll.Log),
-		MRLs: make(map[int][]*mrl.Log),
-	}
+	a := &Archive{src: src}
+	pos := int64(9)
 	haveMeta := false
 	for i := uint32(0); i < sections; i++ {
-		if len(data)-pos < 9 {
+		var head [5]byte
+		if size-pos < 9 {
 			return nil, fmt.Errorf("%w: truncated at section %d", ErrBadArchive, i)
 		}
-		kind := data[pos]
-		n32 := binary.LittleEndian.Uint32(data[pos+1 : pos+5])
+		if _, err := src.ReadAt(head[:], pos); err != nil {
+			return nil, fmt.Errorf("%w: truncated at section %d", ErrBadArchive, i)
+		}
+		kind := head[0]
+		n32 := binary.LittleEndian.Uint32(head[1:5])
 		// Compare widths carefully: on 32-bit platforms int(n32) could go
 		// negative and sail past a signed bounds check into a slice panic.
-		if uint64(n32) > uint64(len(data)-pos-9) {
+		if uint64(n32) > uint64(size-pos-9) {
 			return nil, fmt.Errorf("%w: section %d length %d exceeds payload", ErrBadArchive, i, n32)
 		}
 		n := int(n32)
-		frame := data[pos : pos+5+n]
-		sum := binary.LittleEndian.Uint32(data[pos+5+n : pos+9+n])
-		if crc32.ChecksumIEEE(frame) != sum {
+		payload := make([]byte, n)
+		if _, err := src.ReadAt(payload, pos+5); err != nil {
+			return nil, fmt.Errorf("%w: section %d unreadable: %v", ErrBadArchive, i, err)
+		}
+		var sumBuf [4]byte
+		if _, err := src.ReadAt(sumBuf[:], pos+5+int64(n)); err != nil {
+			return nil, fmt.Errorf("%w: section %d unreadable: %v", ErrBadArchive, i, err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(head[:])
+		crc.Write(payload)
+		if crc.Sum32() != binary.LittleEndian.Uint32(sumBuf[:]) {
 			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrBadArchive, i)
 		}
-		payload := frame[5:]
-		pos += 9 + n
 
+		sec := section{Section: Section{Kind: kind, TID: -1, Offset: pos + 5, Len: n}}
 		switch kind {
 		case kindMeta:
 			if haveMeta {
 				return nil, fmt.Errorf("%w: duplicate metadata section", ErrBadArchive)
 			}
-			var m Meta
-			if err := json.Unmarshal(payload, &m); err != nil {
+			if err := json.Unmarshal(payload, &a.meta); err != nil {
 				return nil, fmt.Errorf("%w: metadata: %v", ErrBadArchive, err)
 			}
-			m.Apply(rep)
 			haveMeta = true
 		case kindFLL:
-			l, err := fll.Unmarshal(payload)
+			m, err := fll.ParseMeta(payload)
 			if err != nil {
 				return nil, fmt.Errorf("%w: section %d: %v", ErrBadArchive, i, err)
 			}
-			if l.TID > MaxTID {
-				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, l.TID)
+			if m.TID > MaxTID {
+				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, m.TID)
 			}
-			rep.FLLs[int(l.TID)] = append(rep.FLLs[int(l.TID)], l)
+			sec.TID, sec.CID, sec.fmeta = int(m.TID), m.CID, &m
 		case kindMRL:
-			l, err := mrl.Unmarshal(payload)
+			m, err := mrl.ParseMeta(payload)
 			if err != nil {
 				return nil, fmt.Errorf("%w: section %d: %v", ErrBadArchive, i, err)
 			}
-			if l.TID > MaxTID {
-				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, l.TID)
+			if m.TID > MaxTID {
+				return nil, fmt.Errorf("%w: section %d: implausible thread id %d", ErrBadArchive, i, m.TID)
 			}
-			rep.MRLs[int(l.TID)] = append(rep.MRLs[int(l.TID)], l)
+			sec.TID, sec.CID, sec.rmeta = int(m.TID), m.CID, &m
 		default:
 			return nil, fmt.Errorf("%w: unknown section kind %#x", ErrBadArchive, kind)
 		}
+		a.secs = append(a.secs, sec)
+		pos += 9 + int64(n)
 	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadArchive, len(data)-pos)
+	if pos != size {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadArchive, size-pos)
 	}
 	if !haveMeta {
 		return nil, fmt.Errorf("%w: no metadata section", ErrBadArchive)
 	}
-	return rep, nil
+	return a, nil
+}
+
+// Close releases an owned source (no-op for OpenBytes archives).
+func (a *Archive) Close() error {
+	if a.closer != nil {
+		err := a.closer.Close()
+		a.closer = nil
+		return err
+	}
+	return nil
+}
+
+// Meta returns the report metadata.
+func (a *Archive) Meta() Meta { return a.meta }
+
+// Sections returns the validated section index in archive order.
+func (a *Archive) Sections() []Section {
+	out := make([]Section, len(a.secs))
+	for i := range a.secs {
+		out[i] = a.secs[i].Section
+	}
+	return out
+}
+
+// loadSection re-reads one section payload from the source.
+func (a *Archive) loadSection(off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := a.src.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("report: re-reading archive section: %w", err)
+	}
+	return buf, nil
+}
+
+// Report assembles the crash report: metadata applied, every log a lazy
+// view reading its section from the archive source on demand. The report
+// is valid only while the archive's source remains readable.
+func (a *Archive) Report() *core.CrashReport {
+	rep := &core.CrashReport{
+		FLLs: make(map[int][]*fll.Ref),
+		MRLs: make(map[int][]*mrl.Ref),
+	}
+	a.meta.Apply(rep)
+	for i := range a.secs {
+		sec := a.secs[i]
+		load := func() ([]byte, error) { return a.loadSection(sec.Offset, sec.Len) }
+		switch {
+		case sec.fmeta != nil:
+			rep.FLLs[sec.TID] = append(rep.FLLs[sec.TID], fll.NewLazyRef(*sec.fmeta, int64(sec.Len), load))
+		case sec.rmeta != nil:
+			rep.MRLs[sec.TID] = append(rep.MRLs[sec.TID], mrl.NewLazyRef(*sec.rmeta, int64(sec.Len), load))
+		}
+	}
+	return rep
+}
+
+// Unpack decodes an archive produced by Pack, validating the framing and
+// every section checksum before any log payload is trusted. The returned
+// report's views retain data.
+func Unpack(data []byte) (*core.CrashReport, error) {
+	a, err := OpenBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	return a.Report(), nil
 }
 
 // ID returns the content address of a packed archive: the hex SHA-256 of

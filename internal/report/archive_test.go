@@ -6,6 +6,7 @@ import (
 
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
+	"bugnet/internal/fll"
 	"bugnet/internal/kernel"
 	"bugnet/internal/mrl"
 )
@@ -44,12 +45,15 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	img, rep := record(t)
 	// Attach a synthetic MRL so the 'R' section path is exercised even on
 	// this uniprocessor recording.
-	rep.MRLs[0] = append(rep.MRLs[0], &mrl.Log{
-		Header:        mrl.Header{PID: rep.PID, TID: 0, CID: 0, Timestamp: 1},
-		Entries:       []mrl.Entry{{LocalIC: 3, RemoteTID: 1, RemoteCID: 0, RemoteIC: 9}},
-		IntervalLimit: 16,
-		MaxThreads:    2,
-	})
+	rep.MRLs[0] = append(rep.MRLs[0], mrl.NewRef(&mrl.Log{
+		Meta: mrl.Meta{
+			Header:        mrl.Header{PID: rep.PID, TID: 0, CID: 0, Timestamp: 1},
+			IntervalLimit: 16,
+			MaxThreads:    2,
+			NumEntries:    1,
+		},
+		Entries: []mrl.Entry{{LocalIC: 3, RemoteTID: 1, RemoteCID: 0, RemoteIC: 9}},
+	}))
 
 	blob, err := Pack(rep)
 	if err != nil {
@@ -76,13 +80,29 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 		t.Fatalf("FLL count: got %d want %d", len(got.FLLs[0]), len(rep.FLLs[0]))
 	}
 	for i, l := range got.FLLs[0] {
-		if !bytes.Equal(l.Marshal(), rep.FLLs[0][i].Marshal()) {
+		ge, err := l.Encoded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, err := rep.FLLs[0][i].Encoded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ge, we) {
 			t.Errorf("FLL %d differs after round trip", i)
 		}
 	}
-	if len(got.MRLs[0]) != 1 || len(got.MRLs[0][0].Entries) != 1 ||
-		got.MRLs[0][0].Entries[0] != rep.MRLs[0][0].Entries[0] {
-		t.Errorf("MRL lost: %+v", got.MRLs[0])
+	gotMRL, err := got.MRLs[0][0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMRL, err := rep.MRLs[0][0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MRLs[0]) != 1 || len(gotMRL.Entries) != 1 ||
+		gotMRL.Entries[0] != wantMRL.Entries[0] {
+		t.Errorf("MRL lost: %+v", gotMRL)
 	}
 
 	// The unpacked report must still replay to the recorded crash.
@@ -191,9 +211,13 @@ func TestUnpackRejectsImplausibleTID(t *testing.T) {
 	// race detector is O(threads²)), so a hostile log claiming a huge TID
 	// must die at decode, not at allocation.
 	_, rep := record(t)
-	hostile := *rep.FLLs[0][0]
+	l0, err := rep.FLLs[0][0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := *l0
 	hostile.TID = 1 << 31
-	rep.FLLs[0][0] = &hostile
+	rep.FLLs[0][0] = fll.NewRef(&hostile)
 	blob, err := Pack(rep)
 	if err != nil {
 		t.Fatal(err)

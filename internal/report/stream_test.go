@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bugnet/internal/core"
+)
+
+// TestPackToMatchesPack: the streaming writer and the in-memory packer
+// must produce identical bytes (Pack is a wrapper, but guard the
+// equivalence explicitly — content addressing depends on it).
+func TestPackToMatchesPack(t *testing.T) {
+	_, rep := record(t)
+	blob, err := Pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := PackTo(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf.Bytes()) {
+		t.Fatal("PackTo bytes differ from Pack")
+	}
+}
+
+// TestOpenFileStreamingReplay: an archive on disk opens without loading
+// whole, exposes its section index, and its lazy report replays to the
+// recorded crash while the file stays the only copy of the log bytes.
+func TestOpenFileStreamingReplay(t *testing.T) {
+	img, rep := record(t)
+	blob, err := Pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.bnar")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	secs := a.Sections()
+	if len(secs) < 2 || secs[0].Kind != kindMeta {
+		t.Fatalf("sections = %+v", secs)
+	}
+	var encoded int
+	for _, s := range secs[1:] {
+		if s.Kind != kindFLL && s.Kind != kindMRL {
+			t.Fatalf("unexpected section kind %c", s.Kind)
+		}
+		if s.TID != 0 || s.Len <= 0 {
+			t.Fatalf("section identity: %+v", s)
+		}
+		encoded += s.Len
+	}
+	if encoded == 0 {
+		t.Fatal("no encoded log bytes indexed")
+	}
+
+	got := a.Report()
+	if got.Crash == nil || got.Crash.Fault.PC != rep.Crash.Fault.PC {
+		t.Fatalf("crash metadata lost: %+v", got.Crash)
+	}
+	rr, err := core.NewReplayer(img, got.FLLs[rep.Crash.TID]).Run()
+	if err != nil {
+		t.Fatalf("streaming replay: %v", err)
+	}
+	if rr.Fault == nil || rr.Fault.PC != rep.Crash.Fault.PC {
+		t.Fatalf("replayed fault %+v", rr.Fault)
+	}
+}
+
+// TestOpenFileReportOutlivesNothing: once the archive is closed, lazy
+// views fail loudly instead of serving stale data.
+func TestOpenFileClosedViewsFail(t *testing.T) {
+	_, rep := record(t)
+	blob, err := Pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.bnar")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Report()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.FLLs[0][0].Open(); err == nil {
+		t.Fatal("lazy view served data after the archive closed")
+	}
+}
+
+// TestMetaCarriesLogStats: the recording regions' occupancy travels
+// through the archive and back.
+func TestMetaCarriesLogStats(t *testing.T) {
+	_, rep := record(t)
+	if rep.FLLStats.TotalCount == 0 {
+		t.Fatal("recorder left no FLL stats")
+	}
+	blob, err := Pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FLLStats != rep.FLLStats {
+		t.Fatalf("FLL stats lost: %+v vs %+v", got.FLLStats, rep.FLLStats)
+	}
+}

@@ -139,7 +139,7 @@ type Engine struct {
 }
 
 // NewEngine opens one thread's logs for time-travel debugging.
-func NewEngine(img *asm.Image, logs []*fll.Log, cfg Config) (*Engine, error) {
+func NewEngine(img *asm.Image, logs []*fll.Ref, cfg Config) (*Engine, error) {
 	if len(logs) == 0 {
 		return nil, fmt.Errorf("timetravel: engine needs at least one log")
 	}

@@ -2,9 +2,10 @@ package triage
 
 import (
 	"errors"
-	"io"
 	"net/http"
+	"os"
 	"strconv"
+	"time"
 
 	"bugnet/internal/httpjson"
 	"bugnet/internal/report"
@@ -79,20 +80,15 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	}
 
 	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
-		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
-		if err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpjson.Error(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
-			} else {
-				// Transport hiccup mid-body: a 5xx tells the recorder the
-				// report is still worth retrying.
-				httpjson.Error(w, http.StatusInternalServerError, "body read failed: "+err.Error())
-			}
-			return
-		}
-		res, err := s.Ingest(data)
+		// The body streams straight to the service's disk spool while it
+		// is hashed — an upload's memory cost is a copy buffer, not the
+		// archive, however large the recorded window was.
+		res, err := s.IngestReader(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+		var tooBig *http.MaxBytesError
 		switch {
+		case errors.As(err, &tooBig):
+			httpjson.Error(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
+			return
 		case errors.Is(err, ErrClosed):
 			httpjson.Error(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -117,13 +113,27 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	mux.HandleFunc("GET /reports/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if r.URL.Query().Get("raw") == "1" {
-			data, err := s.Store().Get(id)
-			if err != nil {
-				httpjson.Error(w, http.StatusNotFound, err.Error())
+			// Stream the blob straight from the store file, pinned so
+			// eviction cannot delete it mid-download — a download's
+			// memory cost is a copy buffer, not the archive.
+			if !s.Store().Pin(id) {
+				httpjson.Error(w, http.StatusNotFound, "no stored report "+id)
 				return
 			}
+			defer s.Store().Unpin(id)
+			path, ok := s.Store().Path(id)
+			if !ok {
+				httpjson.Error(w, http.StatusNotFound, "no stored report "+id)
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				httpjson.Error(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			defer f.Close()
 			w.Header().Set("Content-Type", "application/octet-stream")
-			w.Write(data)
+			http.ServeContent(w, r, id+".bnar", time.Time{}, f)
 			return
 		}
 		m, ok := s.Report(id)

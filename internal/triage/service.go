@@ -1,9 +1,13 @@
 package triage
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -49,6 +53,11 @@ type Config struct {
 	// grow bucket memory forever. At the cap, the lowest-count bucket is
 	// evicted to admit the newcomer (default 65536).
 	MaxBuckets int
+	// SpoolDir is where streaming uploads are spilled while they are
+	// hashed and validated, before being renamed into the store. Default
+	// Dir/spool; point it at the store's filesystem to keep adoption a
+	// pure rename.
+	SpoolDir string
 }
 
 // DefaultMaxReplayWindow is the default per-report replay budget in
@@ -151,8 +160,9 @@ type job struct {
 // Service is the ingestion and triage pipeline: content-addressed storage,
 // crash bucketing, and a replay worker pool.
 type Service struct {
-	cfg   Config
-	store *Store
+	cfg      Config
+	store    *Store
+	spoolDir string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -208,9 +218,23 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = filepath.Join(cfg.Dir, "spool")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Uploads that died mid-stream before a previous shutdown were never
+	// indexed; reclaim their spool files rather than leak disk forever.
+	if stale, err := filepath.Glob(filepath.Join(cfg.SpoolDir, "upload-*.tmp")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
 	s := &Service{
 		cfg:          cfg,
 		store:        st,
+		spoolDir:     cfg.SpoolDir,
 		buckets:      make(map[string]*Bucket),
 		reports:      make(map[string]*ReportMeta),
 		evictedEarly: make(map[string]bool),
@@ -335,27 +359,94 @@ func (s *Service) Close() {
 // Store exposes the underlying blob store (read-only use).
 func (s *Service) Store() *Store { return s.store }
 
-// Ingest accepts one uploaded archive: validate, store, bucket, and queue
-// a replay if the content is new.
+// Ingest accepts one uploaded archive held in memory: validate, store,
+// bucket, and queue a replay if the content is new. For uploads that
+// should never transit memory whole, see IngestReader.
 func (s *Service) Ingest(data []byte) (*IngestResult, error) {
 	return s.ingestBytes(data, false)
 }
 
-func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error) {
+// begin guards an ingest against shutdown; the caller must call
+// s.ingesting.Done() when it returns nil.
+func (s *Service) begin() error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	s.ingesting.Add(1)
-	s.mu.Unlock()
+	return nil
+}
+
+// IngestReader streams one uploaded archive: the body is spooled to disk
+// while it is hashed, validated section-by-section in place, and renamed
+// into the store — the spill-to-disk ingest path, O(1) memory per upload
+// regardless of archive size.
+func (s *Service) IngestReader(r io.Reader) (*IngestResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
 	defer s.ingesting.Done()
 
+	tmp, err := os.CreateTemp(s.spoolDir, "upload-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) // no-op once the store adopts the file
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("triage: spooling upload: %w", err)
+	}
+	id := hex.EncodeToString(h.Sum(nil))
+
+	put := func() (bool, error) { return s.store.AdoptFile(id, tmpPath) }
+	sig := func() (Signature, error) {
+		a, err := report.OpenFile(tmpPath)
+		if err != nil {
+			return Signature{}, err
+		}
+		defer a.Close()
+		return SignatureOf(a.Report()), nil
+	}
+	return s.ingestCore(id, size, put, sig, false)
+}
+
+func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.ingesting.Done()
+
+	id := report.ID(data)
+	put := func() (bool, error) {
+		_, existed, err := s.store.PutWithID(id, data)
+		return existed, err
+	}
+	sig := func() (Signature, error) {
+		// Scanning validates every frame and checksum but decodes only
+		// metadata — ingest never materializes an entry stream.
+		a, err := report.OpenBytes(data)
+		if err != nil {
+			return Signature{}, err
+		}
+		return SignatureOf(a.Report()), nil
+	}
+	return s.ingestCore(id, int64(len(data)), put, sig, recovered)
+}
+
+// ingestCore is the shared accounting behind both ingest paths. put
+// stores the blob under id (reporting whether the content already
+// existed); sig validates the archive and derives its bucket signature.
+func (s *Service) ingestCore(id string, size int64, put func() (bool, error), getSig func() (Signature, error), recovered bool) (*IngestResult, error) {
 	// Fast path for the flood case the subsystem exists for: a
 	// byte-identical re-upload of known content needs one hash and a
 	// bucket increment, not a full archive decode. Known content was
 	// fully validated when first ingested.
-	id := report.ID(data)
 	s.mu.Lock()
 	known := false
 	var key string
@@ -370,7 +461,7 @@ func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error
 		// Re-store in case the blob is evicted concurrently; for the
 		// common case this is just a map lookup. Accounting happens after
 		// the write succeeds so a failed store never bumps the count.
-		if _, _, err := s.store.PutWithID(id, data); err != nil {
+		if _, err := put(); err != nil {
 			return nil, err
 		}
 		enqueue := false
@@ -394,7 +485,7 @@ func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error
 			// The blob (and its metadata) was evicted between the check
 			// and the re-store; the re-stored bytes need their metadata
 			// and replay back.
-			s.reports[id] = &ReportMeta{ID: id, Bytes: int64(len(data)),
+			s.reports[id] = &ReportMeta{ID: id, Bytes: size,
 				BucketKey: key, Verdict: &Verdict{State: VerdictPending}}
 			if b := s.buckets[key]; b != nil && len(b.ReportIDs) < maxExemplars {
 				b.ReportIDs = append(b.ReportIDs, id)
@@ -409,14 +500,13 @@ func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error
 		return &IngestResult{ID: id, BucketKey: key, Duplicate: !recovered}, nil
 	}
 
-	rep, err := report.Unpack(data)
+	sig, err := getSig()
 	if err != nil {
 		return nil, err
 	}
-	sig := SignatureOf(rep)
 	key = sig.Key()
 
-	_, existed, err := s.store.PutWithID(id, data)
+	existed, err := put()
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +537,7 @@ func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error
 	known = meta != nil
 	enqueue := false
 	if meta == nil {
-		meta = &ReportMeta{ID: id, Bytes: int64(len(data)), BucketKey: key,
+		meta = &ReportMeta{ID: id, Bytes: size, BucketKey: key,
 			Verdict: &Verdict{State: VerdictPending}}
 		s.reports[id] = meta
 		if len(b.ReportIDs) < maxExemplars {
@@ -495,26 +585,13 @@ func (s *Service) bucketLocked(key string, sig Signature) *Bucket {
 	return b
 }
 
-// worker drains the replay queue, re-reading each report from the store
-// (it can have aged out between ingest and replay; that is a failed
-// verdict, not a crash).
+// worker drains the replay queue, replaying each report straight from
+// its store file (it can have aged out between ingest and replay; that is
+// a failed verdict, not a crash).
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		var v *Verdict
-		if data, err := s.store.Get(j.id); err != nil {
-			if s.store.Has(j.id) {
-				// Still indexed: the disk failed us, not the budget. Don't
-				// tell the operator the report aged out.
-				v = &Verdict{State: VerdictFailed, Error: "reading report: " + err.Error()}
-			} else {
-				v = &Verdict{State: VerdictFailed, Error: errEvictedBeforeTriage}
-			}
-		} else if rep, err := report.Unpack(data); err != nil {
-			v = &Verdict{State: VerdictFailed, Error: err.Error()}
-		} else {
-			v = s.replay(rep)
-		}
+		v := s.triageOne(j.id)
 		s.mu.Lock()
 		if m := s.reports[j.id]; m != nil {
 			m.Verdict = v
@@ -529,6 +606,31 @@ func (s *Service) worker() {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
+}
+
+// triageOne opens one stored report for streaming replay: the blob stays
+// a file, pinned against eviction for the duration, and only the interval
+// being replayed is ever decoded.
+func (s *Service) triageOne(id string) *Verdict {
+	if !s.store.Pin(id) {
+		return &Verdict{State: VerdictFailed, Error: errEvictedBeforeTriage}
+	}
+	defer s.store.Unpin(id)
+	path, ok := s.store.Path(id)
+	if !ok {
+		return &Verdict{State: VerdictFailed, Error: errEvictedBeforeTriage}
+	}
+	a, err := report.OpenFile(path)
+	if err != nil {
+		if errors.Is(err, report.ErrBadArchive) {
+			return &Verdict{State: VerdictFailed, Error: err.Error()}
+		}
+		// Still indexed (we hold a pin): the disk failed us, not the
+		// budget. Don't tell the operator the report aged out.
+		return &Verdict{State: VerdictFailed, Error: "reading report: " + err.Error()}
+	}
+	defer a.Close()
+	return s.replay(a.Report())
 }
 
 // replay runs the automatic-triage replay of one report and produces its
@@ -625,27 +727,35 @@ func (s *Service) replay(rep *core.CrashReport) (v *Verdict) {
 	return v
 }
 
-// OpenReport pins, reads and decodes one stored report and resolves its
-// binary — the timetravel.ReportSource contract behind remote debug
-// sessions. The pin excludes the blob from budget eviction until release
-// runs (idempotent), so an open session keeps its evidence alive however
-// hard ingest churns the store.
+// OpenReport pins and opens one stored report and resolves its binary —
+// the timetravel.ReportSource contract behind remote debug sessions. The
+// pin excludes the blob from budget eviction until release runs
+// (idempotent), so an open session keeps its evidence alive however hard
+// ingest churns the store. The report streams from the store file: the
+// session holds lazy views, and release closes the underlying handle.
 func (s *Service) OpenReport(id string) (*core.CrashReport, *asm.Image, func(), error) {
 	if !s.store.Pin(id) {
 		return nil, nil, nil, fmt.Errorf("%w: no stored report %q", timetravel.ErrUnknownReport, id)
 	}
-	var once sync.Once
-	release := func() { once.Do(func() { s.store.Unpin(id) }) }
-	data, err := s.store.Get(id)
+	unpin := func() { s.store.Unpin(id) }
+	path, ok := s.store.Path(id)
+	if !ok {
+		unpin()
+		return nil, nil, nil, fmt.Errorf("%w: no stored report %q", timetravel.ErrUnknownReport, id)
+	}
+	a, err := report.OpenFile(path)
 	if err != nil {
-		release()
+		unpin()
 		return nil, nil, nil, fmt.Errorf("reading report %s: %w", id, err)
 	}
-	rep, err := report.Unpack(data)
-	if err != nil {
-		release()
-		return nil, nil, nil, err
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			a.Close()
+			unpin()
+		})
 	}
+	rep := a.Report()
 	img, err := s.cfg.Resolver(rep.Binary)
 	if err != nil {
 		release()

@@ -297,10 +297,14 @@ func TestReplayWindowBudgetOverflowBypass(t *testing.T) {
 	// Two FLLs each claiming Length 2^63 wrap a naive uint64 sum to 0;
 	// the budget check must still reject the report.
 	img, rep, _ := recordBlob(t)
+	l0, err := rep.FLLs[0][0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 2; i++ {
-		huge := *rep.FLLs[0][0]
+		huge := *l0
 		huge.Length = 1 << 63
-		rep.FLLs[0] = append(rep.FLLs[0], &huge)
+		rep.FLLs[0] = append(rep.FLLs[0], fll.NewRef(&huge))
 	}
 	blob, err := report.Pack(rep)
 	if err != nil {

@@ -200,6 +200,54 @@ func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err e
 	return id, false, nil
 }
 
+// AdoptFile moves an already-written spool file into the store under its
+// content address (the caller computed id while streaming the upload to
+// src). The blob never transits memory: same-filesystem adoption is one
+// rename. src is consumed — renamed away on success, deleted when the
+// content already existed, and deleted after the fallback copy.
+func (s *Store) AdoptFile(id string, src string) (existed bool, err error) {
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	if ok {
+		os.Remove(src)
+		return true, nil
+	}
+	fi, err := os.Stat(src)
+	if err != nil {
+		return false, err
+	}
+	p := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return false, err
+	}
+	if err := os.Rename(src, p); err != nil {
+		// Cross-device spool (operator pointed -log-dir at another disk):
+		// fall back to a copy through memory.
+		data, rerr := os.ReadFile(src)
+		if rerr != nil {
+			return false, err
+		}
+		defer os.Remove(src)
+		_, existed, perr := s.PutWithID(id, data)
+		return existed, perr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; ok {
+		return true, nil // a concurrent identical upload indexed it first
+	}
+	s.seq++
+	s.index[id] = &blobInfo{id: id, bytes: fi.Size(), seq: s.seq}
+	s.order = append(s.order, id)
+	s.stats.RetainedBytes += fi.Size()
+	s.stats.RetainedCount++
+	s.stats.TotalBytes += fi.Size()
+	s.stats.TotalCount++
+	s.evictLocked()
+	return false, nil
+}
+
 // Get reads a stored blob. Unknown (including malformed) ids are a
 // not-found error; path() may only see indexed ids, which are well-formed.
 func (s *Store) Get(id string) ([]byte, error) {
@@ -210,6 +258,19 @@ func (s *Store) Get(id string) ([]byte, error) {
 		return nil, fmt.Errorf("triage: no stored report %q", id)
 	}
 	return os.ReadFile(s.path(id))
+}
+
+// Path returns the on-disk location of a retained blob, for streaming
+// readers (report.OpenFile) that replay straight from the store file.
+// Callers should Pin the id first so eviction cannot delete the file
+// mid-read.
+func (s *Store) Path(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; !ok {
+		return "", false
+	}
+	return s.path(id), true
 }
 
 // Pin excludes a blob from budget eviction until every matching Unpin

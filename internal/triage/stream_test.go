@@ -1,0 +1,118 @@
+package triage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bugnet/internal/report"
+)
+
+// spoolEntries lists the leftover files in a service's upload spool.
+func spoolEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+func TestIngestReaderStoresAndTriages(t *testing.T) {
+	img, _, blob := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	res, err := s.IngestReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != report.ID(blob) {
+		t.Fatalf("streamed id %s != content address %s", res.ID, report.ID(blob))
+	}
+	if res.Duplicate {
+		t.Fatal("first streamed upload marked duplicate")
+	}
+	s.WaitIdle()
+	m, ok := s.Report(res.ID)
+	if !ok || m.Verdict == nil || m.Verdict.State != VerdictDone {
+		t.Fatalf("verdict = %+v", m.Verdict)
+	}
+	if !m.Verdict.Reproduced {
+		t.Fatal("streamed report did not reproduce")
+	}
+
+	// The spool must not accumulate: adoption renames the file away.
+	if left := spoolEntries(t, dir); len(left) != 0 {
+		t.Fatalf("spool leftovers: %v", left)
+	}
+
+	// Second stream of the same content: deduped, no spool residue.
+	res2, err := s.IngestReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Duplicate || res2.ID != res.ID {
+		t.Fatalf("dedup failed: %+v", res2)
+	}
+	if left := spoolEntries(t, dir); len(left) != 0 {
+		t.Fatalf("spool leftovers after dedup: %v", left)
+	}
+}
+
+func TestIngestReaderRejectsGarbage(t *testing.T) {
+	img, _, _ := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	if _, err := s.IngestReader(bytes.NewReader([]byte("not an archive"))); !errors.Is(err, report.ErrBadArchive) {
+		t.Fatalf("err = %v; want ErrBadArchive", err)
+	}
+	if left := spoolEntries(t, dir); len(left) != 0 {
+		t.Fatalf("rejected upload left spool files: %v", left)
+	}
+	if st := s.Store().Stats(); st.RetainedCount != 0 {
+		t.Fatalf("garbage reached the store: %+v", st)
+	}
+}
+
+func TestStaleSpoolReclaimedAtStartup(t *testing.T) {
+	img, _, _ := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "spool")
+	if err := os.MkdirAll(spool, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(spool, "upload-12345.tmp")
+	if err := os.WriteFile(stale, []byte("half an upload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale spool file survived startup")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
 	"bugnet/internal/kernel"
-	"bugnet/internal/mrl"
 )
 
 func TestSPECKernelsAssembleAndRun(t *testing.T) {
@@ -200,8 +199,10 @@ func TestMTShareRecordsRaces(t *testing.T) {
 		t.Fatal("no MRLs recorded for the sharing workload")
 	}
 	entries := 0
-	for _, it := range rec.MRLStore().All() {
-		entries += len(it.Payload.(*mrl.Log).Entries)
+	for _, logs := range rec.Report().MRLs {
+		for _, l := range logs {
+			entries += int(l.NumEntries)
+		}
 	}
 	if entries == 0 {
 		t.Fatal("no MRL entries despite lock traffic")

@@ -17,6 +17,14 @@ type FLL = fll.Log
 // MRL is a Memory Race Log paired with an FLL.
 type MRL = mrl.Log
 
+// FLLRef is a lazy view of a First-Load Log: metadata decoded, the entry
+// stream materialized from its backing store (memory, spill segment,
+// report file) only while its interval replays.
+type FLLRef = fll.Ref
+
+// MRLRef is a lazy view of a Memory Race Log.
+type MRLRef = mrl.Ref
+
 // reportManifest is the on-disk index of a saved crash report. The
 // metadata (identity, crash record, recording options) is the same
 // report.Meta the packed archive carries, so the two serialized forms
@@ -35,7 +43,9 @@ type logRef struct {
 
 // SaveReport writes a crash report to a directory, one file per log plus
 // a manifest.json — the artifact a production BugNet would ship back to
-// the developer (paper §4.8).
+// the developer (paper §4.8). Each log's encoded bytes stream straight
+// from its view to its file; nothing is re-encoded and at most one log is
+// in memory at a time.
 func SaveReport(dir string, rep *CrashReport) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -45,14 +55,22 @@ func SaveReport(dir string, rep *CrashReport) error {
 	for _, tid := range tids {
 		for _, l := range rep.FLLs[tid] {
 			name := fmt.Sprintf("fll-t%d-c%d.bin", tid, l.CID)
-			if err := os.WriteFile(filepath.Join(dir, name), l.Marshal(), 0o644); err != nil {
+			data, err := l.Encoded()
+			if err != nil {
+				return fmt.Errorf("bugnet: FLL T%d C%d: %w", tid, l.CID, err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 				return err
 			}
 			man.FLLs = append(man.FLLs, logRef{TID: tid, CID: l.CID, File: name})
 		}
 		for _, l := range rep.MRLs[tid] {
 			name := fmt.Sprintf("mrl-t%d-c%d.bin", tid, l.CID)
-			if err := os.WriteFile(filepath.Join(dir, name), l.Marshal(), 0o644); err != nil {
+			data, err := l.Encoded()
+			if err != nil {
+				return fmt.Errorf("bugnet: MRL T%d C%d: %w", tid, l.CID, err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 				return err
 			}
 			man.MRLs = append(man.MRLs, logRef{TID: tid, CID: l.CID, File: name})
@@ -65,7 +83,9 @@ func SaveReport(dir string, rep *CrashReport) error {
 	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
 }
 
-// LoadReport reads a crash report saved by SaveReport.
+// LoadReport reads a crash report saved by SaveReport. Logs come back as
+// lazy views over the report files: each file is read (and validated) once
+// now for its metadata and re-read on demand when its interval replays.
 func LoadReport(dir string) (*CrashReport, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
@@ -76,37 +96,31 @@ func LoadReport(dir string) (*CrashReport, error) {
 		return nil, fmt.Errorf("bugnet: bad manifest: %w", err)
 	}
 	rep := &CrashReport{
-		FLLs: make(map[int][]*FLL),
-		MRLs: make(map[int][]*MRL),
+		FLLs: make(map[int][]*FLLRef),
+		MRLs: make(map[int][]*MRLRef),
 	}
 	man.Meta.Apply(rep)
-	for _, ref := range man.FLLs {
-		if err := checkTID(ref.TID); err != nil {
+	for _, mref := range man.FLLs {
+		if err := checkTID(mref.TID); err != nil {
 			return nil, err
 		}
-		raw, err := readLogFile(dir, ref.File)
+		file := mref.File
+		l, err := fll.OpenLazy(func() ([]byte, error) { return readLogFile(dir, file) })
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bugnet: %s: %w", file, err)
 		}
-		l, err := fll.Unmarshal(raw)
-		if err != nil {
-			return nil, fmt.Errorf("bugnet: %s: %w", ref.File, err)
-		}
-		rep.FLLs[ref.TID] = append(rep.FLLs[ref.TID], l)
+		rep.FLLs[mref.TID] = append(rep.FLLs[mref.TID], l)
 	}
-	for _, ref := range man.MRLs {
-		if err := checkTID(ref.TID); err != nil {
+	for _, mref := range man.MRLs {
+		if err := checkTID(mref.TID); err != nil {
 			return nil, err
 		}
-		raw, err := readLogFile(dir, ref.File)
+		file := mref.File
+		l, err := mrl.OpenLazy(func() ([]byte, error) { return readLogFile(dir, file) })
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bugnet: %s: %w", file, err)
 		}
-		l, err := mrl.Unmarshal(raw)
-		if err != nil {
-			return nil, fmt.Errorf("bugnet: %s: %w", ref.File, err)
-		}
-		rep.MRLs[ref.TID] = append(rep.MRLs[ref.TID], l)
+		rep.MRLs[mref.TID] = append(rep.MRLs[mref.TID], l)
 	}
 	return rep, nil
 }

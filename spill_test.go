@@ -1,0 +1,170 @@
+package bugnet
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"bugnet/internal/logstore"
+)
+
+// spillProgram runs a long checkpoint-dense loop and then crashes, so a
+// recording produces many intervals for the retention budget to chew on.
+const spillProgram = `
+        .data
+buf:    .space 256
+        .text
+main:   li   s0, 400           # outer iterations
+outer:  la   t0, buf
+        li   t1, 64
+fill:   sw   t1, (t0)
+        lw   t2, (t0)
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, fill
+        addi s0, s0, -1
+        bnez s0, outer
+        li   t3, 0
+boom:   lw   a0, (t3)          # null deref after the long window
+`
+
+// recordSpill records spillProgram with the given FLL/MRL stores (nil =
+// memory) and budget.
+func recordSpill(t *testing.T, budget int64, fllStore, mrlStore *logstore.Store) (*Result, *CrashReport, *Recorder) {
+	t.Helper()
+	img, err := Assemble("spill.s", spillProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{IntervalLength: 500, FLLBudget: budget, MRLBudget: budget,
+		FLLStore: fllStore, MRLStore: mrlStore}
+	res, rep, rec := Record(img, MachineConfig{}, cfg)
+	if res.Crash == nil {
+		t.Fatal("spill program did not crash")
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording degraded: %v", err)
+	}
+	return res, rep, rec
+}
+
+// openDisk builds a disk-backed store under dir.
+func openDisk(t *testing.T, dir string, budget int64) *logstore.Store {
+	t.Helper()
+	b, err := logstore.OpenDisk(dir, logstore.DiskOptions{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := logstore.Open(budget, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestDiskSpillExtendsReplayWindow is the acceptance scenario: with a
+// disk backend and a byte budget larger than a capped heap, recording
+// sustains a replay window the memory backend cannot retain, and the
+// window replays to the recorded crash end to end.
+func TestDiskSpillExtendsReplayWindow(t *testing.T) {
+	// The capped "heap": a small memory region that must evict.
+	const heapCap = 2_000
+	_, memRep, memRec := recordSpill(t, heapCap, nil, nil)
+	memWindow := memRec.FLLStore().ReplayWindow(0)
+	if memRec.FLLStore().Stats().EvictedCount == 0 {
+		t.Fatal("heap cap did not force eviction; raise the workload size")
+	}
+
+	// The disk region: 16x the heap budget, spilled to segments.
+	dir := t.TempDir()
+	diskStore := openDisk(t, filepath.Join(dir, "fll"), heapCap*16)
+	mrlStore := openDisk(t, filepath.Join(dir, "mrl"), heapCap*16)
+	_, diskRep, diskRec := recordSpill(t, heapCap*16, diskStore, mrlStore)
+	diskWindow := diskRec.FLLStore().ReplayWindow(0)
+
+	if diskWindow <= memWindow {
+		t.Fatalf("disk window %d not larger than capped-heap window %d", diskWindow, memWindow)
+	}
+
+	// Both windows replay to the recorded crash.
+	img, _ := Assemble("spill.s", spillProgram)
+	for name, rep := range map[string]*CrashReport{"memory": memRep, "disk": diskRep} {
+		rr, err := NewReplayer(img, rep.FLLs[0]).Run()
+		if err != nil {
+			t.Fatalf("%s replay: %v", name, err)
+		}
+		if rr.Fault == nil || rr.Fault.PC != img.MustSymbol("boom") {
+			t.Fatalf("%s replay fault = %+v", name, rr.Fault)
+		}
+	}
+}
+
+// TestBackendPackDeterminism is the cross-backend determinism acceptance:
+// the same execution recorded under equal budgets into the memory FIFO
+// and into disk segments packs to byte-identical archives, and both
+// replay identically.
+func TestBackendPackDeterminism(t *testing.T) {
+	const budget = 4_000
+	_, memRep, _ := recordSpill(t, budget, nil, nil)
+
+	dir := t.TempDir()
+	diskStore := openDisk(t, filepath.Join(dir, "fll"), budget)
+	mrlStore := openDisk(t, filepath.Join(dir, "mrl"), budget)
+	_, diskRep, _ := recordSpill(t, budget, diskStore, mrlStore)
+
+	memBlob, err := PackReport(memRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskBlob, err := PackReport(diskRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memBlob, diskBlob) {
+		t.Fatalf("packed archives differ across backends: memory %d bytes (id %s), disk %d bytes (id %s)",
+			len(memBlob), ReportID(memBlob), len(diskBlob), ReportID(diskBlob))
+	}
+
+	// Byte-identical in, byte-identical replay out: unpack the disk blob
+	// and check the replayed final state matches the memory report's.
+	img, _ := Assemble("spill.s", spillProgram)
+	fromDisk, err := UnpackReport(diskBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewReplayer(img, memRep.FLLs[0]).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReplayer(img, fromDisk.FLLs[0]).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final != b.Final || a.Instructions != b.Instructions || a.Injected != b.Injected {
+		t.Fatalf("replays differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestSpilledWindowSurvivesReopen: a recording spilled to disk is still a
+// replayable window after the process "restarts" (reopen the segment
+// directory and rebuild the report from the recovered region).
+func TestSpilledWindowSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fllDir := filepath.Join(dir, "fll")
+	st := openDisk(t, fllDir, 0)
+	_, _, rec := recordSpill(t, 0, st, nil)
+	wantWindow := rec.FLLStore().ReplayWindow(0)
+	wantCount := rec.FLLStore().Stats().RetainedCount
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openDisk(t, fllDir, 0)
+	if got := st2.ReplayWindow(0); got != wantWindow {
+		t.Fatalf("recovered window %d, want %d", got, wantWindow)
+	}
+	if got := st2.Stats().RetainedCount; got != wantCount {
+		t.Fatalf("recovered %d logs, want %d", got, wantCount)
+	}
+}
