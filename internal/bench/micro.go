@@ -1,0 +1,341 @@
+package bench
+
+// micro.go is the hot-path microbenchmark suite behind the CI benchmark
+// gate: the per-access record/replay bookkeeping and the replay-machine
+// snapshot/restore path, measured with a fixed iteration count so the
+// numbers are comparable run-to-run and exportable as JSON
+// (cmd/bugnet-bench -json).
+//
+// Each gated path is measured twice — once over the page-table/bitmap
+// structures the system actually uses, and once over reference map-based
+// implementations preserved here from the pre-refactor design — so the
+// claimed speedup (paged vs map) is re-established on every CI run on the
+// same machine, independent of runner speed, while the committed JSON
+// baseline catches absolute regressions.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"bugnet/internal/core"
+	"bugnet/internal/mem"
+	"bugnet/internal/workload"
+)
+
+// MicroResult is one microbenchmark measurement, mirroring the fields of
+// a `go test -bench -benchmem` line.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// micro is one registered microbenchmark: setup builds state and returns
+// the operation to measure. An op reports the duration of its *measured
+// phase* — for most micros that is its whole body, but an op may exclude
+// untimed scaffolding (RecordWindow excludes the unrecorded warmup), so
+// the exported ns/op means what the benchmark name claims.
+type micro struct {
+	name  string
+	setup func() (op func() time.Duration, err error)
+}
+
+// hotPathOps is the number of simulated accesses per RecordHotPath op.
+const hotPathOps = 4096
+
+// hotPathPages is the working-set size in pages; large enough that the
+// access stride keeps crossing page boundaries.
+const hotPathPages = 64
+
+const hotPathBase = uint32(0x1000_0000)
+
+// hotAddr is the shared access pattern: a 68-byte stride (word-aligned,
+// page-crossing) over the working set, every fourth access a store.
+func hotAddr(i int) (addr uint32, store bool) {
+	off := uint32(i*68) % (hotPathPages * mem.PageSize)
+	return hotPathBase + (off &^ 3), i&3 == 3
+}
+
+// pagedHotPath measures the per-access bookkeeping of the live design:
+// page-table memory image plus the page-granular known/first-load bitmap.
+func pagedHotPath() (func() time.Duration, error) {
+	m := mem.New()
+	m.Map(hotPathBase, hotPathPages*mem.PageSize)
+	known := mem.NewKnownSet()
+	sink := uint32(0)
+	return func() time.Duration {
+		start := time.Now()
+		for i := 0; i < hotPathOps; i++ {
+			addr, store := hotAddr(i)
+			if store {
+				if err := m.StoreWord(addr, sink); err != nil {
+					panic(err)
+				}
+			} else {
+				v, err := m.LoadWord(addr)
+				if err != nil {
+					panic(err)
+				}
+				sink += v
+			}
+			known.Add(addr)
+		}
+		return time.Since(start)
+	}, nil
+}
+
+// --- reference map-based implementations (the pre-refactor design) ---
+
+// mapMemory is the original map-backed guest memory: one hash lookup per
+// access, deep-copied page maps on snapshot.
+type mapMemory struct {
+	pages map[uint32]*mem.Page
+}
+
+func newMapMemory() *mapMemory { return &mapMemory{pages: make(map[uint32]*mem.Page)} }
+
+func (m *mapMemory) mapRange(addr, size uint32) {
+	first := addr >> mem.PageShift
+	last := (addr + size - 1) >> mem.PageShift
+	for p := first; p <= last; p++ {
+		if _, ok := m.pages[p]; !ok {
+			m.pages[p] = new(mem.Page)
+		}
+	}
+}
+
+func (m *mapMemory) loadWord(addr uint32) uint32 {
+	p := m.pages[addr>>mem.PageShift]
+	o := addr & (mem.PageSize - 1)
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+}
+
+func (m *mapMemory) storeWord(addr uint32, v uint32) {
+	p := m.pages[addr>>mem.PageShift]
+	o := addr & (mem.PageSize - 1)
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+}
+
+// snapshot is the original deep copy: a fresh map with copied pages.
+func (m *mapMemory) snapshot() *mapMemory {
+	s := newMapMemory()
+	for n, p := range m.pages {
+		cp := *p
+		s.pages[n] = &cp
+	}
+	return s
+}
+
+// cloneKnownMap is the original known-set copy: a word-address hash map
+// rebuilt entry by entry.
+func cloneKnownMap(known map[uint32]bool) map[uint32]bool {
+	cp := make(map[uint32]bool, len(known))
+	for a := range known {
+		cp[a] = true
+	}
+	return cp
+}
+
+// mapHotPath measures the identical access pattern over the reference
+// map-based structures.
+func mapHotPath() (func() time.Duration, error) {
+	m := newMapMemory()
+	m.mapRange(hotPathBase, hotPathPages*mem.PageSize)
+	known := make(map[uint32]bool)
+	sink := uint32(0)
+	return func() time.Duration {
+		start := time.Now()
+		for i := 0; i < hotPathOps; i++ {
+			addr, store := hotAddr(i)
+			if store {
+				m.storeWord(addr, sink)
+			} else {
+				sink += m.loadWord(addr)
+			}
+			known[addr] = true
+		}
+		return time.Since(start)
+	}, nil
+}
+
+// warmedMachine records a gzip window and returns a known-tracking replay
+// machine advanced to the middle of it — the state a debugger or
+// time-travel engine checkpoints.
+func warmedMachine() (*core.ReplayMachine, error) {
+	w := workload.ByName("gzip")
+	const window = 200_000
+	m := w.Machine(w.Warmup, nil)
+	m.Run()
+	rec := core.NewRecorder(m, core.Config{IntervalLength: 10_000})
+	m.SetMaxSteps(w.Warmup + window)
+	m.Run()
+	rec.Flush()
+	if err := rec.Err(); err != nil {
+		return nil, err
+	}
+	rep := rec.Report()
+	logs := rep.FLLs[0]
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("bench: gzip recording produced no thread-0 logs")
+	}
+	rm := core.NewReplayer(w.Image, logs).Machine(core.MachineOptions{TrackKnown: true})
+	target := rm.Window() / 2
+	for rm.Pos() < target && !rm.Done() {
+		if err := rm.StepOne(); err != nil {
+			return nil, err
+		}
+	}
+	return rm, nil
+}
+
+// machineSnapshotRestore measures the real ReplayMachine checkpoint
+// primitive (copy-on-write memory image + known bitmap + log cursors).
+func machineSnapshotRestore() (func() time.Duration, error) {
+	rm, err := warmedMachine()
+	if err != nil {
+		return nil, err
+	}
+	return func() time.Duration {
+		start := time.Now()
+		s := rm.Snapshot()
+		rm.Restore(s)
+		return time.Since(start)
+	}, nil
+}
+
+// mapSnapshotRestore measures the pre-refactor checkpoint cost over the
+// same replay state: deep-copying the memory image's page map and the
+// known-word hash map, once for the snapshot and once for the restore.
+func mapSnapshotRestore() (func() time.Duration, error) {
+	rm, err := warmedMachine()
+	if err != nil {
+		return nil, err
+	}
+	img := newMapMemory()
+	known := make(map[uint32]bool)
+	for _, addr := range rm.KnownWords() {
+		known[addr] = true
+		img.mapRange(addr, 4)
+		v, _ := rm.ReadWord(addr)
+		img.storeWord(addr, v)
+	}
+	return func() time.Duration {
+		start := time.Now()
+		snapMem := img.snapshot()
+		snapKnown := cloneKnownMap(known)
+		_ = snapMem.snapshot() // restore deep-copies out of the snapshot again
+		_ = cloneKnownMap(snapKnown)
+		return time.Since(start)
+	}, nil
+}
+
+// recordWindowWindow is the recorded-phase length of the RecordWindow
+// micro, in instructions.
+const recordWindowWindow = 50_000
+
+// recordWindowMicro measures the end-to-end record loop (simulator +
+// recorder + log stores) over a 50K-instruction gzip window — the number
+// behind the `backend` experiment's record-overhead column. Only the
+// *recorded* phase is timed; machine construction and the unrecorded
+// warmup run outside the measured span (they would otherwise dilute the
+// record-path signal ~8:1 and hide regressions from the gate). B/op and
+// allocs/op still cover the whole op, warmup included.
+func recordWindowMicro() (func() time.Duration, error) {
+	w := workload.ByName("gzip")
+	return func() time.Duration {
+		m := w.Machine(w.Warmup, nil)
+		m.Run()
+		rec := core.NewRecorder(m, core.Config{IntervalLength: 10_000})
+		m.SetMaxSteps(w.Warmup + recordWindowWindow)
+		start := time.Now()
+		m.Run()
+		rec.Flush()
+		return time.Since(start)
+	}, nil
+}
+
+// micros is the registered suite; the order is the report order.
+func micros() []micro {
+	return []micro{
+		{"RecordHotPath/paged", pagedHotPath},
+		{"RecordHotPath/map", mapHotPath},
+		{"SnapshotRestore/machine", machineSnapshotRestore},
+		{"SnapshotRestore/map", mapSnapshotRestore},
+		{"RecordWindow", recordWindowMicro},
+	}
+}
+
+// MicroNames lists the microbenchmark names in report order.
+func MicroNames() []string {
+	ms := micros()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.name
+	}
+	return names
+}
+
+// RunMicro measures one microbenchmark: rounds runs of iters iterations
+// each, reporting the fastest round (standard benchmarking practice — the
+// minimum is the least-noise estimate) with its allocation counts. GC is
+// disabled around the measurement so pacing noise does not leak into
+// small rounds.
+func RunMicro(name string, iters, rounds int) (MicroResult, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	for _, m := range micros() {
+		if m.name != name {
+			continue
+		}
+		op, err := m.setup()
+		if err != nil {
+			return MicroResult{}, fmt.Errorf("bench: %s setup: %w", name, err)
+		}
+		op() // warm caches and lazy allocations outside the measurement
+		best := MicroResult{Name: name, Iters: iters}
+		gc := debug.SetGCPercent(-1)
+		defer debug.SetGCPercent(gc)
+		for r := 0; r < rounds; r++ {
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			var measured time.Duration
+			for i := 0; i < iters; i++ {
+				measured += op()
+			}
+			runtime.ReadMemStats(&m1)
+			ns := float64(measured.Nanoseconds()) / float64(iters)
+			if r == 0 || ns < best.NsPerOp {
+				best.NsPerOp = ns
+				best.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters)
+				best.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+			}
+		}
+		return best, nil
+	}
+	return MicroResult{}, fmt.Errorf("bench: unknown microbenchmark %q (have %v)", name, MicroNames())
+}
+
+// RunMicros measures the whole suite in order.
+func RunMicros(iters, rounds int) ([]MicroResult, error) {
+	var out []MicroResult
+	for _, name := range MicroNames() {
+		r, err := RunMicro(name, iters, rounds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

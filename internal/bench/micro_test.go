@@ -1,0 +1,90 @@
+package bench
+
+import "testing"
+
+// The gated hot-path benchmarks. CI runs them via `go test -bench` for
+// human-readable numbers and via `bugnet-bench -json` for the regression
+// gate; both drive the same operations.
+
+func benchMicro(b *testing.B, name string) {
+	b.Helper()
+	for _, m := range micros() {
+		if m.name != name {
+			continue
+		}
+		op, err := m.setup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		op()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+		return
+	}
+	b.Fatalf("unknown micro %q", name)
+}
+
+// BenchmarkRecordHotPath measures the per-access record/replay
+// bookkeeping — memory-image word load/store plus known/first-load set
+// insert — over the live page-table/bitmap structures and the reference
+// map-based implementations they replaced. One op is 4096 accesses.
+func BenchmarkRecordHotPath(b *testing.B) {
+	b.Run("paged", func(b *testing.B) { benchMicro(b, "RecordHotPath/paged") })
+	b.Run("map", func(b *testing.B) { benchMicro(b, "RecordHotPath/map") })
+}
+
+// BenchmarkSnapshotRestore measures the replay checkpoint primitive: a
+// full ReplayMachine Snapshot+Restore (copy-on-write) against the
+// pre-refactor deep copy of the page map and known-word map.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	b.Run("machine", func(b *testing.B) { benchMicro(b, "SnapshotRestore/machine") })
+	b.Run("map", func(b *testing.B) { benchMicro(b, "SnapshotRestore/map") })
+}
+
+// BenchmarkRecordWindow measures the end-to-end record loop (simulator +
+// recorder + stores) behind the backend experiment's overhead column.
+// Wall-clock ns/op includes the untimed warmup; the recorded phase is
+// reported separately as ns/recorded-instr (the gated quantity).
+func BenchmarkRecordWindow(b *testing.B) {
+	op, err := recordWindowMicro()
+	if err != nil {
+		b.Fatal(err)
+	}
+	op()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var measured int64
+	for i := 0; i < b.N; i++ {
+		measured += op().Nanoseconds()
+	}
+	b.ReportMetric(float64(measured)/float64(b.N)/recordWindowWindow, "ns/recorded-instr")
+}
+
+// TestMicroSuiteRuns smoke-tests the JSON-export path: every registered
+// microbenchmark must set up, run, and report sane numbers.
+func TestMicroSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmarks are not short")
+	}
+	results, err := RunMicros(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(MicroNames()) {
+		t.Fatalf("got %d results for %d micros", len(results), len(MicroNames()))
+	}
+	for _, r := range results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", r.Name, r.NsPerOp)
+		}
+	}
+}
+
+func TestRunMicroUnknown(t *testing.T) {
+	if _, err := RunMicro("nope", 1, 1); err == nil {
+		t.Fatal("unknown micro accepted")
+	}
+}

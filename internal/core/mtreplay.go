@@ -32,6 +32,9 @@ type MultiReplayResult struct {
 	DroppedConstraints int
 	// Races holds the data races inferred during replay.
 	Races []Race
+	// Known holds each thread's §7.1 known-memory words (ascending),
+	// populated only when the replayer ran with TrackKnown.
+	Known map[int][]uint32
 }
 
 // MultiReplayer replays every thread of a crash report and reconstructs a
@@ -60,6 +63,11 @@ type MultiReplayer struct {
 	TraceDepth int
 	// MaxPages caps each thread's replay memory (see Replayer.MaxPages).
 	MaxPages int
+	// TrackKnown maintains each thread's §7.1 known-memory bitmap during
+	// replay and delivers the touched words in the result. Debug tooling
+	// over multithreaded reports (and the map-vs-bitmap parity tests) use
+	// it; the triage hot path leaves it off.
+	TrackKnown bool
 }
 
 // NewMultiReplayer builds a replayer over all threads in the report,
@@ -177,7 +185,7 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 				det.access(tcc.tid, tcc.m.Pos(), pc, wordAddr, isWrite)
 			}
 		}
-		tc.m = r.Machine(MachineOptions{})
+		tc.m = r.Machine(MachineOptions{TrackKnown: m.TrackKnown})
 	}
 
 	// Interleave, honoring constraints.
@@ -216,6 +224,12 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 
 	for _, tid := range tids {
 		res.Threads[tid] = ctxs[tid].m.Result()
+	}
+	if m.TrackKnown {
+		res.Known = make(map[int][]uint32, len(tids))
+		for _, tid := range tids {
+			res.Known[tid] = ctxs[tid].m.KnownWords()
+		}
 	}
 	if det != nil {
 		res.Races = det.races()

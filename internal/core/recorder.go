@@ -35,29 +35,30 @@ type Recorder struct {
 	totalOps  uint64
 
 	// fllMeta/mrlMeta cache the finalized metadata of the *retained*
-	// intervals, keyed by (TID, CID), so Report can hand out lazy views
-	// without re-reading the whole window from the backend. The caches
-	// are pruned in store-eviction order (fllKeys/mrlKeys mirror append
-	// order), so recorder memory stays bounded by the region budget even
-	// under continuous recording. They are only maintained when the
-	// stores were empty at attach time (metaCacheOK): recovered items
-	// from an earlier run could collide on (TID, CID) and must re-parse
-	// from their bytes instead.
-	fllMeta     map[metaKey]fll.Meta
-	mrlMeta     map[metaKey]mrl.Meta
-	fllKeys     []metaKey
-	mrlKeys     []metaKey
-	metaCacheOK bool
+	// intervals, keyed by store sequence number, so Report can hand out
+	// lazy views without re-reading the whole window from the backend.
+	// Seq keys cannot collide — unlike the (TID, CID) pairs of a store
+	// that recovered an earlier run's items — so the cache is always
+	// maintained; recovered items simply miss it and re-parse from their
+	// bytes. After every commit the caches are pruned against the stores'
+	// eviction frontier (OldestLiveSeq), so recorder memory stays bounded
+	// by the region budget even under continuous recording.
+	fllMeta   map[uint64]fll.Meta
+	mrlMeta   map[uint64]mrl.Meta
+	fllPruned uint64 // seqs below this are already pruned
+	mrlPruned uint64
+
+	// Staged appends: finalized intervals accumulate here and commit in
+	// one AppendBatch per store, so multi-thread flushes and crash
+	// collections pay one lock acquisition and one eviction pass.
+	fllPend     []logstore.AppendEntry
+	mrlPend     []logstore.AppendEntry
+	fllPendMeta []fll.Meta
+	mrlPendMeta []mrl.Meta
 
 	// err is the first report-assembly failure (an interval that no longer
 	// loads back from its store); see Err.
 	err error
-}
-
-// metaKey identifies one interval's logs within a recording.
-type metaKey struct {
-	tid int
-	cid uint32
 }
 
 // threadRec is the per-processor recording state: the structures of the
@@ -72,6 +73,11 @@ type threadRec struct {
 	startIC uint64
 	w       *fll.Writer
 	mw      *mrl.Writer
+	// wPool/mwPool recycle the writers (and their grown encode buffers)
+	// across intervals, so the steady-state wire path stops re-allocating
+	// entry buffers once per interval.
+	wPool   *fll.Writer
+	mwPool  *mrl.Writer
 	trace   *traceRing
 	started bool
 
@@ -100,9 +106,10 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 	if r.mrls == nil {
 		r.mrls = logstore.New(cfg.MRLBudget)
 	}
-	r.fllMeta = make(map[metaKey]fll.Meta)
-	r.mrlMeta = make(map[metaKey]mrl.Meta)
-	r.metaCacheOK = r.flls.Stats().TotalCount == 0 && r.mrls.Stats().TotalCount == 0
+	r.fllMeta = make(map[uint64]fll.Meta)
+	r.mrlMeta = make(map[uint64]mrl.Meta)
+	r.fllPruned = r.flls.OldestLiveSeq()
+	r.mrlPruned = r.mrls.OldestLiveSeq()
 	if len(m.Threads) > 1 {
 		r.dir = coherence.New(len(m.Threads), cfg.Cache.L1.BlockBytes)
 		r.red = mrl.NewReducer(len(m.Threads))
@@ -126,15 +133,14 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 // budget expires) so the final partial intervals land in the log stores.
 //
 // Flush is idempotent: finalizing closes each thread's writer, and
-// endInterval refuses threads with no open writer, so a second Flush (or
-// a Flush after a fault already collected the logs) appends nothing — no
+// staging refuses threads with no open writer, so a second Flush (or a
+// Flush after a fault already collected the logs) appends nothing — no
 // empty duplicate intervals reach the stores.
 func (r *Recorder) Flush() {
 	for _, t := range r.threads {
-		if t != nil {
-			r.endInterval(t, fll.EndExit, nil)
-		}
+		r.stageInterval(t, fll.EndExit, nil)
 	}
+	r.commit()
 }
 
 // Err returns the first log-store failure recording swallowed (a disk
@@ -278,12 +284,13 @@ func (r *Recorder) OnFault(tid int, f *cpu.FaultInfo) {
 		PC:    f.PC,
 		Cause: uint8(f.Cause),
 	}
-	r.endInterval(t, fll.EndFault, rec)
+	r.stageInterval(t, fll.EndFault, rec)
 	for _, o := range r.threads {
 		if o != nil && o != t {
-			r.endInterval(o, fll.EndExit, nil)
+			r.stageInterval(o, fll.EndExit, nil)
 		}
 	}
+	r.commit()
 }
 
 // --- per-CPU hooks ---
@@ -429,15 +436,26 @@ func (r *Recorder) startInterval(t *threadRec) {
 		DictSize:      uint32(r.cfg.DictSize),
 		State:         t.c.State(),
 	}
-	t.w = fll.NewWriter(hdr, t.dict)
+	if t.wPool != nil {
+		t.w, t.wPool = t.wPool, nil
+		t.w.Reset(hdr, t.dict)
+	} else {
+		t.w = fll.NewWriter(hdr, t.dict)
+	}
 	t.prevBits = 0
 	if r.cfg.Bus != nil {
 		r.cfg.Bus.LogBits(fll.HeaderBytes * 8)
 	}
 	if r.dir != nil {
-		t.mw = mrl.NewWriter(mrl.Header{
+		mh := mrl.Header{
 			PID: r.cfg.PID, TID: uint32(t.tid), CID: t.cid, Timestamp: hdr.Timestamp,
-		}, r.cfg.IntervalLength, uint32(r.cfg.MaxThreads))
+		}
+		if t.mwPool != nil {
+			t.mw, t.mwPool = t.mwPool, nil
+			t.mw.Reset(mh, r.cfg.IntervalLength, uint32(r.cfg.MaxThreads))
+		} else {
+			t.mw = mrl.NewWriter(mh, r.cfg.IntervalLength, uint32(r.cfg.MaxThreads))
+		}
 	}
 }
 
@@ -446,45 +464,73 @@ func (r *Recorder) startInterval(t *threadRec) {
 // decoded outlives the interval: replay re-materializes a log on demand
 // through the lazy views Report hands out.
 func (r *Recorder) endInterval(t *threadRec, end fll.EndKind, fault *fll.FaultRecord) {
+	r.stageInterval(t, end, fault)
+	r.commit()
+}
+
+// stageInterval closes the thread's writers and stages the encoded
+// interval for the next commit. Multi-thread paths (Flush, the crash
+// collection) stage every thread first and commit once, batching the
+// store appends.
+func (r *Recorder) stageInterval(t *threadRec, end fll.EndKind, fault *fll.FaultRecord) {
 	if t == nil || t.w == nil {
 		return
 	}
 	length := t.c.IC - t.startIC
 	meta, data := t.w.CloseEncoded(length, end, fault)
-	t.w = nil
-	r.flls.Append(logstore.Item{
-		TID:          t.tid,
-		CID:          t.cid,
-		Timestamp:    meta.Timestamp,
-		Bytes:        meta.SizeBytes(),
-		Instructions: length,
-	}, data)
-	if r.metaCacheOK {
-		r.fllMeta[metaKey{t.tid, t.cid}] = meta
-		r.fllKeys = append(r.fllKeys, metaKey{t.tid, t.cid})
-		// Evictions are strictly oldest-first and the key queue mirrors
-		// append order, so trimming the front keeps cache == retained.
-		for len(r.fllKeys) > r.flls.Stats().RetainedCount {
-			delete(r.fllMeta, r.fllKeys[0])
-			r.fllKeys = r.fllKeys[1:]
-		}
-	}
+	t.wPool, t.w = t.w, nil
+	r.fllPend = append(r.fllPend, logstore.AppendEntry{
+		Item: logstore.Item{
+			TID:          t.tid,
+			CID:          t.cid,
+			Timestamp:    meta.Timestamp,
+			Bytes:        meta.SizeBytes(),
+			Instructions: length,
+		},
+		Data: data,
+	})
+	r.fllPendMeta = append(r.fllPendMeta, meta)
 	if t.mw != nil {
 		mm, mdata := t.mw.CloseEncoded()
-		t.mw = nil
-		r.mrls.Append(logstore.Item{
-			TID:       t.tid,
-			CID:       t.cid,
-			Timestamp: mm.Timestamp,
-			Bytes:     mm.SizeBytes(),
-		}, mdata)
-		if r.metaCacheOK {
-			r.mrlMeta[metaKey{t.tid, t.cid}] = mm
-			r.mrlKeys = append(r.mrlKeys, metaKey{t.tid, t.cid})
-			for len(r.mrlKeys) > r.mrls.Stats().RetainedCount {
-				delete(r.mrlMeta, r.mrlKeys[0])
-				r.mrlKeys = r.mrlKeys[1:]
-			}
+		t.mwPool, t.mw = t.mw, nil
+		r.mrlPend = append(r.mrlPend, logstore.AppendEntry{
+			Item: logstore.Item{
+				TID:       t.tid,
+				CID:       t.cid,
+				Timestamp: mm.Timestamp,
+				Bytes:     mm.SizeBytes(),
+			},
+			Data: mdata,
+		})
+		r.mrlPendMeta = append(r.mrlPendMeta, mm)
+	}
+}
+
+// commit appends all staged intervals, one batch per store, records their
+// metadata under the assigned sequence numbers, and prunes cache entries
+// for everything the stores have evicted. Store failures are sticky and
+// surface through Err, exactly as on the unbatched path.
+func (r *Recorder) commit() {
+	if len(r.fllPend) > 0 {
+		n, _ := r.flls.AppendBatch(r.fllPend)
+		for i := 0; i < n; i++ {
+			r.fllMeta[r.fllPend[i].Item.Seq] = r.fllPendMeta[i]
+		}
+		r.fllPend = r.fllPend[:0]
+		r.fllPendMeta = r.fllPendMeta[:0]
+		for oldest := r.flls.OldestLiveSeq(); r.fllPruned < oldest; r.fllPruned++ {
+			delete(r.fllMeta, r.fllPruned)
+		}
+	}
+	if len(r.mrlPend) > 0 {
+		n, _ := r.mrls.AppendBatch(r.mrlPend)
+		for i := 0; i < n; i++ {
+			r.mrlMeta[r.mrlPend[i].Item.Seq] = r.mrlPendMeta[i]
+		}
+		r.mrlPend = r.mrlPend[:0]
+		r.mrlPendMeta = r.mrlPendMeta[:0]
+		for oldest := r.mrls.OldestLiveSeq(); r.mrlPruned < oldest; r.mrlPruned++ {
+			delete(r.mrlMeta, r.mrlPruned)
 		}
 	}
 }
@@ -568,9 +614,9 @@ func (r *Recorder) Report() *CrashReport {
 	}
 	for _, it := range r.flls.All() {
 		// The cached metadata makes report assembly pure bookkeeping — no
-		// re-read of the window. Items the cache cannot vouch for
+		// re-read of the window. Items the cache has no entry for
 		// (recovered from an earlier run) re-parse from their bytes.
-		if m, ok := r.fllMeta[metaKey{it.TID, it.CID}]; ok && r.metaCacheOK {
+		if m, ok := r.fllMeta[it.Seq]; ok {
 			rep.FLLs[it.TID] = append(rep.FLLs[it.TID],
 				fll.NewLazyRef(m, it.EncodedBytes, r.flls.Loader(it.Seq)))
 			continue
@@ -583,7 +629,7 @@ func (r *Recorder) Report() *CrashReport {
 		rep.FLLs[it.TID] = append(rep.FLLs[it.TID], ref)
 	}
 	for _, it := range r.mrls.All() {
-		if m, ok := r.mrlMeta[metaKey{it.TID, it.CID}]; ok && r.metaCacheOK {
+		if m, ok := r.mrlMeta[it.Seq]; ok {
 			rep.MRLs[it.TID] = append(rep.MRLs[it.TID],
 				mrl.NewLazyRef(m, it.EncodedBytes, r.mrls.Loader(it.Seq)))
 			continue

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"bugnet/internal/cpu"
 	"bugnet/internal/fll"
 	"bugnet/internal/mem"
@@ -10,11 +8,12 @@ import (
 
 // MachineOptions tunes a ReplayMachine.
 type MachineOptions struct {
-	// TrackKnown maintains the §7.1 known-memory map: the set of word
-	// addresses the replayed window has touched (injected first loads or
-	// replayed stores). Debuggers need it for ReadWord's unknown-memory
-	// semantics; the multithreaded triage replay disables it to keep one
-	// map write off the per-access hot path.
+	// TrackKnown maintains the §7.1 known-memory set: the word addresses
+	// the replayed window has touched (injected first loads or replayed
+	// stores), held as a page-granular bitmap (mem.KnownSet). Debuggers
+	// need it for ReadWord's unknown-memory semantics; the multithreaded
+	// triage replay disables it to keep even that branch-and-bitmap write
+	// off the per-access hot path.
 	TrackKnown bool
 }
 
@@ -36,7 +35,7 @@ type ReplayMachine struct {
 	pos   uint64
 	total uint64
 	done  bool
-	known map[uint32]bool // nil unless TrackKnown
+	known *mem.KnownSet // nil unless TrackKnown
 }
 
 // Machine wraps the replayer in an incremental stepping engine positioned
@@ -47,10 +46,10 @@ func (r *Replayer) Machine(opts MachineOptions) *ReplayMachine {
 		m.total += l.Length
 	}
 	if opts.TrackKnown {
-		m.known = make(map[uint32]bool)
+		m.known = mem.NewKnownSet()
 		user := r.OnAccess
 		r.OnAccess = func(pc uint32, wordAddr uint32, isWrite bool) {
-			m.known[wordAddr] = true
+			m.known.Add(wordAddr)
 			if user != nil {
 				user(pc, wordAddr, isWrite)
 			}
@@ -62,10 +61,10 @@ func (r *Replayer) Machine(opts MachineOptions) *ReplayMachine {
 }
 
 // Reset rewinds the machine to the start of the window, re-deriving all
-// replay state (including the known-memory map) from the logs.
+// replay state (including the known-memory set) from the logs.
 func (m *ReplayMachine) Reset() {
 	if m.known != nil {
-		m.known = make(map[uint32]bool)
+		m.known.Reset()
 	}
 	m.st = m.r.newState()
 	m.pos = 0
@@ -143,16 +142,16 @@ func (m *ReplayMachine) StepOne() error {
 
 // Known reports whether the recorded window has touched addr's word so
 // far. Always false when the machine was built without TrackKnown.
-func (m *ReplayMachine) Known(addr uint32) bool { return m.known[addr&^3] }
+func (m *ReplayMachine) Known(addr uint32) bool {
+	return m.known != nil && m.known.Has(addr)
+}
 
 // KnownWords returns the touched word addresses in ascending order.
 func (m *ReplayMachine) KnownWords() []uint32 {
-	out := make([]uint32, 0, len(m.known))
-	for a := range m.known {
-		out = append(out, a)
+	if m.known == nil {
+		return []uint32{}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.known.Words()
 }
 
 // ReadWord inspects replayed memory under the paper's §7.1 semantics:
@@ -161,7 +160,7 @@ func (m *ReplayMachine) KnownWords() []uint32 {
 // always known (the developer has the binary). Requires TrackKnown.
 func (m *ReplayMachine) ReadWord(addr uint32) (value uint32, known bool) {
 	wordAddr := addr &^ 3
-	if !m.known[wordAddr] {
+	if m.known == nil || !m.known.Has(wordAddr) {
 		img := m.r.img
 		if wordAddr >= img.TextBase && int(wordAddr-img.TextBase)+4 <= len(img.Text) {
 			if v, err := m.st.mem.LoadWord(wordAddr); err == nil {
@@ -177,12 +176,16 @@ func (m *ReplayMachine) ReadWord(addr uint32) (value uint32, known bool) {
 	return v, true
 }
 
-// ReplaySnapshot is a frozen deep copy of an in-flight replay: memory
+// ReplaySnapshot is a frozen logical copy of an in-flight replay: memory
 // image, architectural state, log cursors (interval index, bit position,
-// prefetched entry), dictionary contents, trace ring and known-memory map.
-// Restoring one reproduces the replay exactly as it was at Pos — the
-// checkpoint primitive behind O(K) reverse execution. A snapshot is
-// immutable and may be restored any number of times.
+// prefetched entry), dictionary contents, trace ring and known-memory
+// bitmap. The memory image and known set are captured copy-on-write
+// (O(directory), not O(pages)), so taking a checkpoint no longer
+// deep-copies page arrays or word maps; pages are copied lazily as the
+// live machine dirties them. Restoring one reproduces the replay exactly
+// as it was at Pos — the checkpoint primitive behind O(K) reverse
+// execution. A snapshot is immutable and may be restored any number of
+// times.
 type ReplaySnapshot struct {
 	pos  uint64
 	done bool
@@ -201,16 +204,19 @@ type ReplaySnapshot struct {
 	trace    *traceRing
 	err      error
 
-	known map[uint32]bool
+	known *mem.KnownSet
 	bytes int64
 }
 
 // Pos returns the instruction position the snapshot was taken at.
 func (s *ReplaySnapshot) Pos() uint64 { return s.pos }
 
-// SizeBytes estimates the snapshot's memory footprint, for checkpoint
-// byte budgets: the dominant terms are the copied memory pages and the
-// known-memory map.
+// SizeBytes estimates the snapshot's worst-case memory footprint, for
+// checkpoint byte budgets: the dominant terms are the memory pages and
+// the known-memory bitmap. Copy-on-write sharing usually makes the real
+// marginal cost of a snapshot far smaller; budgets deliberately charge
+// the conservative unshared figure, since every shared page may end up
+// privately copied once the machine runs on.
 func (s *ReplaySnapshot) SizeBytes() int64 { return s.bytes }
 
 // Snapshot captures the machine's complete replay state.
@@ -238,13 +244,8 @@ func (m *ReplayMachine) Snapshot() *ReplaySnapshot {
 		d := st.d.Clone()
 		s.reader = st.reader.Clone(d)
 	}
-	if m.known != nil {
-		s.known = make(map[uint32]bool, len(m.known))
-		for a := range m.known {
-			s.known[a] = true
-		}
-	}
-	s.bytes = s.mem.Footprint() + int64(len(s.known))*8 + 512
+	s.known = m.known.Clone()
+	s.bytes = s.mem.Footprint() + s.known.SizeBytes() + 512
 	if st.d != nil {
 		s.bytes += int64(st.d.Size()) * 8
 	}
@@ -254,9 +255,9 @@ func (m *ReplayMachine) Snapshot() *ReplaySnapshot {
 	return s
 }
 
-// Restore installs a snapshot, deep-copying out of it so the snapshot
-// stays reusable. The machine must have been built from the same logs the
-// snapshot was taken over.
+// Restore installs a snapshot, copying out of it (copy-on-write for the
+// memory image and known set) so the snapshot stays reusable. The machine
+// must have been built from the same logs the snapshot was taken over.
 func (m *ReplayMachine) Restore(s *ReplaySnapshot) {
 	st := m.st
 	st.mem = s.mem.Snapshot()
@@ -294,9 +295,9 @@ func (m *ReplayMachine) Restore(s *ReplaySnapshot) {
 	m.pos = s.pos
 	m.done = s.done
 	if m.known != nil {
-		m.known = make(map[uint32]bool, len(s.known))
-		for a := range s.known {
-			m.known[a] = true
+		m.known = s.known.Clone()
+		if m.known == nil { // snapshot of a machine without tracking
+			m.known = mem.NewKnownSet()
 		}
 	}
 }

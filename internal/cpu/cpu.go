@@ -21,6 +21,7 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"bugnet/internal/isa"
@@ -131,10 +132,14 @@ type CPU struct {
 	// measure root-cause→crash windows (Table 1).
 	watches []watchedPC
 
-	// fetch cache: one page of decoded text. Invalidated explicitly; the
-	// base system does not support self-modifying code (paper §5.3).
+	// fetch cache: one page of text, revalidated against the memory's
+	// pointer-invalidation generation (a copy-on-write fault or Unmap can
+	// replace the backing array) and invalidated explicitly after code
+	// injection; the base system does not support self-modifying code
+	// (paper §5.3).
 	fetchPageNum uint32
-	fetchPage    *[mem.PageSize]byte
+	fetchPage    *mem.Page
+	fetchGen     uint64
 	fetchValid   bool
 }
 
@@ -179,16 +184,15 @@ func (c *CPU) fault(cause FaultCause, pc, addr uint32) Event {
 // fetch reads the instruction word at pc through the one-page fetch cache.
 func (c *CPU) fetch(pc uint32) (uint32, bool) {
 	pageNum := pc >> mem.PageShift
-	if !c.fetchValid || pageNum != c.fetchPageNum {
+	if !c.fetchValid || pageNum != c.fetchPageNum || c.Mem.Gen() != c.fetchGen {
 		p := c.Mem.Page(pageNum)
 		if p == nil {
 			return 0, false
 		}
-		c.fetchPage, c.fetchPageNum, c.fetchValid = p, pageNum, true
+		c.fetchPage, c.fetchPageNum, c.fetchGen, c.fetchValid = p, pageNum, c.Mem.Gen(), true
 	}
 	o := pc & (mem.PageSize - 1)
-	p := c.fetchPage
-	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, true
+	return binary.LittleEndian.Uint32(c.fetchPage[o : o+4 : o+4]), true
 }
 
 // Step executes one instruction and returns what happened.

@@ -24,6 +24,8 @@
 package fdr
 
 import (
+	"fmt"
+
 	"bugnet/internal/coherence"
 	"bugnet/internal/cpu"
 	"bugnet/internal/isa"
@@ -40,7 +42,9 @@ type Config struct {
 	// 10_000_000.
 	IntervalSteps uint64
 	// BlockBytes is the undo-log granularity (SafetyNet logs cache
-	// blocks). Default 64.
+	// blocks). Must be a power of two of at least one word (the
+	// first-store filter tracks blocks by base address at word
+	// granularity); NewRecorder panics otherwise. Default 64.
 	BlockBytes int
 	// Budget bounds the retained checkpoint bytes; oldest evicted first.
 	// Non-positive retains everything.
@@ -55,6 +59,13 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BlockBytes == 0 {
 		c.BlockBytes = 64
+	}
+	// Sub-word or non-power-of-two blocks would alias distinct block
+	// bases onto one word bit in the first-store filter, silently
+	// dropping undo pre-images. Configuration is a programming decision,
+	// not runtime input, so fail loudly like the cache geometry checks.
+	if c.BlockBytes < 4 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		panic(fmt.Sprintf("fdr: BlockBytes %d must be a power of two >= 4", c.BlockBytes))
 	}
 }
 
@@ -154,8 +165,11 @@ type Recorder struct {
 	nextID    uint32
 	retained  *logstore.Store // checkpoints
 
-	// firstStore tracks blocks already undo-logged this interval.
-	firstStore map[uint32]bool
+	// firstStore tracks blocks already undo-logged this interval (by block
+	// base address, as a page-granular bitmap: the undo-log filter sits on
+	// every store, so membership must be branch-and-bitmap cheap, exactly
+	// like BugNet's first-load bits).
+	firstStore *mem.KnownSet
 
 	interrupts []interruptRecord
 	inputs     []inputRecord
@@ -192,7 +206,7 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 		blockMask:  ^uint32(cfg.BlockBytes - 1),
 		retained:   logstore.New(cfg.Budget),
 		mrls:       logstore.New(cfg.Budget),
-		firstStore: make(map[uint32]bool),
+		firstStore: mem.NewKnownSet(),
 		lastKind:   make(map[int]kernel.InterruptKind),
 		cids:       make(map[int]uint32),
 		mws:        make(map[int]*mrl.Writer),
@@ -248,7 +262,7 @@ func (r *Recorder) openCheckpoint() {
 	}
 	r.cur = c
 	// SafetyNet resets first-store tracking each interval.
-	r.firstStore = make(map[uint32]bool)
+	r.firstStore.Reset()
 	// New MRLs per interval, as in BugNet.
 	for tid, th := range r.m.Threads {
 		if th.CPU != nil && th.State == kernel.ThreadRunnable {
@@ -310,8 +324,8 @@ func (r *Recorder) captureUndo(addr, n uint32) {
 	first := addr & r.blockMask
 	last := (addr + n - 1) & r.blockMask
 	for b := first; ; b += bs {
-		if !r.firstStore[b] {
-			r.firstStore[b] = true
+		if !r.firstStore.Has(b) {
+			r.firstStore.Add(b)
 			old := make([]byte, bs)
 			if err := r.m.Mem.LoadBytes(b, old); err == nil {
 				r.cur.undo = append(r.cur.undo, undoEntry{addr: b, old: old})

@@ -275,3 +275,22 @@ func TestSizeReportTotal(t *testing.T) {
 		t.Errorf("core dump = %d; want at least a page", s.CoreDumpBytes)
 	}
 }
+
+// TestConfigRejectsSubWordBlocks: the first-store filter tracks blocks
+// by base address at word granularity, so sub-word or non-power-of-two
+// block sizes (which would alias distinct blocks) must fail loudly.
+func TestConfigRejectsSubWordBlocks(t *testing.T) {
+	for _, bad := range []int{1, 2, 3, 6, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BlockBytes=%d accepted", bad)
+				}
+			}()
+			cfg := Config{BlockBytes: bad}
+			cfg.fillDefaults()
+		}()
+	}
+	good := Config{BlockBytes: 4}
+	good.fillDefaults() // must not panic
+}

@@ -171,6 +171,29 @@ func NewWriter(hdr Header, d *dict.Table) *Writer {
 	return &Writer{hdr: hdr, dict: d, fullLCBits: bitsFor(hdr.IntervalLimit)}
 }
 
+// Reset re-opens the writer for a new interval described by hdr, reusing
+// the entry-stream buffer so continuous recording stops re-growing one
+// per interval. Like NewWriter, the dictionary must be empty and match
+// the header's geometry. Reset must not be used after Close (whose
+// returned log owns a copy of the bytes, so CloseEncoded callers are the
+// intended users).
+func (w *Writer) Reset(hdr Header, d *dict.Table) {
+	if hdr.IntervalLimit == 0 {
+		panic("fll: IntervalLimit must be positive")
+	}
+	if d == nil || d.Size() != int(hdr.DictSize) {
+		panic("fll: dictionary geometry does not match header")
+	}
+	w.hdr = hdr
+	w.dict = d
+	w.w.Reset()
+	w.fullLCBits = bitsFor(hdr.IntervalLimit)
+	w.skip = 0
+	w.ops = 0
+	w.entries = 0
+	w.uncBits = 0
+}
+
 // Op records one loggable operation whose containing word held value.
 // logged tells whether the first-load filter selected it for logging.
 func (w *Writer) Op(value uint32, logged bool) {

@@ -1,0 +1,73 @@
+package fll
+
+import (
+	"bytes"
+	"testing"
+
+	"bugnet/internal/cpu"
+	"bugnet/internal/dict"
+)
+
+// TestWriterResetEncodesIdentically: a pooled writer (Reset between
+// intervals, as the recorder recycles them) must produce byte-identical
+// wire encodings to fresh writers — the refactor's observational
+// equivalence at the log level.
+func TestWriterResetEncodesIdentically(t *testing.T) {
+	hdr := func(cid uint32) Header {
+		return Header{
+			PID: 9, TID: 1, CID: cid, Timestamp: uint64(cid) * 10,
+			IntervalLimit: 1000, DictSize: 8,
+			State: cpu.Snapshot{PC: 0x400000 + cid},
+		}
+	}
+	feed := func(w *Writer, seed uint32) {
+		for i := uint32(0); i < 300; i++ {
+			v := seed + i%7*1000
+			w.Op(v, i%3 == 0)
+		}
+	}
+
+	// Reference: fresh writer + fresh dictionary per interval.
+	var fresh [][]byte
+	for cid := uint32(0); cid < 3; cid++ {
+		d := dict.New(8)
+		w := NewWriter(hdr(cid), d)
+		feed(w, cid*17)
+		_, data := w.CloseEncoded(300, EndIntervalFull, nil)
+		fresh = append(fresh, data)
+	}
+
+	// Pooled: one writer and one dictionary recycled across intervals,
+	// exactly as the recorder does (dict.Reset at interval start).
+	d := dict.New(8)
+	w := NewWriter(hdr(0), d)
+	for cid := uint32(0); cid < 3; cid++ {
+		if cid > 0 {
+			d.Reset()
+			w.Reset(hdr(cid), d)
+		}
+		feed(w, cid*17)
+		_, data := w.CloseEncoded(300, EndIntervalFull, nil)
+		if !bytes.Equal(data, fresh[cid]) {
+			t.Fatalf("interval %d: pooled encoding differs from fresh writer", cid)
+		}
+	}
+}
+
+// TestWriterResetValidates: Reset enforces the same invariants as
+// NewWriter.
+func TestWriterResetValidates(t *testing.T) {
+	d := dict.New(8)
+	w := NewWriter(Header{IntervalLimit: 10, DictSize: 8}, d)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero interval", func() { w.Reset(Header{DictSize: 8}, d) })
+	mustPanic("geometry mismatch", func() { w.Reset(Header{IntervalLimit: 10, DictSize: 16}, d) })
+}

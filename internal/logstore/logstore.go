@@ -143,6 +143,46 @@ func Open(budget int64, b Backend) (*Store, error) {
 func (s *Store) Append(it Item, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.appendLocked(it, data); err != nil {
+		return err
+	}
+	return s.evictLocked()
+}
+
+// AppendEntry is one append request in a batch. The store takes ownership
+// of Data and assigns Item.Seq on success.
+type AppendEntry struct {
+	Item Item
+	Data []byte
+}
+
+// AppendBatch retains several encoded logs under a single lock
+// acquisition and a single eviction pass — the recorder's wire path uses
+// it so finalizing every thread's interval (a flush, a crash collection)
+// does not pay per-interval store overhead. Entries are appended in
+// order; sequence numbers are consecutive and written back into each
+// entry's Item.Seq. On a backend failure the remaining entries are
+// abandoned (the failure is sticky — see Err) and n reports how many
+// entries were appended.
+func (s *Store) AppendBatch(entries []AppendEntry) (n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range entries {
+		if err = s.appendLocked(entries[i].Item, entries[i].Data); err != nil {
+			break
+		}
+		entries[i].Item.Seq = s.nextSeq - 1
+		n++
+	}
+	if everr := s.evictLocked(); err == nil {
+		err = everr
+	}
+	return n, err
+}
+
+// appendLocked persists one item and accounts for it; the caller holds
+// the lock and runs the eviction pass.
+func (s *Store) appendLocked(it Item, data []byte) error {
 	it.Seq = s.nextSeq
 	it.EncodedBytes = int64(len(data))
 	if err := s.backend.Append(it, data); err != nil {
@@ -156,7 +196,20 @@ func (s *Store) Append(it Item, data []byte) error {
 	s.stats.RetainedCount++
 	s.stats.TotalBytes += it.Bytes
 	s.stats.TotalCount++
-	return s.evictLocked()
+	return nil
+}
+
+// OldestLiveSeq returns the lowest sequence number still retained; when
+// the store is empty it returns the next sequence to be assigned. Every
+// sequence below the result has been evicted, so recorder-side metadata
+// caches keyed by Seq prune against it.
+func (s *Store) OldestLiveSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return s.nextSeq
+	}
+	return s.items[0].Seq
 }
 
 // evictLocked enforces the budget: oldest first, and the newest item is

@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestKnownSetBasics: word granularity, byte-address normalization, and
+// counts.
+func TestKnownSetBasics(t *testing.T) {
+	k := NewKnownSet()
+	if k.Has(0x1000) || k.Len() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	k.Add(0x1001) // any byte of the word marks the word
+	if !k.Has(0x1000) || !k.Has(0x1003) {
+		t.Error("word containing the added byte not known")
+	}
+	if k.Has(0x1004) {
+		t.Error("neighboring word leaked in")
+	}
+	k.Add(0x1002) // same word: no growth
+	if k.Len() != 1 {
+		t.Errorf("Len = %d, want 1", k.Len())
+	}
+	k.Add(0xFFFF_FFFC) // top of the address space
+	if !k.Has(0xFFFF_FFFF) || k.Len() != 2 {
+		t.Error("top-of-space word mishandled")
+	}
+	words := k.Words()
+	if len(words) != 2 || words[0] != 0x1000 || words[1] != 0xFFFF_FFFC {
+		t.Errorf("Words = %#x", words)
+	}
+	k.Reset()
+	if k.Len() != 0 || k.Has(0x1000) || k.Pages() != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+// TestKnownSetCloneIsolation: clones share nothing observable.
+func TestKnownSetCloneIsolation(t *testing.T) {
+	k := NewKnownSet()
+	k.Add(0x4000)
+	c := k.Clone()
+	k.Add(0x4004)
+	c.Add(0x8000)
+	if c.Has(0x4004) {
+		t.Error("clone saw parent insert")
+	}
+	if k.Has(0x8000) {
+		t.Error("parent saw clone insert")
+	}
+	if k.Len() != 2 || c.Len() != 2 {
+		t.Errorf("lens = %d, %d", k.Len(), c.Len())
+	}
+	var nilSet *KnownSet
+	if nilSet.Clone() != nil {
+		t.Error("nil clone must be nil")
+	}
+	if nilSet.SizeBytes() != 0 {
+		t.Error("nil SizeBytes must be 0")
+	}
+}
+
+// TestKnownSetVsMapParity drives the bitmap and the reference
+// map[uint32]bool through an identical random schedule of inserts,
+// membership probes, resets, and clone/mutate rounds — addresses chosen
+// to cross page boundaries and hit partial words — and demands identical
+// observable behavior throughout. This is the map-vs-bitmap parity
+// property at the data-structure level; the replay-level parity lives in
+// internal/core.
+func TestKnownSetVsMapParity(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKnownSet()
+		ref := make(map[uint32]bool)
+		// Clones with their reference copies, mutated independently.
+		type pair struct {
+			k   *KnownSet
+			ref map[uint32]bool
+		}
+		var clones []pair
+		randAddr := func() uint32 {
+			// Mix page-interior, page-boundary and partial-word addresses
+			// over a few discontiguous regions.
+			base := []uint32{0, PageSize - 4, 17 * PageSize, 0x7FFF_F000}[rng.Intn(4)]
+			return base + uint32(rng.Intn(3*PageSize))
+		}
+		for i := 0; i < 4000; i++ {
+			switch rng.Intn(12) {
+			case 0: // probe
+				a := randAddr()
+				if k.Has(a) != ref[a&^3] {
+					t.Fatalf("seed %d: Has(%#x) = %v, map says %v", seed, a, k.Has(a), ref[a&^3])
+				}
+			case 1: // reset, rarely
+				if rng.Intn(10) == 0 {
+					k.Reset()
+					ref = make(map[uint32]bool)
+				}
+			case 2: // clone
+				cp := make(map[uint32]bool, len(ref))
+				for a := range ref {
+					cp[a] = true
+				}
+				clones = append(clones, pair{k: k.Clone(), ref: cp})
+			case 3: // mutate a clone
+				if len(clones) > 0 {
+					c := clones[rng.Intn(len(clones))]
+					a := randAddr()
+					c.k.Add(a)
+					c.ref[a&^3] = true
+				}
+			default: // insert
+				a := randAddr()
+				k.Add(a)
+				ref[a&^3] = true
+			}
+		}
+		check := func(name string, k *KnownSet, ref map[uint32]bool) {
+			if k.Len() != len(ref) {
+				t.Fatalf("seed %d %s: Len = %d, map has %d", seed, name, k.Len(), len(ref))
+			}
+			want := make([]uint32, 0, len(ref))
+			for a := range ref {
+				want = append(want, a)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := k.Words()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %s: Words[%d] = %#x, want %#x", seed, name, i, got[i], want[i])
+				}
+			}
+		}
+		check("main", k, ref)
+		for _, c := range clones {
+			check("clone", c.k, c.ref)
+		}
+	}
+}
+
+// TestKnownCodecRoundTrip: Marshal → Unmarshal → Marshal is the identity
+// on bytes and on set contents.
+func TestKnownCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		k := NewKnownSet()
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			k.Add(uint32(rng.Intn(1<<30) * 4))
+		}
+		data := MarshalKnown(k)
+		back, err := UnmarshalKnown(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.Len() != k.Len() || back.Pages() != k.Pages() {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		w1, w2 := k.Words(), back.Words()
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("trial %d: word %d differs", trial, i)
+			}
+		}
+		if !bytes.Equal(MarshalKnown(back), data) {
+			t.Fatalf("trial %d: re-marshal not byte-identical", trial)
+		}
+	}
+	// Empty set round-trips too.
+	data := MarshalKnown(NewKnownSet())
+	back, err := UnmarshalKnown(data)
+	if err != nil || back.Len() != 0 {
+		t.Fatalf("empty set: %v, len %d", err, back.Len())
+	}
+}
+
+// TestKnownCodecRejectsCorruption: every single-byte corruption of a
+// valid snapshot must fail decoding (the CRC guarantees it), and
+// structural attacks fail with clear errors.
+func TestKnownCodecRejectsCorruption(t *testing.T) {
+	k := NewKnownSet()
+	for _, a := range []uint32{0, 4, PageSize, 5 * PageSize} {
+		k.Add(a)
+	}
+	data := MarshalKnown(k)
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := UnmarshalKnown(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	if _, err := UnmarshalKnown(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := UnmarshalKnown(data[:8]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+// FuzzKnownCodecRoundTrip is the codec fuzzer the CI fuzz-smoke job runs:
+// any input the decoder accepts must re-encode byte-identically and
+// describe the same set; every other input must fail cleanly (no panics,
+// no runaway allocation).
+func FuzzKnownCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalKnown(NewKnownSet()))
+	k := NewKnownSet()
+	k.Add(0x1000)
+	k.Add(PageSize * 3)
+	f.Add(MarshalKnown(k))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := UnmarshalKnown(data)
+		if err != nil {
+			return
+		}
+		out := MarshalKnown(k)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted input does not re-marshal identically:\n in: %x\nout: %x", data, out)
+		}
+		back, err := UnmarshalKnown(out)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input rejected: %v", err)
+		}
+		if back.Len() != k.Len() {
+			t.Fatalf("round trip changed Len: %d vs %d", back.Len(), k.Len())
+		}
+	})
+}

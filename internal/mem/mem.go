@@ -1,14 +1,20 @@
 // Package mem implements the sparse, paged guest physical memory of the
 // simulated machine.
 //
-// The address space is 32 bits, backed lazily by 4 KB pages. Accesses to
-// unmapped pages return an *AccessError, which the CPU turns into the
-// architectural memory fault that makes a buggy guest program crash — the
-// event that triggers BugNet log collection (paper §4.8). All accesses
-// require natural alignment; misaligned accesses also fault.
+// The address space is 32 bits, backed lazily by 4 KB pages held in a
+// two-level copy-on-write page table (see pagetable.go): accesses cost two
+// array indexes, and Snapshot is O(directory) with page copies deferred to
+// the writes that actually dirty them. Accesses to unmapped pages return an
+// *AccessError, which the CPU turns into the architectural memory fault
+// that makes a buggy guest program crash — the event that triggers BugNet
+// log collection (paper §4.8). All accesses require natural alignment;
+// misaligned accesses also fault.
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageSize is the guest page size in bytes.
 const PageSize = 1 << PageShift
@@ -52,10 +58,13 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("mem: %s of unmapped address 0x%08x", e.Kind, e.Addr)
 }
 
+// Page is the backing array of one guest page.
+type Page = [PageSize]byte
+
 // Memory is a sparse 32-bit guest address space. The zero value is not
-// usable; call New.
+// usable; call New. Memory is not safe for concurrent use.
 type Memory struct {
-	pages map[uint32]*[PageSize]byte
+	tab table[Page]
 
 	// MapLimit, when positive, caps the number of mapped pages. TryMap
 	// refuses to grow past it; Map (the kernel's loader path) ignores it.
@@ -66,7 +75,7 @@ type Memory struct {
 
 // New returns an empty address space with no pages mapped.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+	return &Memory{}
 }
 
 // Map ensures that every page overlapping [addr, addr+size) is mapped,
@@ -79,8 +88,8 @@ func (m *Memory) Map(addr uint32, size uint32) {
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for p := first; ; p++ {
-		if _, ok := m.pages[p]; !ok {
-			m.pages[p] = new([PageSize]byte)
+		if m.tab.load(p) == nil {
+			m.tab.ensure(p)
 		}
 		if p == last {
 			break
@@ -99,14 +108,14 @@ func (m *Memory) TryMap(addr uint32, size uint32) bool {
 		first := addr >> PageShift
 		last := (addr + size - 1) >> PageShift
 		for p := first; ; p++ {
-			if _, ok := m.pages[p]; !ok {
+			if m.tab.load(p) == nil {
 				need++
 			}
 			if p == last {
 				break
 			}
 		}
-		if len(m.pages)+need > m.MapLimit {
+		if m.tab.count+need > m.MapLimit {
 			return false
 		}
 	}
@@ -115,7 +124,7 @@ func (m *Memory) TryMap(addr uint32, size uint32) bool {
 }
 
 // MappedPages returns the number of currently mapped pages.
-func (m *Memory) MappedPages() int { return len(m.pages) }
+func (m *Memory) MappedPages() int { return m.tab.count }
 
 // Unmap removes every page fully contained in [addr, addr+size).
 func (m *Memory) Unmap(addr uint32, size uint32) {
@@ -125,7 +134,7 @@ func (m *Memory) Unmap(addr uint32, size uint32) {
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for p := first; ; p++ {
-		delete(m.pages, p)
+		m.tab.remove(p)
 		if p == last {
 			break
 		}
@@ -134,25 +143,40 @@ func (m *Memory) Unmap(addr uint32, size uint32) {
 
 // Mapped reports whether addr lies on a mapped page.
 func (m *Memory) Mapped(addr uint32) bool {
-	_, ok := m.pages[addr>>PageShift]
-	return ok
+	return m.tab.load(addr>>PageShift) != nil
 }
 
 // Footprint returns the number of mapped bytes (pages × page size). This is
 // the quantity FDR's core dump must ship back to the developer (Table 2).
 func (m *Memory) Footprint() int64 {
-	return int64(len(m.pages)) * PageSize
+	return int64(m.tab.count) * PageSize
 }
 
-func (m *Memory) page(addr uint32) *[PageSize]byte {
-	return m.pages[addr>>PageShift]
+// page returns addr's page for reading, or nil.
+func (m *Memory) page(addr uint32) *Page {
+	return m.tab.load(addr >> PageShift)
+}
+
+// writable returns addr's page for writing, or nil, copying a page shared
+// with a snapshot first (copy-on-write).
+func (m *Memory) writable(addr uint32) *Page {
+	return m.tab.mutable(addr >> PageShift)
 }
 
 // Page returns the backing array of the given page number, or nil if the
-// page is unmapped. The CPU's fetch fast path reads text through it.
-func (m *Memory) Page(num uint32) *[PageSize]byte {
-	return m.pages[num]
+// page is unmapped. The CPU's fetch fast path reads text through it. The
+// array must be treated as read-only, and the pointer revalidated against
+// Gen: a copy-on-write fault or an Unmap can replace or drop the backing
+// array of a previously returned page.
+func (m *Memory) Page(num uint32) *Page {
+	return m.tab.load(num)
 }
+
+// Gen returns the pointer-invalidation generation: it changes whenever a
+// page pointer previously returned by Page may have gone stale (the page
+// was copied on write or unmapped). Callers caching page pointers compare
+// generations instead of re-looking pages up on every access.
+func (m *Memory) Gen() uint64 { return m.tab.gen }
 
 // LoadWord reads the naturally aligned 32-bit little-endian word at addr.
 func (m *Memory) LoadWord(addr uint32) (uint32, error) {
@@ -164,7 +188,7 @@ func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 		return 0, &AccessError{Addr: addr, Kind: AccessRead}
 	}
 	o := addr & (PageSize - 1)
-	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+	return binary.LittleEndian.Uint32(p[o : o+4 : o+4]), nil
 }
 
 // LoadHalf reads the naturally aligned 16-bit little-endian halfword at addr.
@@ -194,15 +218,12 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	if addr&3 != 0 {
 		return &AccessError{Addr: addr, Kind: AccessWrite, Misaligned: true}
 	}
-	p := m.page(addr)
+	p := m.writable(addr)
 	if p == nil {
 		return &AccessError{Addr: addr, Kind: AccessWrite}
 	}
 	o := addr & (PageSize - 1)
-	p[o] = byte(v)
-	p[o+1] = byte(v >> 8)
-	p[o+2] = byte(v >> 16)
-	p[o+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(p[o:o+4:o+4], v)
 	return nil
 }
 
@@ -211,7 +232,7 @@ func (m *Memory) StoreHalf(addr uint32, v uint16) error {
 	if addr&1 != 0 {
 		return &AccessError{Addr: addr, Kind: AccessWrite, Misaligned: true}
 	}
-	p := m.page(addr)
+	p := m.writable(addr)
 	if p == nil {
 		return &AccessError{Addr: addr, Kind: AccessWrite}
 	}
@@ -223,7 +244,7 @@ func (m *Memory) StoreHalf(addr uint32, v uint16) error {
 
 // StoreByte writes the byte at addr.
 func (m *Memory) StoreByte(addr uint32, v byte) error {
-	p := m.page(addr)
+	p := m.writable(addr)
 	if p == nil {
 		return &AccessError{Addr: addr, Kind: AccessWrite}
 	}
@@ -231,26 +252,35 @@ func (m *Memory) StoreByte(addr uint32, v byte) error {
 	return nil
 }
 
-// LoadBytes copies len(dst) bytes starting at addr into dst. It fails with
-// an *AccessError at the first unmapped byte.
+// LoadBytes copies len(dst) bytes starting at addr into dst, one page span
+// at a time. It fails with an *AccessError at the first unmapped byte.
 func (m *Memory) LoadBytes(addr uint32, dst []byte) error {
-	for i := range dst {
-		b, err := m.LoadByte(addr + uint32(i))
-		if err != nil {
-			return err
+	for len(dst) > 0 {
+		p := m.page(addr)
+		if p == nil {
+			return &AccessError{Addr: addr, Kind: AccessRead}
 		}
-		dst[i] = b
+		o := addr & (PageSize - 1)
+		n := copy(dst, p[o:])
+		dst = dst[n:]
+		addr += uint32(n)
 	}
 	return nil
 }
 
-// StoreBytes copies src into memory starting at addr. It fails with an
-// *AccessError at the first unmapped byte; earlier bytes remain written.
+// StoreBytes copies src into memory starting at addr, one page span at a
+// time. It fails with an *AccessError at the first unmapped byte; earlier
+// bytes remain written.
 func (m *Memory) StoreBytes(addr uint32, src []byte) error {
-	for i, b := range src {
-		if err := m.StoreByte(addr+uint32(i), b); err != nil {
-			return err
+	for len(src) > 0 {
+		p := m.writable(addr)
+		if p == nil {
+			return &AccessError{Addr: addr, Kind: AccessWrite}
 		}
+		o := addr & (PageSize - 1)
+		n := copy(p[o:], src)
+		src = src[n:]
+		addr += uint32(n)
 	}
 	return nil
 }
@@ -271,25 +301,24 @@ func (m *Memory) LoadCString(addr uint32, max int) (string, error) {
 	return string(buf), nil
 }
 
-// PageNumbers returns the set of mapped page numbers in unspecified order.
+// PageNumbers returns the mapped page numbers in ascending order.
 func (m *Memory) PageNumbers() []uint32 {
-	out := make([]uint32, 0, len(m.pages))
-	for p := range m.pages {
-		out = append(out, p)
-	}
+	out := make([]uint32, 0, m.tab.count)
+	m.tab.forEach(func(idx uint32, _ *Page) {
+		out = append(out, idx)
+	})
 	return out
 }
 
-// Snapshot returns a deep copy of the address space, including the map
-// limit. FDR's replayer uses snapshots as the core-dump image from which
-// checkpoint state is rebuilt; replay checkpointing uses them as the
-// known-memory image of a restore point.
+// Snapshot returns an independent logical copy of the address space,
+// including the map limit. The copy is O(directory): pages become shared
+// copy-on-write between the two images, and each side pays for a page
+// only when it subsequently writes it. FDR's replayer uses snapshots as
+// the core-dump image from which checkpoint state is rebuilt; replay
+// checkpointing uses them as the known-memory image of a restore point.
 func (m *Memory) Snapshot() *Memory {
 	s := New()
 	s.MapLimit = m.MapLimit
-	for n, p := range m.pages {
-		cp := *p
-		s.pages[n] = &cp
-	}
+	m.tab.shareInto(&s.tab)
 	return s
 }

@@ -1,0 +1,206 @@
+package mem
+
+// pagetable.go implements the generic two-level copy-on-write page table
+// behind both the guest memory image (payload: one 4 KB page) and the §7.1
+// known-memory bitmap (payload: one bit per word of a page).
+//
+// A 32-bit address space at 4 KB pages leaves 20 bits of page number,
+// split 10/10: a fixed directory of 1024 leaf pointers, each leaf holding
+// 1024 payload pointers. Lookup is two array indexes and two nil checks —
+// no hashing — which is what takes the per-access hot paths of the
+// recorder and the replay machines from hash-map cost to branch-and-index
+// cost.
+//
+// Snapshots are copy-on-write at both levels. Sharing a table into a
+// fresh one copies only the directory (1024 pointers) and marks every
+// leaf shared in *both* tables; the first write through either table
+// copies the leaf (1024 pointers) and marks its payloads shared; the
+// first write to a payload copies the payload. A snapshot therefore costs
+// O(directory) up front and each side pays O(1) per page it subsequently
+// dirties — not O(pages) eager deep copies, and never a hash-map clone.
+//
+// The table is not safe for concurrent use, matching Memory's contract.
+
+const (
+	// pageIndexBits is the width of a page number.
+	pageIndexBits = 32 - PageShift
+	// leafBits indexes within a leaf; dirBits indexes the directory.
+	leafBits  = 10
+	dirBits   = pageIndexBits - leafBits
+	leafSlots = 1 << leafBits
+	dirSlots  = 1 << dirBits
+	leafMask  = leafSlots - 1
+)
+
+// leaf is one second-level block of payload pointers plus the
+// copy-on-write bits of its payloads.
+type leaf[T any] struct {
+	slots [leafSlots]*T
+	// shared marks payloads that may be referenced by another table (or a
+	// snapshot) and must be copied before mutation.
+	shared [leafSlots / 64]uint64
+	// used counts non-nil slots, so emptied leaves can be dropped.
+	used int
+}
+
+// table is the two-level COW structure. The zero value is an empty table.
+type table[T any] struct {
+	dir [dirSlots]*leaf[T]
+	// dirShared marks leaves that may be referenced by another table and
+	// must be copied before any mutation through them.
+	dirShared [dirSlots / 64]uint64
+	// count is the total number of non-nil payloads.
+	count int
+	// gen increments whenever a payload pointer previously handed out may
+	// have gone stale: a copy-on-write payload replacement or a removal.
+	// Callers caching payload pointers (the CPU's fetch cache) revalidate
+	// against it.
+	gen uint64
+}
+
+// load returns the payload at idx for reading, or nil. Callers must not
+// mutate the result; use mutable for writes.
+func (t *table[T]) load(idx uint32) *T {
+	l := t.dir[idx>>leafBits]
+	if l == nil {
+		return nil
+	}
+	return l.slots[idx&leafMask]
+}
+
+// mutableLeaf returns idx's leaf privately owned by t, copying a shared
+// leaf first. The caller must know the leaf exists.
+func (t *table[T]) mutableLeaf(di uint32) *leaf[T] {
+	l := t.dir[di]
+	if t.dirShared[di>>6]&(1<<(di&63)) == 0 {
+		return l
+	}
+	cp := &leaf[T]{slots: l.slots, used: l.used}
+	// Every payload in the copy is now referenced from two leaves; the
+	// original keeps its own view (it stays shared from the other table's
+	// perspective and is never written through t again). Bits over nil
+	// slots are cleared by ensure on creation.
+	for i := range cp.shared {
+		cp.shared[i] = ^uint64(0)
+	}
+	t.dir[di] = cp
+	t.dirShared[di>>6] &^= 1 << (di & 63)
+	return cp
+}
+
+// mutable returns the payload at idx for writing, or nil if absent,
+// copying shared structure as needed (copy-on-write).
+func (t *table[T]) mutable(idx uint32) *T {
+	di := idx >> leafBits
+	l := t.dir[di]
+	if l == nil {
+		return nil
+	}
+	si := idx & leafMask
+	if l.slots[si] == nil {
+		return nil
+	}
+	if t.dirShared[di>>6]&(1<<(di&63)) != 0 {
+		l = t.mutableLeaf(di)
+	}
+	if l.shared[si>>6]&(1<<(si&63)) != 0 {
+		cp := new(T)
+		*cp = *l.slots[si]
+		l.slots[si] = cp
+		l.shared[si>>6] &^= 1 << (si & 63)
+		t.gen++
+	}
+	return l.slots[si]
+}
+
+// ensure returns the payload at idx for writing, creating a zero payload
+// if absent.
+func (t *table[T]) ensure(idx uint32) *T {
+	di := idx >> leafBits
+	si := idx & leafMask
+	if t.dir[di] == nil {
+		t.dir[di] = new(leaf[T])
+	}
+	l := t.dir[di]
+	if t.dirShared[di>>6]&(1<<(di&63)) != 0 {
+		l = t.mutableLeaf(di)
+	}
+	if l.slots[si] == nil {
+		l.slots[si] = new(T)
+		l.shared[si>>6] &^= 1 << (si & 63)
+		l.used++
+		t.count++
+		return l.slots[si]
+	}
+	if l.shared[si>>6]&(1<<(si&63)) != 0 {
+		cp := new(T)
+		*cp = *l.slots[si]
+		l.slots[si] = cp
+		l.shared[si>>6] &^= 1 << (si & 63)
+		t.gen++
+	}
+	return l.slots[si]
+}
+
+// remove drops the payload at idx if present.
+func (t *table[T]) remove(idx uint32) {
+	di := idx >> leafBits
+	if t.dir[di] == nil {
+		return
+	}
+	si := idx & leafMask
+	if t.dir[di].slots[si] == nil {
+		return
+	}
+	l := t.mutableLeaf(di)
+	l.slots[si] = nil
+	l.shared[si>>6] &^= 1 << (si & 63)
+	l.used--
+	t.count--
+	t.gen++
+	if l.used == 0 {
+		t.dir[di] = nil
+		t.dirShared[di>>6] &^= 1 << (di & 63)
+	}
+}
+
+// reset empties the table in O(directory), leaving shared structure to
+// the tables it was shared with.
+func (t *table[T]) reset() {
+	t.dir = [dirSlots]*leaf[T]{}
+	t.dirShared = [dirSlots / 64]uint64{}
+	t.count = 0
+	t.gen++
+}
+
+// shareInto makes dst an independent logical copy of t in O(directory):
+// dst adopts t's directory and every existing leaf becomes shared in both
+// tables, deferring all data copying to future writes. dst must be empty.
+func (t *table[T]) shareInto(dst *table[T]) {
+	dst.dir = t.dir
+	dst.count = t.count
+	var mask [dirSlots / 64]uint64
+	for i, l := range t.dir {
+		if l != nil {
+			mask[i>>6] |= 1 << (i & 63)
+		}
+	}
+	dst.dirShared = mask
+	for i := range mask {
+		t.dirShared[i] |= mask[i]
+	}
+}
+
+// forEach visits every present payload in ascending idx order.
+func (t *table[T]) forEach(fn func(idx uint32, p *T)) {
+	for di, l := range t.dir {
+		if l == nil {
+			continue
+		}
+		for si := 0; si < leafSlots; si++ {
+			if p := l.slots[si]; p != nil {
+				fn(uint32(di)<<leafBits|uint32(si), p)
+			}
+		}
+	}
+}

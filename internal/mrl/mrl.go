@@ -106,6 +106,20 @@ func NewWriter(hdr Header, intervalLimit uint64, maxThreads uint32) *Writer {
 	return &Writer{hdr: hdr, intervalLimit: intervalLimit, maxThreads: maxThreads}
 }
 
+// Reset re-opens the writer for a new interval, reusing the entry buffer
+// so continuous recording stops re-growing one per interval. It
+// invalidates any Log previously returned by Close (which aliases the
+// buffer); recorders that finalize with CloseEncoded are unaffected.
+func (w *Writer) Reset(hdr Header, intervalLimit uint64, maxThreads uint32) {
+	if intervalLimit == 0 || maxThreads == 0 {
+		panic("mrl: interval limit and max threads must be positive")
+	}
+	w.hdr = hdr
+	w.intervalLimit = intervalLimit
+	w.maxThreads = maxThreads
+	w.entries = w.entries[:0]
+}
+
 // Add appends an ordering constraint.
 func (w *Writer) Add(e Entry) { w.entries = append(w.entries, e) }
 

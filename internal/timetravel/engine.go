@@ -5,9 +5,11 @@
 // The paper's whole point is developer-side deterministic replay debugging
 // (§1, §5), but naive "back in time" is re-execution from the window start
 // — O(window) per reverse step. This package wraps core.ReplayMachine with
-// periodic full-state checkpoints (CPU snapshot, known-memory image, log
-// cursors, backtrace ring) taken every CheckpointEvery instructions under
-// a byte budget, so any backward motion becomes "restore the nearest
+// periodic full-state checkpoints (CPU snapshot, known-memory bitmap, log
+// cursors, backtrace ring — captured copy-on-write, so taking one costs
+// O(page-table directory), not a deep copy) taken every CheckpointEvery
+// instructions under a byte budget, so any backward motion becomes
+// "restore the nearest
 // checkpoint + bounded forward re-execution": ReverseStep, ReverseContinue
 // and SeekTo all cost O(CheckpointEvery), independent of how long the
 // recorded window is. Data watchpoints honor the paper's §7.1
@@ -38,7 +40,10 @@ type Config struct {
 	// coverage gap is evicted (never the window-start anchor, never the
 	// newest), so dense recent history thins toward sparse old history and
 	// the reverse-step bound degrades gracefully to the widest surviving
-	// gap. Default 64 MB.
+	// gap. Checkpoints are copy-on-write (see core.ReplaySnapshot): each
+	// is budgeted at its conservative unshared size, while its real cost
+	// is the pages the replay dirties between neighboring checkpoints, so
+	// the budget is an upper bound, not an exact occupancy. Default 64 MB.
 	CheckpointBudget int64
 	// TraceDepth is the backtrace ring length carried through replay and
 	// checkpoints. Default 16.
