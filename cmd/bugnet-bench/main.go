@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,11 +54,17 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (with -json)")
 	gatePct := flag.Float64("gate-pct", 20, "max allowed regression in percent vs the baseline")
 	gateNorm := flag.String("gate-norm", "RecordHotPath/map", "yardstick benchmark that normalizes ns/op comparisons for machine speed (empty = raw ns)")
-	requireSpeedup := flag.Float64("require-speedup", 0, "minimum paged-vs-map speedup factor to assert (0 = off)")
+	requireSpeedup := flag.Float64("require-speedup", 0, "minimum live-vs-reference speedup factor to assert for every paired benchmark (0 = off)")
+	speedupFloors := flag.String("speedup-floors", "", "per-benchmark overrides of -require-speedup, as name=factor[,name=factor...] (e.g. StepVsRun/blocks=1.5)")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		os.Exit(runMicros(*jsonOut, *benchIters, *benchRounds, *baseline, *gatePct, *gateNorm, *requireSpeedup))
+		floors, err := parseFloors(*speedupFloors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runMicros(*jsonOut, *benchIters, *benchRounds, *baseline, *gatePct, *gateNorm, *requireSpeedup, floors))
 	}
 
 	start := time.Now()
@@ -74,12 +81,41 @@ func main() {
 }
 
 // benchFile is the JSON schema of an exported run: benchmark name →
-// measurement. It is the format of the committed BENCH_PR4.json baseline.
+// measurement. It is the format of the committed BENCH_PR5.json baseline
+// (and its BENCH_PR4.json predecessor).
 type benchFile struct {
 	Benchmarks map[string]bench.MicroResult `json:"benchmarks"`
 }
 
-func runMicros(out string, iters, rounds int, baseline string, gatePct float64, gateNorm string, requireSpeedup float64) int {
+// parseFloors parses the -speedup-floors override list. Parsing is
+// strict — trailing garbage in a factor or a malformed entry is an error,
+// not a silently weakened gate; unknown benchmark names are caught after
+// the run (see runMicros), when the suite's names are at hand.
+func parseFloors(s string) (map[string]float64, error) {
+	floors := make(map[string]float64)
+	if s == "" {
+		return floors, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("gate: -speedup-floors entry %q is not name=factor", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gate: -speedup-floors factor %q: %v", val, err)
+		}
+		if f <= 0 {
+			// A zero/negative floor would override -require-speedup into
+			// gating nothing for the pair.
+			return nil, fmt.Errorf("gate: -speedup-floors %s=%g: factor must be positive", name, f)
+		}
+		floors[name] = f
+	}
+	return floors, nil
+}
+
+func runMicros(out string, iters, rounds int, baseline string, gatePct float64, gateNorm string, requireSpeedup float64, floors map[string]float64) int {
 	results, err := bench.RunMicros(iters, rounds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,10 +139,31 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 	}
 
 	failed := false
-	if requireSpeedup > 0 {
+	if requireSpeedup > 0 || len(floors) > 0 {
+		// A floor naming no paired benchmark in this run would silently
+		// gate nothing — a typo or a stale name after a rename must fail
+		// loudly instead of shipping a green gate.
+		for name := range floors {
+			if _, isPair := pairedReference(name); !isPair {
+				fmt.Fprintf(os.Stderr, "gate: -speedup-floors %q is not a paired benchmark\n", name)
+				failed = true
+				continue
+			}
+			if _, ok := file.Benchmarks[name]; !ok {
+				fmt.Fprintf(os.Stderr, "gate: -speedup-floors %q did not run in this suite\n", name)
+				failed = true
+			}
+		}
 		for name, r := range file.Benchmarks {
 			ref, isPair := pairedReference(name)
 			if !isPair {
+				continue
+			}
+			required := requireSpeedup
+			if f, ok := floors[name]; ok {
+				required = f // parseFloors guarantees f > 0
+			}
+			if required <= 0 {
 				continue
 			}
 			refRes, ok := file.Benchmarks[ref]
@@ -116,10 +173,10 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 				continue
 			}
 			speedup := refRes.NsPerOp / r.NsPerOp
-			fmt.Printf("speedup %s vs %s: %.2fx (required %.2fx)\n", name, ref, speedup, requireSpeedup)
-			if speedup < requireSpeedup {
+			fmt.Printf("speedup %s vs %s: %.2fx (required %.2fx)\n", name, ref, speedup, required)
+			if speedup < required {
 				fmt.Fprintf(os.Stderr, "gate: %s is only %.2fx faster than %s (need %.2fx)\n",
-					name, speedup, ref, requireSpeedup)
+					name, speedup, ref, required)
 				failed = true
 			}
 		}
@@ -175,14 +232,17 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 	return 0
 }
 
-// pairedReference maps a live-design benchmark name to its map-based
-// reference twin.
+// pairedReference maps a live-design benchmark name to its in-repo
+// reference twin (the pre-refactor map structures, or the preserved
+// switch interpreter).
 func pairedReference(name string) (ref string, ok bool) {
 	switch {
 	case strings.HasSuffix(name, "/paged"):
 		return strings.TrimSuffix(name, "/paged") + "/map", true
 	case strings.HasSuffix(name, "/machine"):
 		return strings.TrimSuffix(name, "/machine") + "/map", true
+	case strings.HasSuffix(name, "/blocks"):
+		return strings.TrimSuffix(name, "/blocks") + "/switch", true
 	}
 	return "", false
 }

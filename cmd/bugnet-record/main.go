@@ -49,7 +49,9 @@ func main() {
 	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
 	logDir := flag.String("log-dir", "", "spill the FLL/MRL log regions to segment files under this directory")
 	logBudget := flag.Int64("log-budget", 0, "byte budget per log region (0 = unlimited); with -log-dir this bounds disk, not RAM")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while recording (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+	cli.StartPprof(*pprofAddr)
 
 	img, mcfg, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
 	if err != nil {

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"bugnet/internal/asm"
+	"bugnet/internal/cli"
 	"bugnet/internal/timetravel"
 	"bugnet/internal/triage"
 	"bugnet/internal/workload"
@@ -63,9 +64,11 @@ func main() {
 	idle := flag.Duration("debug-idle", 10*time.Minute, "idle timeout for remote debug sessions")
 	ckptEvery := flag.Uint64("debug-ckpt", 10_000, "debug checkpoint interval in instructions")
 	ckptBudget := flag.Int64("debug-ckpt-budget", 64<<20, "per-session checkpoint byte budget")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	var images imageList
 	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
 	flag.Parse()
+	cli.StartPprof(*pprofAddr)
 
 	reg := triage.NewImageRegistry()
 	for _, b := range workload.Bugs(*scale) {

@@ -44,6 +44,20 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	b.Run("map", func(b *testing.B) { benchMicro(b, "SnapshotRestore/map") })
 }
 
+// BenchmarkStepVsRun measures the execution engines head to head over the
+// same hot loop: the predecoded basic-block engine (cpu.Run) against the
+// preserved switch interpreter (cpu.Step). One op is 4096 instructions.
+func BenchmarkStepVsRun(b *testing.B) {
+	b.Run("blocks", func(b *testing.B) { benchMicro(b, "StepVsRun/blocks") })
+	b.Run("switch", func(b *testing.B) { benchMicro(b, "StepVsRun/switch") })
+}
+
+// BenchmarkRecordPerInstr measures end-to-end recorded-phase ns per
+// committed instruction (the README headline number).
+func BenchmarkRecordPerInstr(b *testing.B) {
+	benchMicro(b, "RecordPerInstr")
+}
+
 // BenchmarkRecordWindow measures the end-to-end record loop (simulator +
 // recorder + stores) behind the backend experiment's overhead column.
 // Wall-clock ns/op includes the untimed warmup; the recorded phase is

@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+)
+
+// StartPprof serves the net/http/pprof endpoints on addr from a
+// background goroutine, so hot-loop regressions (the record/replay
+// execution engine above all) can be profiled in production deployments:
+//
+//	go tool pprof http://<addr>/debug/pprof/profile?seconds=30
+//
+// An empty addr is a no-op. The listener uses the default mux, which the
+// tools' service handlers never touch, so the profiling surface stays on
+// its own port. Listen failures are reported to stderr rather than
+// aborting the tool — profiling is diagnostics, not a dependency.
+func StartPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}

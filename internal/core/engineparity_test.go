@@ -1,0 +1,104 @@
+package core
+
+// engineparity_test.go pins the block-engine rollout at the system level:
+// batched multithreaded replay must produce the same per-thread results
+// as the per-instruction schedule, and batched kernel execution must
+// record byte-identical logs regardless of how execution is chunked.
+
+import (
+	"bytes"
+	"testing"
+
+	"bugnet/internal/kernel"
+	"bugnet/internal/workload"
+)
+
+// TestMTBatchedMatchesStepped replays the same multithreaded report twice:
+// once on the batched triage hot path (default) and once with
+// CollectOrder forcing the historical one-instruction-per-turn schedule.
+// Every per-thread result must be identical — each thread's replay is
+// independently deterministic, and batching may only change the
+// interleaving, never a thread's own execution.
+func TestMTBatchedMatchesStepped(t *testing.T) {
+	res, rep, _, img := recordMT(t, lockedCounterProgram, 2,
+		Config{IntervalLength: 4096, Cache: tinyCache()})
+	if res.Crash != nil {
+		t.Fatal(res.Crash)
+	}
+
+	batched, err := NewMultiReplayer(img, rep).Run()
+	if err != nil {
+		t.Fatalf("batched replay: %v", err)
+	}
+	stepped := NewMultiReplayer(img, rep)
+	stepped.CollectOrder = true // forces the per-instruction schedule
+	steppedRes, err := stepped.Run()
+	if err != nil {
+		t.Fatalf("stepped replay: %v", err)
+	}
+
+	if len(batched.Threads) != len(steppedRes.Threads) {
+		t.Fatalf("thread counts: batched %d, stepped %d", len(batched.Threads), len(steppedRes.Threads))
+	}
+	for tid, b := range batched.Threads {
+		s := steppedRes.Threads[tid]
+		if s == nil {
+			t.Fatalf("thread %d missing from stepped result", tid)
+		}
+		if b.Final != s.Final {
+			t.Errorf("thread %d final state diverged:\nbatched %+v\nstepped %+v", tid, b.Final, s.Final)
+		}
+		if b.Instructions != s.Instructions || b.Intervals != s.Intervals || b.Injected != s.Injected {
+			t.Errorf("thread %d counters diverged: batched (%d,%d,%d), stepped (%d,%d,%d)",
+				tid, b.Instructions, b.Intervals, b.Injected, s.Instructions, s.Intervals, s.Injected)
+		}
+	}
+	if batched.Constraints != steppedRes.Constraints {
+		t.Errorf("constraints: batched %d, stepped %d", batched.Constraints, steppedRes.Constraints)
+	}
+	if got := uint64(len(steppedRes.Order)); got != batched.Threads[0].Instructions+batched.Threads[1].Instructions {
+		t.Errorf("stepped order length %d does not cover both windows", got)
+	}
+}
+
+// TestQuantumInvariantRecording records the same single-thread window
+// under different scheduler quanta. The quantum only chunks the batched
+// cpu.Run calls — timer interrupts are IC-based and DMA completions
+// step-based — so the packed logs must be byte-identical: the batching
+// bounds in kernel.runQuantum may not move any event across an
+// instruction boundary.
+func TestQuantumInvariantRecording(t *testing.T) {
+	w := workload.ByName("gzip")
+	encode := func(quantum int) []byte {
+		m := kernel.New(w.Image, kernel.Config{
+			Quantum:       quantum,
+			TimerInterval: 777, // deliberately misaligned with the quantum
+			MaxSteps:      60_000,
+			Inputs:        w.Kernel.Inputs,
+		}, nil)
+		rec := NewRecorder(m, Config{IntervalLength: 1000, Cache: tinyCache()})
+		m.Run()
+		rec.Flush()
+		if err := rec.Err(); err != nil {
+			t.Fatalf("quantum %d: %v", quantum, err)
+		}
+		var buf bytes.Buffer
+		for _, it := range rec.FLLStore().All() {
+			data, err := rec.FLLStore().Load(it.Seq)
+			if err != nil {
+				t.Fatalf("quantum %d: load seq %d: %v", quantum, it.Seq, err)
+			}
+			buf.Write(data)
+		}
+		return buf.Bytes()
+	}
+	base := encode(32)
+	if len(base) == 0 {
+		t.Fatal("recording produced no log bytes")
+	}
+	for _, q := range []int{1, 7, 1024} {
+		if got := encode(q); !bytes.Equal(got, base) {
+			t.Errorf("quantum %d produced different log bytes (%d vs %d)", q, len(got), len(base))
+		}
+	}
+}

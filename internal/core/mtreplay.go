@@ -189,6 +189,17 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 	}
 
 	// Interleave, honoring constraints.
+	//
+	// On the triage hot path (no order collection, no race detection) each
+	// scheduling turn batches a thread through the block engine up to its
+	// next constraint gate or the end of its window: every thread's replay
+	// is independently deterministic (its FLLs are self-contained), and
+	// batching only ever runs a thread *further* before others resume, so
+	// any interleaving the batched schedule produces is one the MRL
+	// constraints admit. Order collection and race detection observe every
+	// access in a single global interleaving, so they keep the historical
+	// one-instruction-per-turn schedule.
+	batched := !m.CollectOrder && det == nil
 	active := 0
 	for _, tid := range tids {
 		if !ctxs[tid].m.Done() {
@@ -202,14 +213,30 @@ func (m *MultiReplayer) Run() (*MultiReplayResult, error) {
 			if tc.m.Done() || !m.satisfied(tc, ctxs) {
 				continue
 			}
-			executed, err := m.stepThread(tc)
+			var executed uint64
+			var err error
+			if batched {
+				limit := tc.m.Window() - tc.m.Pos()
+				if tc.nextCon < len(tc.constraints) {
+					// satisfied consumed every constraint at the current
+					// position, so the next gate is strictly ahead.
+					if d := tc.constraints[tc.nextCon].local - tc.m.Pos(); d < limit {
+						limit = d
+					}
+				}
+				executed, err = tc.m.StepN(limit)
+			} else {
+				executed, err = m.stepThread(tc)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("thread %d: %w", tid, err)
 			}
-			if executed {
+			if executed > 0 {
 				progressed = true
 				if m.CollectOrder {
-					res.Order = append(res.Order, tid)
+					for i := uint64(0); i < executed; i++ {
+						res.Order = append(res.Order, tid)
+					}
 				}
 			}
 			if tc.m.Done() {
@@ -257,10 +284,10 @@ func (m *MultiReplayer) satisfied(tc *threadCtx, ctxs []*threadCtx) bool {
 }
 
 // stepThread advances one thread by at most one instruction (the machine
-// handles interval transitions). It reports whether an instruction
+// handles interval transitions). It reports how many instructions
 // executed — crossing into end-of-window executes nothing.
-func (m *MultiReplayer) stepThread(tc *threadCtx) (bool, error) {
+func (m *MultiReplayer) stepThread(tc *threadCtx) (uint64, error) {
 	before := tc.m.Pos()
 	err := tc.m.StepOne()
-	return tc.m.Pos() > before, err
+	return tc.m.Pos() - before, err
 }

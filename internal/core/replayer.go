@@ -91,12 +91,14 @@ func WrapFLLs(logs []*fll.Log) []*fll.Ref {
 	return refs
 }
 
-// Run replays all logs to completion.
+// Run replays all logs to completion. Each interval executes as one batch
+// through the predecoded block engine (cpu.Run); the per-instruction hooks
+// fire exactly as they do under single-stepping.
 func (r *Replayer) Run() (*ReplayResult, error) {
 	st := r.newState()
 	for st.next() {
 		for !st.intervalDone() {
-			if err := st.step(); err != nil {
+			if _, err := st.runBatch(st.cur.Length - st.executed); err != nil {
 				return nil, err
 			}
 		}
@@ -184,32 +186,40 @@ func (st *state) next() bool {
 
 func (st *state) intervalDone() bool { return st.executed >= st.cur.Length }
 
-// step executes one instruction of the current interval.
-func (st *state) step() error {
+// runBatch executes up to n instructions of the current interval through
+// the block engine and returns how many committed. Syscalls are NOPs
+// during replay (paper §5.1): the kernel's effects are reconstructed from
+// the next FLL header and the logged first-loads, so a committed SYSCALL
+// just counts and the batch resumes. A hook failure requests a stop, so
+// the batch ends on the exact instruction whose log entry diverged — the
+// same instruction the historical single-step loop stopped on.
+func (st *state) runBatch(n uint64) (uint64, error) {
 	if st.err != nil {
-		return st.err
+		return 0, st.err
 	}
-	switch ev := st.c.Step(); ev {
-	case cpu.EventStep, cpu.EventSyscall:
-		// Syscalls are NOPs during replay (paper §5.1): the kernel's
-		// effects are reconstructed from the next FLL header and the
-		// logged first-loads.
-		st.executed++
-		st.total++
-	case cpu.EventFault:
-		if st.err == nil { // a hook (e.g. the page-budget refusal) may have set the cause already
-			st.err = fmt.Errorf("%w: unexpected %v at replay instruction %d of interval C%d",
-				ErrDiverged, st.c.Fault, st.executed, st.cur.CID)
+	var done uint64
+	for done < n {
+		executed, ev := st.c.Run(n - done)
+		done += executed
+		st.executed += executed
+		st.total += executed
+		switch ev {
+		case cpu.EventStep, cpu.EventSyscall:
+		case cpu.EventFault:
+			if st.err == nil { // a hook (e.g. the page-budget refusal) may have set the cause already
+				st.err = fmt.Errorf("%w: unexpected %v at replay instruction %d of interval C%d",
+					ErrDiverged, st.c.Fault, st.executed, st.cur.CID)
+			}
+			return done, st.err
+		case cpu.EventHalted:
+			st.err = fmt.Errorf("%w: core halted mid-interval C%d", ErrDiverged, st.cur.CID)
+			return done, st.err
 		}
-		return st.err
-	case cpu.EventHalted:
-		st.err = fmt.Errorf("%w: core halted mid-interval C%d", ErrDiverged, st.cur.CID)
-		return st.err
+		if st.err != nil { // a hook failed the batch and requested the stop
+			return done, st.err
+		}
 	}
-	if st.err != nil { // a hook (reader error) may have failed the step
-		return st.err
-	}
-	return nil
+	return done, nil
 }
 
 // finishInterval validates that the log was fully consumed.
@@ -235,23 +245,32 @@ func (st *state) finishInterval() error {
 	return nil
 }
 
+// fail records the first hook failure and asks the in-flight batch to
+// stop after the current instruction.
+func (st *state) fail(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	st.c.Stop()
+}
+
 // onLoggable injects logged first-load values before each loggable
 // operation.
 func (st *state) onLoggable(wordAddr uint32, isWrite bool) {
 	cur, err := st.mem.LoadWord(wordAddr)
 	if err != nil {
-		st.err = fmt.Errorf("%w: replay memory read %#x: %v", ErrDiverged, wordAddr, err)
+		st.fail(fmt.Errorf("%w: replay memory read %#x: %v", ErrDiverged, wordAddr, err))
 		return
 	}
 	v, injected, err := st.reader.Op(cur)
 	if err != nil {
-		st.err = fmt.Errorf("%w: %v", ErrDiverged, err)
+		st.fail(fmt.Errorf("%w: %v", ErrDiverged, err))
 		return
 	}
 	if injected {
 		st.injected++
 		if err := st.mem.StoreWord(wordAddr, v); err != nil {
-			st.err = fmt.Errorf("%w: inject at %#x: %v", ErrDiverged, wordAddr, err)
+			st.fail(fmt.Errorf("%w: inject at %#x: %v", ErrDiverged, wordAddr, err))
 			return
 		}
 	}
@@ -271,13 +290,13 @@ func (st *state) onFetch(pc uint32) {
 		if !st.mem.TryMap(wordAddr, 4) {
 			// The MaxPages cap guards untrusted logs; a fetch stride that
 			// exhausts it is a divergence, not an allocation.
-			st.err = fmt.Errorf("%w: code load at %#x exceeds the replay page budget", ErrDiverged, pc)
+			st.fail(fmt.Errorf("%w: code load at %#x exceeds the replay page budget", ErrDiverged, pc))
 			return
 		}
 		cur, _ := st.mem.LoadWord(wordAddr)
 		v, injected, err := st.reader.Op(cur)
 		if err != nil {
-			st.err = fmt.Errorf("%w: code load: %v", ErrDiverged, err)
+			st.fail(fmt.Errorf("%w: code load: %v", ErrDiverged, err))
 			return
 		}
 		if injected {

@@ -110,34 +110,47 @@ func (m *ReplayMachine) Result() *ReplayResult { return m.st.result() }
 // StepOne advances exactly one instruction, handling interval transitions
 // on both sides. At the end of the window it sets Done and returns nil.
 func (m *ReplayMachine) StepOne() error {
+	_, err := m.StepN(1)
+	return err
+}
+
+// StepN advances up to n instructions through the predecoded block engine,
+// handling interval transitions, and returns how many executed. It stops
+// early at the end of the window (setting Done) or on error. Breakpoint
+// and watchpoint policing is the caller's job: consumers batch only across
+// stretches where no per-instruction checks are required (the time-travel
+// engine bounds batches by its checkpoint grid and stop conditions).
+func (m *ReplayMachine) StepN(n uint64) (uint64, error) {
 	if m.done {
 		// Includes the window that never opened: a first interval whose
 		// encoded bytes failed to load parks its error in the state.
-		return m.st.err
+		return 0, m.st.err
 	}
-	for m.st.intervalDone() {
-		if err := m.st.finishInterval(); err != nil {
-			return err
+	var done uint64
+	for {
+		for m.st.intervalDone() {
+			if err := m.st.finishInterval(); err != nil {
+				return done, err
+			}
+			if !m.st.next() {
+				m.done = true
+				return done, m.st.err
+			}
 		}
-		if !m.st.next() {
-			m.done = true
-			return m.st.err
+		if done == n {
+			return done, nil
+		}
+		batch := m.st.cur.Length - m.st.executed
+		if left := n - done; left < batch {
+			batch = left
+		}
+		executed, err := m.st.runBatch(batch)
+		done += executed
+		m.pos += executed
+		if err != nil {
+			return done, err
 		}
 	}
-	if err := m.st.step(); err != nil {
-		return err
-	}
-	m.pos++
-	for m.st.intervalDone() {
-		if err := m.st.finishInterval(); err != nil {
-			return err
-		}
-		if !m.st.next() {
-			m.done = true
-			return m.st.err
-		}
-	}
-	return nil
 }
 
 // Known reports whether the recorded window has touched addr's word so

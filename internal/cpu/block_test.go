@@ -1,0 +1,520 @@
+package cpu
+
+// block_test.go holds the switch-interpreter ⇄ block-engine differential
+// suite: Step is the preserved reference semantics, and Run must be
+// instruction-identical to it — same registers, memory, faults, and the
+// same hook stream with the same mid-instruction PC/IC observability the
+// recorder and replayer depend on. Plus the self-modifying-code
+// regression tests: a cached block must never execute stale decodes after
+// guest stores, external code injection, or copy-on-write page
+// replacement.
+
+import (
+	"fmt"
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/isa"
+	"bugnet/internal/mem"
+)
+
+// hookEvent is one observed CPU hook firing, including the architectural
+// state the hook could see (the recorder reads c.PC and c.IC mid-step).
+type hookEvent struct {
+	kind  byte // 'L' loggable, 'W' word store, 'F' fetch
+	addr  uint32
+	write bool
+	pc    uint32
+	ic    uint64
+}
+
+// instrument installs recording hooks on c.
+func instrument(c *CPU, events *[]hookEvent) {
+	c.OnLoggable = func(a uint32, w bool) {
+		*events = append(*events, hookEvent{'L', a, w, c.PC, c.IC})
+	}
+	c.OnWordStore = func(a uint32) {
+		*events = append(*events, hookEvent{'W', a, false, c.PC, c.IC})
+	}
+	c.OnFetch = func(pc uint32) {
+		*events = append(*events, hookEvent{'F', pc, false, c.PC, c.IC})
+	}
+}
+
+// driveStep executes up to total instructions through the reference
+// switch interpreter, treating syscalls as NOPs (the replay protocol).
+func driveStep(c *CPU, total uint64) Event {
+	for n := uint64(0); n < total; n++ {
+		switch ev := c.Step(); ev {
+		case EventStep, EventSyscall:
+		default:
+			return ev
+		}
+	}
+	return EventStep
+}
+
+// driveRun executes up to total instructions through the block engine in
+// batches of at most batch, continuing through syscalls.
+func driveRun(c *CPU, total, batch uint64) Event {
+	left := total
+	for left > 0 {
+		req := batch
+		if left < req {
+			req = left
+		}
+		n, ev := c.Run(req)
+		left -= n
+		switch ev {
+		case EventStep, EventSyscall:
+			if n == 0 && ev == EventStep {
+				return ev // no progress possible (defensive)
+			}
+		default:
+			return ev
+		}
+	}
+	return EventStep
+}
+
+// compareCPUs fails the test if the two cores' architectural state or
+// memory contents differ.
+func compareCPUs(t *testing.T, cs, cr *CPU) {
+	t.Helper()
+	if cs.PC != cr.PC {
+		t.Errorf("PC: step %#x, run %#x", cs.PC, cr.PC)
+	}
+	if cs.IC != cr.IC {
+		t.Errorf("IC: step %d, run %d", cs.IC, cr.IC)
+	}
+	if cs.Regs != cr.Regs {
+		t.Errorf("registers diverged:\nstep %v\nrun  %v", cs.Regs, cr.Regs)
+	}
+	if cs.Halted != cr.Halted {
+		t.Errorf("Halted: step %v, run %v", cs.Halted, cr.Halted)
+	}
+	switch {
+	case (cs.Fault == nil) != (cr.Fault == nil):
+		t.Errorf("fault: step %v, run %v", cs.Fault, cr.Fault)
+	case cs.Fault != nil && *cs.Fault != *cr.Fault:
+		t.Errorf("fault: step %+v, run %+v", *cs.Fault, *cr.Fault)
+	}
+	sp, rp := cs.Mem.PageNumbers(), cr.Mem.PageNumbers()
+	if len(sp) != len(rp) {
+		t.Fatalf("mapped pages: step %d, run %d", len(sp), len(rp))
+	}
+	for i, num := range sp {
+		if rp[i] != num {
+			t.Fatalf("page sets differ: %v vs %v", sp, rp)
+		}
+		if *cs.Mem.Page(num) != *cr.Mem.Page(num) {
+			t.Errorf("page %#x contents differ", num)
+		}
+	}
+}
+
+// twinTest assembles src, runs it through both engines (the block engine
+// in the given batch size) and asserts identical state, fault, and hook
+// streams.
+func twinTest(t *testing.T, src string, total, batch uint64, hooks bool) {
+	t.Helper()
+	img, err := asm.Assemble("twin.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cs, cr := load(img), load(img)
+	var se, re []hookEvent
+	if hooks {
+		instrument(cs, &se)
+		instrument(cr, &re)
+	}
+	evS := driveStep(cs, total)
+	evR := driveRun(cr, total, batch)
+	if evS != evR {
+		t.Errorf("final event: step %v, run %v", evS, evR)
+	}
+	compareCPUs(t, cs, cr)
+	if hooks {
+		if len(se) != len(re) {
+			t.Fatalf("hook streams: step %d events, run %d", len(se), len(re))
+		}
+		for i := range se {
+			if se[i] != re[i] {
+				t.Fatalf("hook event %d: step %+v, run %+v", i, se[i], re[i])
+			}
+		}
+	}
+}
+
+var twinPrograms = map[string]string{
+	"arith-loop": `
+        li   a0, 0
+        li   t0, 0
+        li   t1, 100
+loop:   add  a0, a0, t0
+        mul  a1, a0, t0
+        xor  a2, a2, a1
+        addi t0, t0, 1
+        blt  t0, t1, loop
+        syscall
+`,
+	"mem-mix": `
+        .data
+buf:    .space 64
+        .text
+        la   t0, buf
+        li   t1, 0x1234
+        sw   t1, 0(t0)
+        sh   t1, 8(t0)
+        sb   t1, 13(t0)
+        lw   a0, 0(t0)
+        lh   a1, 8(t0)
+        lhu  a2, 8(t0)
+        lb   a3, 13(t0)
+        lbu  a4, 13(t0)
+        li   t2, 7
+        amoswap a5, t0, t2
+        amoadd  a6, t0, t2
+        syscall
+`,
+	"call-ret": `
+main:   li   a0, 5
+        jal  double
+        jal  double
+        syscall
+double: add  a0, a0, a0
+        jalr zero, ra, 0
+`,
+	"div-zero": `
+        li   a0, 9
+        li   a1, 0
+        div  a2, a0, a1
+        syscall
+`,
+	"misaligned-load": `
+        la   t0, word
+        lw   a0, 1(t0)
+        syscall
+        .data
+word:   .word 42
+`,
+	"unmapped-load": `
+        lui  t0, 0x7f00
+        lw   a0, 0(t0)
+        syscall
+`,
+	"break-trap": `
+        li   a0, 1
+        break
+        li   a0, 2
+`,
+	"invalid-word": `
+        li   a0, 3
+        .word 0xffffffff
+        li   a0, 4
+`,
+	"jalr-misaligned": `
+        li   t0, 0x1001
+        jalr ra, t0, 0
+        syscall
+`,
+	"syscalls-interleaved": `
+        li   a0, 1
+        syscall
+        addi a0, a0, 1
+        syscall
+        addi a0, a0, 1
+        syscall
+`,
+	"sub-word-rmw": `
+        .data
+arr:    .space 16
+        .text
+        la   t0, arr
+        li   t1, 0
+loop:   sb   t1, 0(t0)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        slti t2, t1, 16
+        bne  t2, zero, loop
+        syscall
+`,
+}
+
+func TestRunMatchesStep(t *testing.T) {
+	for name, src := range twinPrograms {
+		for _, batch := range []uint64{1, 3, 1 << 20} {
+			t.Run(fmt.Sprintf("%s/batch=%d", name, batch), func(t *testing.T) {
+				twinTest(t, src, 2000, batch, true)
+			})
+		}
+	}
+}
+
+func TestRunMatchesStepNoHooks(t *testing.T) {
+	for name, src := range twinPrograms {
+		t.Run(name, func(t *testing.T) {
+			twinTest(t, src, 2000, 1<<20, false)
+		})
+	}
+}
+
+func TestRunBudgetExact(t *testing.T) {
+	img := asm.MustAssemble("straight.s", `
+        li   a0, 0
+loop:   addi a0, a0, 1
+        addi a1, a1, 2
+        addi a2, a2, 3
+        addi a3, a3, 4
+        j    loop
+`)
+	c := load(img)
+	for _, want := range []uint64{1, 2, 3, 7, 64} {
+		before := c.IC
+		n, ev := c.Run(want)
+		if n != want || ev != EventStep {
+			t.Fatalf("Run(%d) = (%d, %v)", want, n, ev)
+		}
+		if c.IC-before != want {
+			t.Fatalf("IC advanced %d; want %d", c.IC-before, want)
+		}
+	}
+}
+
+func TestRunWatchParity(t *testing.T) {
+	src := twinPrograms["arith-loop"]
+	img := asm.MustAssemble("w.s", src)
+	cs, cr := load(img), load(img)
+	watched := []uint32{img.Entry + 12, img.Entry + 24, img.Entry + 12} // incl. a duplicate
+	for _, pc := range watched {
+		cs.Watch(pc)
+		cr.Watch(pc)
+	}
+	driveStep(cs, 2000)
+	driveRun(cr, 2000, 1<<20)
+	compareCPUs(t, cs, cr)
+	for _, pc := range watched {
+		sic, sh, sok := cs.LastExec(pc)
+		ric, rh, rok := cr.LastExec(pc)
+		if sic != ric || sh != rh || sok != rok {
+			t.Errorf("LastExec(%#x): step (%d,%d,%v), run (%d,%d,%v)", pc, sic, sh, sok, ric, rh, rok)
+		}
+		if sok && sh == 0 {
+			t.Errorf("watched pc %#x never hit; test is vacuous", pc)
+		}
+	}
+}
+
+func TestRunWatchAddedAfterDecode(t *testing.T) {
+	img := asm.MustAssemble("w2.s", twinPrograms["arith-loop"])
+	c := load(img)
+	// Warm the block cache over the loop, then add a watch: predecoded
+	// blocks must be re-resolved so the watch still counts hits.
+	if n, ev := c.Run(50); n != 50 || ev != EventStep {
+		t.Fatalf("warmup Run = (%d, %v)", n, ev)
+	}
+	loopPC := img.Entry + 12
+	c.Watch(loopPC)
+	c.Run(50)
+	if _, hits, ok := c.LastExec(loopPC); !ok || hits == 0 {
+		t.Errorf("watch added after decode never hit (hits=%d ok=%v)", hits, ok)
+	}
+}
+
+// TestRunSelfModifyingStore is the in-engine SMC regression: a guest
+// store overwrites the *next* instruction of the currently executing
+// block; the stale decode must not run. (The LogCodeLoads record/replay
+// variant lives in core's TestReplaySelfModifyingCodeWithExtension.)
+func TestRunSelfModifyingStore(t *testing.T) {
+	patch := isa.MustEncode(isa.Instruction{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 2})
+	src := fmt.Sprintf(`
+        la   t0, patch
+        lw   t1, (t0)
+        la   t2, target
+        sw   t1, (t2)
+target: addi a0, a0, 1    # becomes addi a0, a0, 2
+        syscall
+        .data
+patch:  .word %#x
+`, patch)
+	// Parity first: both engines must execute the patched instruction.
+	twinTest(t, src, 100, 1<<20, true)
+	img := asm.MustAssemble("smc.s", src)
+	c := load(img)
+	if _, ev := c.Run(100); ev != EventSyscall {
+		t.Fatalf("event = %v (fault %v)", ev, c.Fault)
+	}
+	if c.Regs[isa.RegA0] != 2 {
+		t.Errorf("a0 = %d; want 2 (the patched increment)", c.Regs[isa.RegA0])
+	}
+}
+
+// TestRunExternalInjectionInvalidate covers the documented external-write
+// contract: mutate text through the Memory directly, call
+// InvalidateFetchCache, and the block cache must re-decode.
+func TestRunExternalInjectionInvalidate(t *testing.T) {
+	img := asm.MustAssemble("inj.s", `
+loop:   addi a0, a0, 1
+        j    loop
+`)
+	c := load(img)
+	if n, _ := c.Run(10); n != 10 {
+		t.Fatal("warmup failed")
+	}
+	// Replace the loop body with a BREAK.
+	brk := isa.MustEncode(isa.Instruction{Op: isa.OpBREAK})
+	if err := c.Mem.StoreWord(img.Entry, brk); err != nil {
+		t.Fatal(err)
+	}
+	c.InvalidateFetchCache()
+	// The loop re-enters at img.Entry; the injected BREAK must fault
+	// immediately instead of the stale addi executing.
+	n, ev := c.Run(10)
+	if n != 0 || ev != EventFault || c.Fault == nil || c.Fault.Cause != FaultBreak {
+		t.Fatalf("after injection: Run = (%d, %v), fault %v; want an immediate break fault", n, ev, c.Fault)
+	}
+	// The 10-instruction warmup is 5 (addi, j) iterations.
+	if a0 := c.Regs[isa.RegA0]; a0 != 5 {
+		t.Errorf("a0 = %d; want 5 (stale instructions executed after injection)", a0)
+	}
+}
+
+// TestRunGenInvalidation covers the mem.Gen path: a copy-on-write page
+// replacement (snapshot + write through the live memory, no explicit
+// invalidate call) must be detected by block-entry revalidation.
+func TestRunGenInvalidation(t *testing.T) {
+	img := asm.MustAssemble("gen.s", `
+loop:   addi a0, a0, 1
+        j    loop
+`)
+	c := load(img)
+	if n, _ := c.Run(10); n != 10 {
+		t.Fatal("warmup failed")
+	}
+	snap := c.Mem.Snapshot() // marks the text page shared
+	gen := c.Mem.Gen()
+	brk := isa.MustEncode(isa.Instruction{Op: isa.OpBREAK})
+	if err := c.Mem.StoreWord(img.Entry, brk); err != nil { // COW replaces the page
+		t.Fatal(err)
+	}
+	if c.Mem.Gen() == gen {
+		t.Fatal("COW write did not bump Gen; test is vacuous")
+	}
+	_ = snap
+	n, ev := c.Run(10)
+	if ev != EventFault || c.Fault == nil || c.Fault.Cause != FaultBreak {
+		t.Fatalf("after COW rewrite: Run = (%d, %v), fault %v; want a break fault", n, ev, c.Fault)
+	}
+}
+
+// TestInvalidateFetchRange checks the kernel-facing ranged invalidation:
+// external writes outside the decoded code pages keep cached blocks (and
+// their stale bytes are never executed, because such writes cannot
+// overlap decoded code), while writes into them flush.
+func TestInvalidateFetchRange(t *testing.T) {
+	img := asm.MustAssemble("rng.s", `
+loop:   addi a0, a0, 1
+        j    loop
+`)
+	c := load(img)
+	if n, _ := c.Run(10); n != 10 {
+		t.Fatal("warmup failed")
+	}
+	brk := isa.MustEncode(isa.Instruction{Op: isa.OpBREAK})
+	if err := c.Mem.StoreWord(img.Entry, brk); err != nil {
+		t.Fatal(err)
+	}
+	// A ranged invalidate that misses the code page must keep the cached
+	// (now stale, but unreachable-by-contract) block: the loop keeps
+	// running its decoded form.
+	c.InvalidateFetchRange(img.DataBase, 64)
+	if n, ev := c.Run(10); n != 10 || ev != EventStep {
+		t.Fatalf("data-range invalidate flushed code blocks: Run = (%d, %v)", n, ev)
+	}
+	// One that covers the write must flush and surface the injected BREAK.
+	c.InvalidateFetchRange(img.Entry, 4)
+	if n, ev := c.Run(10); n != 0 || ev != EventFault || c.Fault.Cause != FaultBreak {
+		t.Fatalf("code-range invalidate missed: Run = (%d, %v), fault %v", n, ev, c.Fault)
+	}
+}
+
+func TestRunStopRequest(t *testing.T) {
+	img := asm.MustAssemble("stop.s", `
+        .data
+buf:    .space 4
+        .text
+        la   t0, buf
+loop:   lw   a1, (t0)
+        addi a0, a0, 1
+        j    loop
+`)
+	c := load(img)
+	stops := 0
+	c.OnLoggable = func(uint32, bool) {
+		stops++
+		if stops == 3 {
+			c.Stop()
+		}
+	}
+	n, ev := c.Run(1000)
+	if ev != EventStep {
+		t.Fatalf("event = %v", ev)
+	}
+	// The la expands to 2 instructions, each loop iteration is 3, and the
+	// stop lands right after the instruction whose hook requested it (the
+	// third lw, the first instruction of iteration 3).
+	if want := uint64(2 + 2*3 + 1); n != want {
+		t.Errorf("Run stopped after %d instructions; want %d", n, want)
+	}
+	// The request must not leak into the next Run.
+	if n, _ := c.Run(5); n != 5 {
+		t.Errorf("stale stop: next Run executed %d; want 5", n)
+	}
+}
+
+func TestRunHaltedAndResume(t *testing.T) {
+	img := asm.MustAssemble("halt.s", `
+        li   a0, 1
+        break
+`)
+	c := load(img)
+	if n, ev := c.Run(10); ev != EventFault || n != 1 {
+		t.Fatalf("Run = (%d, %v)", n, ev)
+	}
+	if n, ev := c.Run(10); ev != EventHalted || n != 0 {
+		t.Fatalf("halted Run = (%d, %v)", n, ev)
+	}
+}
+
+// TestRunAutoMap checks the replay configuration: AutoMap cores map
+// missing data pages instead of faulting, identically in both engines.
+func TestRunAutoMap(t *testing.T) {
+	src := `
+        lui  t0, 0x2000
+        li   t1, 5
+        sw   t1, 0(t0)
+        lw   a0, 0(t0)
+        lw   a1, 128(t0)
+        syscall
+`
+	img := asm.MustAssemble("automap.s", src)
+	cs, cr := load(img), load(img)
+	cs.AutoMap, cr.AutoMap = true, true
+	evS := driveStep(cs, 100)
+	evR := driveRun(cr, 100, 1<<20)
+	if evS != evR {
+		t.Fatalf("events: %v vs %v", evS, evR)
+	}
+	compareCPUs(t, cs, cr)
+	if cs.Regs[isa.RegA0] != 5 {
+		t.Errorf("a0 = %d; want 5", cs.Regs[isa.RegA0])
+	}
+}
+
+// quick sanity check on mem constants used by the cache geometry.
+func TestBlockCacheGeometry(t *testing.T) {
+	if blockCacheSlots&blockCacheMask != 0 || blockCacheSlots < int(mem.PageSize/4) {
+		t.Fatalf("block cache geometry: slots=%d mask=%#x page-words=%d",
+			blockCacheSlots, blockCacheMask, mem.PageSize/4)
+	}
+}

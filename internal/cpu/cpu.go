@@ -18,6 +18,12 @@
 // Faulting instructions do not commit and fire no hooks; the CPU stops with
 // a FaultInfo describing the architectural fault, which is what triggers
 // BugNet's log dump (paper §4.8).
+//
+// Two execution engines share this state and these hooks: Step, the
+// reference switch interpreter that decodes every instruction word on
+// every execution, and Run (block.go), the predecoded basic-block engine
+// all record/replay consumers drive by default. The two are held to
+// instruction-identical behavior by differential tests and fuzzing.
 package cpu
 
 import (
@@ -141,6 +147,12 @@ type CPU struct {
 	fetchPage    *mem.Page
 	fetchGen     uint64
 	fetchValid   bool
+
+	// bc is the predecoded basic-block cache behind Run (see block.go),
+	// created lazily on the first Run so Step-only cores pay nothing.
+	bc *blockCache
+	// stop is the pending Stop request consumed by Run.
+	stop bool
 }
 
 type watchedPC struct {
@@ -154,9 +166,14 @@ func New(m *mem.Memory) *CPU {
 	return &CPU{Mem: m}
 }
 
-// Watch registers pc for last-execution tracking.
+// Watch registers pc for last-execution tracking. Watched PCs are
+// resolved into per-instruction block metadata at predecode time, so
+// already-decoded blocks are flushed.
 func (c *CPU) Watch(pc uint32) {
 	c.watches = append(c.watches, watchedPC{pc: pc})
+	if c.bc != nil {
+		c.bc.flush()
+	}
 }
 
 // LastExec returns the IC at which the watched pc most recently committed
@@ -170,9 +187,15 @@ func (c *CPU) LastExec(pc uint32) (ic uint64, hits uint64, ok bool) {
 	return 0, 0, false
 }
 
-// InvalidateFetchCache drops the cached text page. Must be called after
-// modifying text (self-modifying-code extension) or unmapping pages.
-func (c *CPU) InvalidateFetchCache() { c.fetchValid = false }
+// InvalidateFetchCache drops the cached text page and every predecoded
+// block. Must be called after modifying text (self-modifying-code
+// extension) or unmapping pages.
+func (c *CPU) InvalidateFetchCache() {
+	c.fetchValid = false
+	if c.bc != nil {
+		c.bc.flush()
+	}
+}
 
 // fault stops the core.
 func (c *CPU) fault(cause FaultCause, pc, addr uint32) Event {
@@ -457,6 +480,7 @@ func (c *CPU) store(op isa.Opcode, pc, ea, v uint32) Event {
 			return c.fault(FaultMemWrite, pc, ea)
 		}
 	}
+	c.noteCodeWrite(wordAddr)
 	return EventStep
 }
 
@@ -487,6 +511,7 @@ func (c *CPU) amo(op isa.Opcode, pc, ea, src uint32) (uint32, Event) {
 	if err := c.Mem.StoreWord(ea, next); err != nil {
 		return 0, c.fault(FaultMemWrite, pc, ea)
 	}
+	c.noteCodeWrite(ea)
 	return old, EventStep
 }
 

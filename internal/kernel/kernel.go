@@ -249,6 +249,13 @@ type Machine struct {
 	sched int
 	// started records that Run has begun (thread 0 launched).
 	started bool
+
+	// running/runBaseIC identify the thread currently inside a batched
+	// cpu.Run call and its instruction count when the batch began, so Now
+	// stays per-instruction accurate for hooks that fire mid-batch (steps
+	// is only folded forward when the batch returns).
+	running   *Thread
+	runBaseIC uint64
 }
 
 // New creates a machine, loads the image, and prepares thread 0 at the
@@ -335,8 +342,16 @@ func (m *Machine) startThread(tid int, entry, arg, stackTop, stackSize uint32) {
 }
 
 // Now returns the global step counter — the machine's deterministic clock,
-// used for SysTime and FLL/MRL timestamps.
-func (m *Machine) Now() uint64 { return m.steps }
+// used for SysTime and FLL/MRL timestamps. Inside a batched cpu.Run the
+// committed instructions of the batch are counted live, so recorder hooks
+// observe exactly the step they would have under one-Step-per-loop
+// execution.
+func (m *Machine) Now() uint64 {
+	if m.running != nil {
+		return m.steps + (m.running.CPU.IC - m.runBaseIC)
+	}
+	return m.steps
+}
 
 // Output returns everything the program wrote to the given fd (1=stdout,
 // 2=stderr).
@@ -390,29 +405,98 @@ func (m *Machine) pickThread() *Thread {
 	return nil
 }
 
-// runQuantum steps one thread for up to Quantum instructions, servicing
-// timer interrupts, syscalls and DMA completions.
+// runQuantum runs one thread for up to Quantum instructions through the
+// predecoded block engine (cpu.Run), servicing timer interrupts, syscalls
+// and DMA completions.
+//
+// Each batch is bounded so that no machine event can fall inside it: the
+// quantum remainder, the step budget, the thread's next timer interrupt,
+// and the earliest pending DMA completion. Within those bounds the batched
+// execution is step-for-step identical to the historical one-Step-per-loop
+// interleaving — timers still fire on the exact instruction boundary and
+// DMA completions still land on the exact global step they always did, so
+// recorded logs are byte-identical across engines.
 func (m *Machine) runQuantum(th *Thread) {
-	for q := 0; q < m.cfg.Quantum && th.State == ThreadRunnable && m.crash == nil; q++ {
+	for q := 0; q < m.cfg.Quantum && th.State == ThreadRunnable && m.crash == nil; {
 		if m.steps >= m.cfg.MaxSteps {
 			return
 		}
-		ev := th.CPU.Step()
-		m.steps++
-		m.dmaTick()
+		batch := uint64(m.cfg.Quantum - q)
+		if left := m.cfg.MaxSteps - m.steps; left < batch {
+			batch = left
+		}
+		if th.nextTimer != 0 {
+			if th.CPU.IC >= th.nextTimer {
+				// Overdue (a syscall ended the previous quantum past the
+				// mark): the timer fires after one more committed
+				// instruction, as the stepped loop did.
+				batch = 1
+			} else if dt := th.nextTimer - th.CPU.IC; dt < batch {
+				batch = dt
+			}
+		}
+		if next, ok := m.nextDMACompletion(); ok {
+			if next <= m.steps {
+				batch = 1
+			} else if dt := next - m.steps; dt < batch {
+				batch = dt
+			}
+		}
+		m.running, m.runBaseIC = th, th.CPU.IC
+		executed, ev := th.CPU.Run(batch)
+		m.running = nil
+		m.steps += executed
+		q += int(executed)
 		switch ev {
 		case cpu.EventStep:
+			m.dmaTick()
 			if th.nextTimer != 0 && th.CPU.IC >= th.nextTimer {
 				m.timerInterrupt(th)
 			}
 		case cpu.EventSyscall:
+			m.dmaTick()
 			m.syscall(th)
 			return // syscall ends the quantum (the thread trapped)
 		case cpu.EventFault:
+			// The faulting instruction did not commit but its attempt
+			// consumed a machine step, exactly as in the stepped loop.
+			m.steps++
+			m.dmaTick()
 			m.handleFault(th)
 			return
 		case cpu.EventHalted:
+			m.steps++
+			m.dmaTick()
 			return
+		}
+	}
+}
+
+// nextDMACompletion returns the earliest pending DMA completion step.
+func (m *Machine) nextDMACompletion() (uint64, bool) {
+	if len(m.pending) == 0 {
+		return 0, false
+	}
+	next := m.pending[0].completeAt
+	for _, op := range m.pending[1:] {
+		if op.completeAt < next {
+			next = op.completeAt
+		}
+	}
+	return next, true
+}
+
+// invalidateFetch drops every live core's predecoded blocks covering the
+// externally written range. Called after the kernel or the DMA engine
+// writes user memory behind the cores' backs: the word-level fetch path
+// read through the page pointer and picked such writes up implicitly, but
+// predecoded blocks cache decoded content and must be told when it may
+// have changed. The range filter keeps writes into plain data buffers —
+// nearly all of them — from flushing anything.
+func (m *Machine) invalidateFetch(addr, n uint32) {
+	for _, th := range m.Threads {
+		if th.CPU != nil {
+			th.CPU.InvalidateFetchRange(addr, n)
 		}
 	}
 }
@@ -484,6 +568,7 @@ func (m *Machine) dmaTick() {
 			m.hooks.OnDMAPreWrite(op.addr, uint32(len(op.data)))
 		}
 		if err := m.Mem.StoreBytes(op.addr, op.data); err == nil {
+			m.invalidateFetch(op.addr, uint32(len(op.data)))
 			if m.hooks != nil {
 				m.hooks.OnDMAWrite(op.addr, uint32(len(op.data)))
 			}
@@ -499,8 +584,11 @@ func (m *Machine) DrainDMA() {
 		if m.hooks != nil {
 			m.hooks.OnDMAPreWrite(op.addr, uint32(len(op.data)))
 		}
-		if err := m.Mem.StoreBytes(op.addr, op.data); err == nil && m.hooks != nil {
-			m.hooks.OnDMAWrite(op.addr, uint32(len(op.data)))
+		if err := m.Mem.StoreBytes(op.addr, op.data); err == nil {
+			m.invalidateFetch(op.addr, uint32(len(op.data)))
+			if m.hooks != nil {
+				m.hooks.OnDMAWrite(op.addr, uint32(len(op.data)))
+			}
 		}
 	}
 	m.pending = nil

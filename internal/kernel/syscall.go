@@ -110,6 +110,7 @@ func (m *Machine) sysRead(th *Thread, fd int, buf, n uint32) uint32 {
 	if err := m.Mem.StoreBytes(buf, chunk); err != nil {
 		return errRet
 	}
+	m.invalidateFetch(buf, uint32(remain))
 	s.pos += remain
 	if m.hooks != nil {
 		m.hooks.OnKernelWrite(th.ID, buf, uint32(remain))

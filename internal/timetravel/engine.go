@@ -361,9 +361,50 @@ func (e *Engine) forwardOne() error {
 	return nil
 }
 
+// forwardTo batch-executes to the target position through the block
+// engine, pausing only on the checkpoint grid. Callers must have
+// established that no per-instruction stop checks are needed over the
+// stretch (no breakpoints or watchpoints, or a seek where they do not
+// fire).
+func (e *Engine) forwardTo(target uint64) error {
+	for e.m.Pos() < target && !e.m.Done() {
+		stop := target
+		if e.nextCkptAt < stop {
+			stop = e.nextCkptAt
+		}
+		n := stop - e.m.Pos()
+		if n == 0 {
+			n = 1 // defensive: always make progress
+		}
+		if _, err := e.m.StepN(n); err != nil {
+			return err
+		}
+		e.maybeCheckpoint()
+	}
+	return nil
+}
+
 // Step executes up to n instructions, stopping early at a breakpoint, a
-// watchpoint change, or the end of the window.
+// watchpoint change, or the end of the window. With no breakpoints or
+// watchpoints set there is nothing to police per instruction, so the walk
+// runs batched through the block engine.
 func (e *Engine) Step(n uint64) (StopReason, error) {
+	if len(e.breaks) == 0 && len(e.watchAddrs) == 0 {
+		if e.m.Done() {
+			return StopEnd, nil
+		}
+		target := e.m.Window()
+		if left := target - e.m.Pos(); n < left {
+			target = e.m.Pos() + n
+		}
+		if err := e.forwardTo(target); err != nil {
+			return StopEnd, err
+		}
+		if e.m.Done() {
+			return StopEnd, nil
+		}
+		return StopStep, nil
+	}
 	for i := uint64(0); i < n; i++ {
 		if e.m.Done() {
 			return StopEnd, nil
@@ -407,10 +448,10 @@ func (e *Engine) SeekTo(target uint64) error {
 		e.m.Restore(c.snap)
 		e.nextCkptAt = c.pos + e.cfg.CheckpointEvery
 	}
-	for e.m.Pos() < target && !e.m.Done() {
-		if err := e.forwardOne(); err != nil {
-			return err
-		}
+	// Breakpoints and watchpoints never fire during a seek, so the
+	// re-execution runs batched through the block engine.
+	if err := e.forwardTo(target); err != nil {
+		return err
 	}
 	e.primeWatches()
 	return nil
@@ -451,6 +492,14 @@ func (e *Engine) ReverseStep(n uint64) (StopReason, error) {
 // "the write was recent" case costs one gap, and the worst case is one
 // pass over the window.
 func (e *Engine) ReverseContinue() (StopReason, error) {
+	if len(e.breaks) == 0 && len(e.watchAddrs) == 0 {
+		// Nothing can stop a reverse scan; land on the window start
+		// without re-executing every gap per-instruction.
+		if err := e.SeekTo(0); err != nil {
+			return StopStart, err
+		}
+		return StopStart, nil
+	}
 	limit := e.m.Pos()
 	for {
 		i := e.ckptIndexAtOrBefore(limit)
