@@ -19,6 +19,12 @@
 //
 //	bugnet-debug -remote http://triage:8080 -report <id>
 //
+// RSP smoke mode exercises a bugnet-serve -gdb listener with the built-in
+// scripted gdb-remote client — a quick wire-level health check (handshake,
+// attach, registers, one step each way) without a real gdb installed:
+//
+//	bugnet-debug -rsp triage:1234 [-report <id>]
+//
 // Commands (stdin, one per line, so sessions can be scripted):
 //
 //	s [n]         step n instructions (default 1)
@@ -51,9 +57,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bugnet"
 	"bugnet/internal/cli"
+	"bugnet/internal/gdbstub"
 	"bugnet/internal/timetravel"
 )
 
@@ -74,7 +82,16 @@ func main() {
 	remote := flag.String("remote", "", "bugnet-serve base URL for a remote debug session")
 	reportID := flag.String("report", "", "stored report id to debug (remote mode)")
 	ckptEvery := flag.Uint64("ckpt", 10_000, "checkpoint interval in instructions (local mode)")
+	rsp := flag.String("rsp", "", "bugnet-serve -gdb address for an RSP smoke check")
 	flag.Parse()
+
+	if *rsp != "" {
+		if err := rspSmoke(*rsp, *reportID); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var d driver
 	if *remote != "" {
@@ -191,6 +208,68 @@ func (r *remoteDriver) close() {
 	}
 }
 
+// --- RSP smoke mode ---
+
+// rspSmoke drives one scripted conversation against a bugnet-serve -gdb
+// listener and prints the transcript: the cheapest way to confirm the RSP
+// deployment end to end (port open, report attachable, reverse execution
+// advertised and working) before pointing a real gdb at it.
+func rspSmoke(addr, report string) error {
+	cl, err := gdbstub.Dial(addr, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	step := func(what, packet string) (string, error) {
+		rep, err := cl.Exchange(packet)
+		if err != nil {
+			return "", fmt.Errorf("%s (%s): %w", what, packet, err)
+		}
+		fmt.Printf("%-18s %-14s -> %s\n", what, packet, rep)
+		if strings.HasPrefix(rep, "E") {
+			return rep, fmt.Errorf("%s: stub replied %s", what, rep)
+		}
+		return rep, nil
+	}
+
+	sup, err := step("handshake", "qSupported")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(sup, "ReverseContinue+") {
+		return fmt.Errorf("stub does not advertise reverse execution: %q", sup)
+	}
+	if err := cl.StartNoAck(); err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-14s -> OK\n", "no-ack mode", "QStartNoAckMode")
+	if report != "" {
+		if _, err := step("attach", "vAttach;"+report); err != nil {
+			return err
+		}
+	}
+	if _, err := step("status", "?"); err != nil {
+		return err
+	}
+	regs, pc, err := cl.ReadRegisters()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-14s -> pc=%#08x (%d registers)\n", "registers", "g", pc, len(regs))
+	if _, err := step("step", "s"); err != nil {
+		return err
+	}
+	if _, err := step("reverse-step", "bs"); err != nil {
+		return err
+	}
+	if _, err := step("detach", "D"); err != nil {
+		return err
+	}
+	fmt.Println("rsp smoke check passed")
+	return nil
+}
+
 func readErr(r io.Reader) string {
 	var e struct {
 		Error string `json:"error"`
@@ -242,8 +321,9 @@ func parse(fields []string) (timetravel.Command, bool) {
 			return timetravel.Command{}, false
 		}
 		// The raw token travels as Sym and resolves where the image lives
-		// (server side in remote mode): symbol first, then hex, then
-		// decimal — bare digits like "100" have always meant 0x100 here.
+		// (server side in remote mode): symbol first, then "0x"-prefixed
+		// hex, then bare digits as decimal — "100" is one hundred, "0x100"
+		// is 256.
 		return timetravel.Command{Sym: fields[1]}, true
 	}
 

@@ -10,6 +10,7 @@
 //	bugnet-serve -addr :8080 -dir /var/bugnet/reports
 //	bugnet-serve -budget 268435456 -workers 8 -scale 100
 //	bugnet-serve -image prog.s -image other.s      # register extra builds
+//	bugnet-serve -gdb :1234 -gdb-report <id>       # real gdb attaches here
 //
 // Replay needs the exact binary a report was recorded from, so the server
 // registers the built-in Table 1 and SPEC analogue images (at -scale) plus
@@ -22,6 +23,14 @@
 // execution and watchpoints, and the session pins the report blob against
 // store eviction while open.
 //
+// With -gdb the same sessions are reachable over the gdb Remote Serial
+// Protocol (internal/gdbstub), so a stock gdb connects with
+// "target remote" and debugs the report selected by -gdb-report with
+// reverse-continue and watchpoints; scripted RSP clients (and
+// bugnet-debug -rsp) pick any stored report per connection via
+// vAttach;<report-id>. RSP connections share the JSON API's session cap
+// and idle janitor.
+//
 // Endpoints: POST /reports, GET /reports[?offset=&limit=],
 // GET /reports/{id}[?raw=1], GET /buckets[?offset=&limit=],
 // GET /buckets/{key}, GET /healthz, and the /debug/sessions API.
@@ -32,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +50,7 @@ import (
 
 	"bugnet/internal/asm"
 	"bugnet/internal/cli"
+	"bugnet/internal/gdbstub"
 	"bugnet/internal/timetravel"
 	"bugnet/internal/triage"
 	"bugnet/internal/workload"
@@ -64,6 +75,8 @@ func main() {
 	idle := flag.Duration("debug-idle", 10*time.Minute, "idle timeout for remote debug sessions")
 	ckptEvery := flag.Uint64("debug-ckpt", 10_000, "debug checkpoint interval in instructions")
 	ckptBudget := flag.Int64("debug-ckpt-budget", 64<<20, "per-session checkpoint byte budget")
+	gdbAddr := flag.String("gdb", "", "listen address for the gdb Remote Serial Protocol (empty = off)")
+	gdbReport := flag.String("gdb-report", "", "report id plain \"target remote\" gdb connections debug (RSP clients can pick any report with vAttach)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	var images imageList
 	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
@@ -123,6 +136,28 @@ func main() {
 		},
 	})
 	defer mgr.Close()
+
+	// The RSP listener multiplexes gdb connections over the same manager,
+	// so RSP debuggers and JSON-API sessions share one cap and one janitor.
+	if *gdbAddr != "" {
+		gl, err := net.Listen("tcp", *gdbAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gs := gdbstub.New(gdbstub.Config{
+			Manager:       mgr,
+			DefaultReport: *gdbReport,
+			IdleTimeout:   *idle,
+		})
+		defer gs.Close()
+		go func() {
+			if err := gs.Serve(gl); err != nil {
+				fmt.Fprintln(os.Stderr, "bugnet-serve: gdb listener:", err)
+			}
+		}()
+		fmt.Printf("bugnet-serve: gdb remote protocol on %s\n", gl.Addr())
+	}
 
 	// Shut down cleanly on SIGINT/SIGTERM: stop accepting uploads, then
 	// drain the replay queue so no verdict is lost mid-flight.

@@ -1,0 +1,185 @@
+package gdbstub
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is a minimal scripted RSP client: enough protocol to drive the
+// stub (and any gdbserver-compatible stub) from tests and the
+// bugnet-debug -rsp smoke mode without a real gdb in the loop. It speaks
+// the same wire layer the server does — acks, retransmits, no-ack mode —
+// one synchronous exchange at a time.
+type Client struct {
+	c       net.Conn
+	br      *bufio.Reader
+	noAck   bool
+	timeout time.Duration
+}
+
+// Dial connects to an RSP listener.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, br: bufio.NewReader(c), timeout: timeout}, nil
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Exchange sends one packet and returns the decoded reply payload,
+// handling acknowledgment and bounded retransmission.
+func (cl *Client) Exchange(payload string) (string, error) {
+	wire := EncodePacket([]byte(payload))
+	deadline := time.Now().Add(cl.timeout)
+	cl.c.SetDeadline(deadline)
+	if _, err := cl.c.Write(wire); err != nil {
+		return "", err
+	}
+	// Wait for the ack, resending on nak. In no-ack mode the reply itself
+	// is the acknowledgment.
+	for retries := 0; !cl.noAck; {
+		b, err := cl.br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if b == '+' {
+			break
+		}
+		if b == '-' {
+			if retries++; retries > 4 {
+				return "", errors.New("gdbstub: client: too many retransmits")
+			}
+			if _, err := cl.c.Write(wire); err != nil {
+				return "", err
+			}
+		}
+		// Anything else before the ack is noise; keep reading.
+	}
+	for {
+		f, err := readFrame(cl.br)
+		if errors.Is(err, ErrChecksum) {
+			if _, werr := cl.c.Write([]byte{'-'}); werr != nil {
+				return "", werr
+			}
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		if f.kind != '$' {
+			continue // stray ack from a previous exchange
+		}
+		if f.malformed {
+			return "", errors.New("gdbstub: client: undecodable reply body")
+		}
+		if !cl.noAck {
+			if _, err := cl.c.Write([]byte{'+'}); err != nil {
+				return "", err
+			}
+		}
+		return string(f.payload), nil
+	}
+}
+
+// StartNoAck negotiates QStartNoAckMode; on OK both sides drop acks.
+func (cl *Client) StartNoAck() error {
+	rep, err := cl.Exchange("QStartNoAckMode")
+	if err != nil {
+		return err
+	}
+	if rep != "OK" {
+		return fmt.Errorf("gdbstub: client: QStartNoAckMode: %q", rep)
+	}
+	cl.noAck = true
+	return nil
+}
+
+// ReadRegisters issues g and decodes the reply into the general-purpose
+// registers and the PC.
+func (cl *Client) ReadRegisters() (regs []uint32, pc uint32, err error) {
+	rep, err := cl.Exchange("g")
+	if err != nil {
+		return nil, 0, err
+	}
+	if strings.HasPrefix(rep, "E") {
+		return nil, 0, fmt.Errorf("gdbstub: client: g: %s", rep)
+	}
+	vals, err := decodeHexWordsLE(rep)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vals) != pcRegNum+1 {
+		return nil, 0, fmt.Errorf("gdbstub: client: g returned %d registers", len(vals))
+	}
+	return vals[:pcRegNum], vals[pcRegNum], nil
+}
+
+// decodeHexWordsLE decodes a g-style reply: consecutive 32-bit words,
+// each as eight hex digits in little-endian byte order.
+func decodeHexWordsLE(s string) ([]uint32, error) {
+	if len(s)%8 != 0 {
+		return nil, fmt.Errorf("gdbstub: client: register block length %d", len(s))
+	}
+	out := make([]uint32, 0, len(s)/8)
+	for i := 0; i < len(s); i += 8 {
+		var v uint32
+		for j := 0; j < 4; j++ {
+			hi, ok1 := hexVal(s[i+2*j])
+			lo, ok2 := hexVal(s[i+2*j+1])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("gdbstub: client: bad hex word %q", s[i:i+8])
+			}
+			v |= uint32(hi<<4|lo) << (8 * j)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// StopPC extracts the PC register pair a T stop reply carries, so
+// scripted clients can assert where a motion landed without a follow-up
+// g exchange.
+func StopPC(reply string) (uint32, bool) {
+	if len(reply) < 3 || reply[0] != 'T' {
+		return 0, false
+	}
+	want := fmt.Sprintf("%x:", pcRegNum)
+	for _, pair := range strings.Split(reply[3:], ";") {
+		if v, ok := strings.CutPrefix(pair, want); ok {
+			words, err := decodeHexWordsLE(v)
+			if err != nil || len(words) != 1 {
+				return 0, false
+			}
+			return words[0], true
+		}
+	}
+	return 0, false
+}
+
+// StopWatchAddr extracts the data address of a watch stop reply
+// ("T05watch:<addr>;...").
+func StopWatchAddr(reply string) (uint32, bool) {
+	if len(reply) < 3 || reply[0] != 'T' {
+		return 0, false
+	}
+	for _, pair := range strings.Split(reply[3:], ";") {
+		if v, ok := strings.CutPrefix(pair, "watch:"); ok {
+			var addr uint32
+			if _, err := fmt.Sscanf(v, "%x", &addr); err != nil {
+				return 0, false
+			}
+			return addr, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,52 @@
+package gdbstub
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRSPPacket is a differential fuzzer over the packet codec. Two
+// properties, both ways:
+//
+//   - arbitrary wire bytes never panic the parser, and whatever it accepts
+//     re-encodes and re-parses to the identical payload (the stub's replies
+//     must survive the client's parser);
+//   - arbitrary payload bytes framed by EncodePacket parse back
+//     byte-exactly and consume the whole wire image.
+func FuzzRSPPacket(f *testing.F) {
+	f.Add([]byte("$OK#9a"))
+	f.Add([]byte("+$qSupported:swbreak+#01"))
+	f.Add([]byte("$0* #xx"))
+	f.Add([]byte("$}]#xx"))
+	f.Add([]byte("noise$T05watch:10008;thread:1;#00garbage"))
+	f.Add(bytes.Repeat([]byte{0x00, '$', '#', '}'}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Treat data as wire bytes.
+		payload, consumed, err := ParsePacket(data)
+		if err == nil {
+			if consumed <= 0 || consumed > len(data) {
+				t.Fatalf("consumed %d of %d", consumed, len(data))
+			}
+			reenc := EncodePacket(payload)
+			got, n, err := ParsePacket(reenc)
+			if err != nil || n != len(reenc) || !bytes.Equal(got, payload) {
+				t.Fatalf("re-encode diverged: %q -> %q (n=%d err=%v)", payload, got, n, err)
+			}
+		}
+
+		// Treat data as a payload.
+		if len(data) <= maxPacketBytes {
+			wire := EncodePacket(data)
+			got, n, err := ParsePacket(wire)
+			if err != nil {
+				t.Fatalf("EncodePacket produced unparseable wire for %q: %v", data, err)
+			}
+			if n != len(wire) {
+				t.Fatalf("encode/parse consumed %d of %d", n, len(wire))
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("payload round trip %q -> %q", data, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package gdbstub
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bugnet/internal/isa"
+)
+
+// targetXML renders the target description served via
+// qXfer:features:read:target.xml. The simulated machine's register file —
+// 32 general-purpose registers plus pc, RISC-V calling-convention names —
+// matches riscv:rv32's org.gnu.gdb.riscv.cpu feature exactly, so the
+// description claims that architecture and a stock gdb-multiarch decodes
+// g/p/T packets without any bugnet-specific support. Register names come
+// from isa.RegName so the wire description can never drift from the ISA.
+var targetXML = sync.OnceValue(func() string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0"?>` + "\n")
+	sb.WriteString(`<!DOCTYPE target SYSTEM "gdb-target.dtd">` + "\n")
+	sb.WriteString("<target version=\"1.0\">\n")
+	sb.WriteString("  <architecture>riscv:rv32</architecture>\n")
+	sb.WriteString("  <feature name=\"org.gnu.gdb.riscv.cpu\">\n")
+	for r := 0; r < isa.NumRegs; r++ {
+		fmt.Fprintf(&sb, "    <reg name=%q bitsize=\"32\" type=\"int\" regnum=\"%d\"/>\n",
+			isa.RegName(uint8(r)), r)
+	}
+	fmt.Fprintf(&sb, "    <reg name=\"pc\" bitsize=\"32\" type=\"code_ptr\" regnum=\"%d\"/>\n", pcRegNum)
+	sb.WriteString("  </feature>\n</target>\n")
+	return sb.String()
+})

@@ -1,0 +1,27 @@
+package timetravel
+
+// BytesFromWords lays a byte-granular view over the word-granular result
+// of a mem command: it extracts the little-endian bytes [addr, addr+n)
+// from words, which must cover the word-aligned span of that range (as a
+// mem command over the covering words returns). Each byte carries its own
+// §7.1 known flag; bytes whose word is absent from words — or recorded
+// unknown — report known=false with a zero value, never an invented one.
+// The RSP stub renders those as the "xx" unavailable marker.
+func BytesFromWords(words []Word, addr uint32, n int) (data []byte, known []bool) {
+	byWord := make(map[uint32]Word, len(words))
+	for _, w := range words {
+		byWord[w.Addr] = w
+	}
+	data = make([]byte, n)
+	known = make([]bool, n)
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		w, ok := byWord[a&^3]
+		if !ok || !w.Known {
+			continue
+		}
+		data[i] = byte(w.Value >> (8 * (a & 3)))
+		known[i] = true
+	}
+	return data, known
+}

@@ -30,9 +30,13 @@ type Command struct {
 	Pos uint64 `json:"pos,omitempty"`
 }
 
-// maxMemWords bounds one mem read so a remote client cannot stream the
-// whole address space through a single command.
-const maxMemWords = 256
+// MaxMemWords bounds one mem read so a remote client cannot stream the
+// whole address space through a single command. A mem command asking for
+// more is clamped to this many words and its Outcome reports
+// Truncated=true — never silently, so byte-granular consumers (the RSP
+// stub chunks its reads by this cap) and humans alike can tell a short
+// read from a short request.
+const MaxMemWords = 256
 
 // RegValue is one architectural register in an Outcome.
 type RegValue struct {
@@ -74,13 +78,16 @@ type Outcome struct {
 	Symbol string `json:"symbol"`
 	Disasm string `json:"disasm"`
 
-	Regs      []RegValue `json:"regs,omitempty"`
-	Mem       []Word     `json:"mem,omitempty"`
-	Backtrace []Frame    `json:"backtrace,omitempty"`
-	Breaks    []uint32   `json:"breaks,omitempty"`
-	Watches   []uint32   `json:"watches,omitempty"`
-	Watch     *WatchHit  `json:"watch,omitempty"` // set on a watchpoint stop
-	Error     string     `json:"error,omitempty"`
+	Regs []RegValue `json:"regs,omitempty"`
+	Mem  []Word     `json:"mem,omitempty"`
+	// Truncated marks a mem read clamped at MaxMemWords: Mem holds fewer
+	// words than the command asked for, and the tail was never read.
+	Truncated bool      `json:"truncated,omitempty"`
+	Backtrace []Frame   `json:"backtrace,omitempty"`
+	Breaks    []uint32  `json:"breaks,omitempty"`
+	Watches   []uint32  `json:"watches,omitempty"`
+	Watch     *WatchHit `json:"watch,omitempty"` // set on a watchpoint stop
+	Error     string    `json:"error,omitempty"`
 }
 
 // status fills the always-present position fields.
@@ -93,9 +100,12 @@ func (e *Engine) status(out *Outcome) {
 	out.Disasm = e.Disasm(e.PC())
 }
 
-// resolveAddr turns a Command's Sym/Addr into an address. Sym resolves
-// like the local debugger always has: symbol first, then hex (0x prefix
-// optional), then decimal.
+// resolveAddr turns a Command's Sym/Addr into an address. The parse order
+// is explicit: a symbol in the session's image always wins; failing that,
+// a "0x" prefix selects hex, bare digits parse as decimal, and anything
+// else is a resolution error. A numeric-looking token like "10" therefore
+// means ten, never 0x10 — the old symbol→hex→decimal cascade made bare
+// digits ambiguous.
 func (e *Engine) resolveAddr(c Command) (uint32, error) {
 	if c.Sym == "" {
 		return c.Addr, nil
@@ -103,8 +113,11 @@ func (e *Engine) resolveAddr(c Command) (uint32, error) {
 	if addr, ok := e.img.Symbol(c.Sym); ok {
 		return addr, nil
 	}
-	if v, err := strconv.ParseUint(strings.TrimPrefix(c.Sym, "0x"), 16, 32); err == nil {
-		return uint32(v), nil
+	if rest, ok := strings.CutPrefix(c.Sym, "0x"); ok {
+		if v, err := strconv.ParseUint(rest, 16, 32); err == nil {
+			return uint32(v), nil
+		}
+		return 0, fmt.Errorf("cannot resolve %q: bad hex literal", c.Sym)
 	}
 	if v, err := strconv.ParseUint(c.Sym, 10, 32); err == nil {
 		return uint32(v), nil
@@ -205,8 +218,9 @@ func (e *Engine) Exec(c Command) Outcome {
 		if err != nil {
 			return fail(err)
 		}
-		if count > maxMemWords {
-			count = maxMemWords
+		if count > MaxMemWords {
+			count = MaxMemWords
+			out.Truncated = true
 		}
 		addr &^= 3
 		for i := uint64(0); i < count; i++ {

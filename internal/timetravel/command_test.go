@@ -1,0 +1,70 @@
+package timetravel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveAddrOrder pins the documented resolution order: image symbol
+// first, then "0x"-prefixed hex, then bare digits as decimal — never the
+// old symbol→hex→decimal cascade that read "10" as 0x10.
+func TestResolveAddrOrder(t *testing.T) {
+	eng, img := newTestEngine(t, 8)
+	store := img.MustSymbol("store")
+
+	breakAt := func(sym string) Outcome {
+		t.Helper()
+		out := eng.Exec(Command{Cmd: "break", Sym: sym})
+		eng.Exec(Command{Cmd: "delete", Sym: sym})
+		return out
+	}
+
+	if out := breakAt("store"); out.Error != "" || len(out.Breaks) != 1 || out.Breaks[0] != store {
+		t.Fatalf("symbol resolution: %+v", out)
+	}
+	if out := breakAt("10"); out.Error != "" || len(out.Breaks) != 1 || out.Breaks[0] != 10 {
+		t.Fatalf("bare digits must parse as decimal: %+v", out)
+	}
+	if out := breakAt("0x10"); out.Error != "" || len(out.Breaks) != 1 || out.Breaks[0] != 16 {
+		t.Fatalf("0x prefix must parse as hex: %+v", out)
+	}
+	if out := eng.Exec(Command{Cmd: "break", Sym: "0xzz"}); out.Error == "" {
+		t.Fatal("bad hex literal must be an error, not a symbol miss")
+	}
+	if out := eng.Exec(Command{Cmd: "break", Sym: "nosuchsym"}); !strings.Contains(out.Error, "nosuchsym") {
+		t.Fatalf("unknown symbol error = %q", out.Error)
+	}
+	// A decimal that overflows 32 bits is an error, not a wrap.
+	if out := eng.Exec(Command{Cmd: "break", Sym: "4294967296"}); out.Error == "" {
+		t.Fatal("33-bit decimal literal must fail to resolve")
+	}
+}
+
+// TestMemReadTruncation pins the satellite fix: a mem command past
+// MaxMemWords is clamped and says so, instead of silently shortening the
+// reply.
+func TestMemReadTruncation(t *testing.T) {
+	eng, img := newTestEngine(t, 8)
+	buf := img.MustSymbol("buf")
+	eng.Exec(Command{Cmd: "cont"}) // populate memory state
+
+	out := eng.Exec(Command{Cmd: "mem", Addr: buf, N: MaxMemWords * 2})
+	if out.Error != "" {
+		t.Fatal(out.Error)
+	}
+	if len(out.Mem) != MaxMemWords {
+		t.Fatalf("clamped read returned %d words, want %d", len(out.Mem), MaxMemWords)
+	}
+	if !out.Truncated {
+		t.Fatal("clamped read must set Truncated")
+	}
+
+	out = eng.Exec(Command{Cmd: "mem", Addr: buf, N: MaxMemWords})
+	if out.Truncated || len(out.Mem) != MaxMemWords {
+		t.Fatalf("exact-cap read: truncated=%v len=%d", out.Truncated, len(out.Mem))
+	}
+	out = eng.Exec(Command{Cmd: "mem", Addr: buf, N: 4})
+	if out.Truncated || len(out.Mem) != 4 {
+		t.Fatalf("small read: truncated=%v len=%d", out.Truncated, len(out.Mem))
+	}
+}

@@ -1,0 +1,171 @@
+package timetravel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The manager's concurrency invariants, exercised under -race: the idle
+// sweep racing in-flight commands, the cap under an open stampede, and
+// CloseSession against a session mid-command.
+
+// TestManagerSweepRacesDo hammers Sweep from several goroutines while
+// sessions run commands and get reopened as the sweep reaps them. The
+// invariants: no session is torn down mid-command (Do either completes or
+// reports "session closed", never crashes), and every pin is released by
+// the end.
+func TestManagerSweepRacesDo(t *testing.T) {
+	src := newFakeSource(t)
+	// A timeout short enough that real time expires sessions between
+	// commands; the janitor's 1s floor keeps it out of the way, so the
+	// hammering goroutines below are the only sweepers.
+	m := NewManager(src, ManagerConfig{MaxSessions: 4, IdleTimeout: 2 * time.Millisecond})
+	defer m.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.Sweep()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s *Session
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s == nil {
+					var err error
+					if s, err = m.Open("r1", -1); err != nil {
+						if !errors.Is(err, ErrSessionLimit) {
+							t.Errorf("open: %v", err)
+							return
+						}
+						continue
+					}
+				}
+				out := s.Do(Command{Cmd: "cont"})
+				if out.Error != "" {
+					s = nil // reaped between commands: reopen
+					continue
+				}
+				s.Do(Command{Cmd: "seek"})
+				time.Sleep(time.Millisecond) // let the sweep win sometimes
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	m.Close()
+	if n := src.pins.Load(); n != 0 {
+		t.Fatalf("pins after close = %d", n)
+	}
+}
+
+// TestManagerConcurrentOpenCap stampedes Open from many goroutines at
+// once: exactly MaxSessions may win, every loser gets ErrSessionLimit, and
+// losers release their report pins.
+func TestManagerConcurrentOpenCap(t *testing.T) {
+	const cap = 4
+	src := newFakeSource(t)
+	m := NewManager(src, ManagerConfig{MaxSessions: cap, IdleTimeout: time.Hour})
+	defer m.Close()
+
+	var (
+		wg   sync.WaitGroup
+		won  atomic.Int32
+		lost atomic.Int32
+	)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.Open("r1", -1)
+			switch {
+			case err == nil:
+				won.Add(1)
+			case errors.Is(err, ErrSessionLimit):
+				lost.Add(1)
+			default:
+				t.Errorf("open: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if won.Load() != cap || lost.Load() != 32-cap {
+		t.Fatalf("won=%d lost=%d, want %d/%d", won.Load(), lost.Load(), cap, 32-cap)
+	}
+	if m.Count() != cap {
+		t.Fatalf("count = %d", m.Count())
+	}
+	if src.pins.Load() != cap {
+		t.Fatalf("pins = %d: a losing Open leaked its pin", src.pins.Load())
+	}
+	m.Close()
+	if src.pins.Load() != 0 {
+		t.Fatalf("pins after close = %d", src.pins.Load())
+	}
+}
+
+// TestManagerCloseSessionDuringInflight closes sessions while commands are
+// running on them. Do holds the session mutex for the duration of each
+// command, so close() serializes behind it: the in-flight command finishes
+// on a live engine, later ones get the closed-session error, and the pin
+// drops exactly once.
+func TestManagerCloseSessionDuringInflight(t *testing.T) {
+	src := newFakeSource(t)
+	m := NewManager(src, ManagerConfig{MaxSessions: 2, IdleTimeout: time.Hour})
+	defer m.Close()
+
+	for round := 0; round < 50; round++ {
+		s, err := m.Open("r1", -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if out := s.Do(Command{Cmd: "rcont"}); out.Error != "" {
+					if out.Error != "session closed" {
+						t.Errorf("round %d: %q", round, out.Error)
+					}
+					return
+				}
+				if out := s.Do(Command{Cmd: "cont"}); out.Error != "" {
+					if out.Error != "session closed" {
+						t.Errorf("round %d: %q", round, out.Error)
+					}
+					return
+				}
+			}
+		}()
+		if !m.CloseSession(s.ID) {
+			t.Fatalf("round %d: close failed", round)
+		}
+		wg.Wait()
+		if n := src.pins.Load(); n != 0 {
+			t.Fatalf("round %d: pins = %d", round, n)
+		}
+	}
+}
