@@ -31,6 +31,10 @@
 // regression. -require-speedup additionally asserts that each */paged
 // (or */machine) variant beats its */map reference by at least the given
 // factor on this machine — also runner-speed independent.
+// -gate-pct-overrides tightens (or loosens) the regression limit for
+// individual benchmarks — CI holds RecordPerInstr, the per-instruction
+// recording cost the whole paper rests on, to 5% while the rest of the
+// suite gets the default 20%.
 package main
 
 import (
@@ -56,6 +60,7 @@ func main() {
 	gateNorm := flag.String("gate-norm", "RecordHotPath/map", "yardstick benchmark that normalizes ns/op comparisons for machine speed (empty = raw ns)")
 	requireSpeedup := flag.Float64("require-speedup", 0, "minimum live-vs-reference speedup factor to assert for every paired benchmark (0 = off)")
 	speedupFloors := flag.String("speedup-floors", "", "per-benchmark overrides of -require-speedup, as name=factor[,name=factor...] (e.g. StepVsRun/blocks=1.5)")
+	gateOverrides := flag.String("gate-pct-overrides", "", "per-benchmark overrides of -gate-pct, as name=pct[,name=pct...] (e.g. RecordPerInstr=5)")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -64,7 +69,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		os.Exit(runMicros(*jsonOut, *benchIters, *benchRounds, *baseline, *gatePct, *gateNorm, *requireSpeedup, floors))
+		pcts, err := parsePcts(*gateOverrides)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(pcts) > 0 && *baseline == "" {
+			fmt.Fprintln(os.Stderr, "gate: -gate-pct-overrides without -baseline gates nothing")
+			os.Exit(2)
+		}
+		os.Exit(runMicros(*jsonOut, *benchIters, *benchRounds, *baseline, *gatePct, *gateNorm, *requireSpeedup, floors, pcts))
 	}
 
 	start := time.Now()
@@ -115,7 +129,32 @@ func parseFloors(s string) (map[string]float64, error) {
 	return floors, nil
 }
 
-func runMicros(out string, iters, rounds int, baseline string, gatePct float64, gateNorm string, requireSpeedup float64, floors map[string]float64) int {
+// parsePcts parses the -gate-pct-overrides list with the same strictness
+// as parseFloors. A zero pct is legal — it pins a benchmark to "no
+// regression at all beyond normalization noise" — but negatives are not.
+func parsePcts(s string) (map[string]float64, error) {
+	pcts := make(map[string]float64)
+	if s == "" {
+		return pcts, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("gate: -gate-pct-overrides entry %q is not name=pct", part)
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gate: -gate-pct-overrides pct %q: %v", val, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("gate: -gate-pct-overrides %s=%g: pct must be non-negative", name, p)
+		}
+		pcts[name] = p
+	}
+	return pcts, nil
+}
+
+func runMicros(out string, iters, rounds int, baseline string, gatePct float64, gateNorm string, requireSpeedup float64, floors, pctOverrides map[string]float64) int {
 	results, err := bench.RunMicros(iters, rounds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -202,6 +241,14 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 				fmt.Fprintf(os.Stderr, "gate: yardstick %s missing; falling back to raw ns comparison\n", gateNorm)
 			}
 		}
+		// An override naming a benchmark absent from the baseline would
+		// silently gate nothing — same loud-failure policy as the floors.
+		for name := range pctOverrides {
+			if _, ok := old.Benchmarks[name]; !ok {
+				fmt.Fprintf(os.Stderr, "gate: -gate-pct-overrides %q is not in the baseline\n", name)
+				failed = true
+			}
+		}
 		for name, prev := range old.Benchmarks {
 			cur, ok := file.Benchmarks[name]
 			if !ok {
@@ -209,11 +256,15 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 				failed = true
 				continue
 			}
-			limit := 1 + gatePct/100
+			pct := gatePct
+			if p, ok := pctOverrides[name]; ok {
+				pct = p
+			}
+			limit := 1 + pct/100
 			curNs, prevNs := cur.NsPerOp/curNorm, prev.NsPerOp/prevNorm
 			if prevNs > 0 && curNs > prevNs*limit {
 				fmt.Fprintf(os.Stderr, "gate: %s regressed: %.0f ns/op (%.3f normalized) vs baseline %.0f (%.3f), +%.1f%% over the %.0f%% limit\n",
-					name, cur.NsPerOp, curNs, prev.NsPerOp, prevNs, 100*(curNs/prevNs-1), gatePct)
+					name, cur.NsPerOp, curNs, prev.NsPerOp, prevNs, 100*(curNs/prevNs-1), pct)
 				failed = true
 			}
 			// Allocation counts are near-deterministic; allow the same

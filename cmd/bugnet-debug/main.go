@@ -62,6 +62,7 @@ import (
 	"bugnet"
 	"bugnet/internal/cli"
 	"bugnet/internal/gdbstub"
+	"bugnet/internal/obs"
 	"bugnet/internal/timetravel"
 )
 
@@ -83,6 +84,7 @@ func main() {
 	reportID := flag.String("report", "", "stored report id to debug (remote mode)")
 	ckptEvery := flag.Uint64("ckpt", 10_000, "checkpoint interval in instructions (local mode)")
 	rsp := flag.String("rsp", "", "bugnet-serve -gdb address for an RSP smoke check")
+	dump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this path at exit (\"-\" = stdout)")
 	flag.Parse()
 
 	if *rsp != "" {
@@ -90,6 +92,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dumpMetrics(*dump)
 		return
 	}
 
@@ -116,6 +119,18 @@ func main() {
 	}
 	defer d.close()
 	repl(d)
+	dumpMetrics(*dump)
+}
+
+// dumpMetrics writes the process metrics snapshot for scripted sessions
+// (local mode surfaces the per-verb command latency histograms).
+func dumpMetrics(path string) {
+	if path == "" {
+		return
+	}
+	if err := obs.WriteSnapshotFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "writing metrics dump:", err)
+	}
 }
 
 // --- local mode ---

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -36,9 +37,33 @@ import (
 	"bugnet"
 	"bugnet/internal/cli"
 	"bugnet/internal/logstore"
+	"bugnet/internal/obs"
 )
 
+// logger carries all diagnostics; results stay on stdout.
+var logger *slog.Logger
+
+// metricsDump, when set, is where main writes the process metrics
+// snapshot after run returns ("-" = stdout).
+var metricsDump string
+
+// main wraps run so deferred cleanups (spill store closes) finish before
+// the metrics snapshot is written and the process exits — os.Exit inside
+// run would skip both.
 func main() {
+	code := run()
+	if metricsDump != "" {
+		if err := obs.WriteSnapshotFile(metricsDump); err != nil {
+			logger.Error("writing metrics dump", "path", metricsDump, "err", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func run() int {
 	bug := flag.String("bug", "", "record a Table 1 bug analogue (bc, gzip, ncompress, ...)")
 	spec := flag.String("spec", "", "record a SPEC analogue (art, bzip2, crafty, gzip, mcf, parser, vpr)")
 	asmFile := flag.String("asm", "", "record an assembly source file")
@@ -49,14 +74,22 @@ func main() {
 	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
 	logDir := flag.String("log-dir", "", "spill the FLL/MRL log regions to segment files under this directory")
 	logBudget := flag.Int64("log-budget", 0, "byte budget per log region (0 = unlimited); with -log-dir this bounds disk, not RAM")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text or json")
+	dump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this path at exit (\"-\" = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while recording (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+	var err error
+	if logger, err = obs.NewLogger(os.Stderr, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	metricsDump = *dump
 	cli.StartPprof(*pprofAddr)
 
 	img, mcfg, err := cli.Pick(cli.Selection{Bug: *bug, Spec: *spec, Asm: *asmFile, Scale: *scale})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		logger.Error("selecting workload", "err", err)
+		return 2
 	}
 	mcfg.MaxSteps = *steps
 
@@ -64,13 +97,13 @@ func main() {
 	if *logDir != "" {
 		var err error
 		if rcfg.FLLStore, err = openSpill(filepath.Join(*logDir, "fll"), *logBudget); err != nil {
-			fmt.Fprintln(os.Stderr, "opening FLL spill:", err)
-			os.Exit(1)
+			logger.Error("opening FLL spill", "err", err)
+			return 1
 		}
 		defer rcfg.FLLStore.Close()
 		if rcfg.MRLStore, err = openSpill(filepath.Join(*logDir, "mrl"), *logBudget); err != nil {
-			fmt.Fprintln(os.Stderr, "opening MRL spill:", err)
-			os.Exit(1)
+			logger.Error("opening MRL spill", "err", err)
+			return 1
 		}
 		defer rcfg.MRLStore.Close()
 	}
@@ -93,21 +126,22 @@ func main() {
 		fmt.Printf("clean stop (exit code %d)\n", res.ExitCode)
 	}
 	if err := rec.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "recording degraded:", err)
-		os.Exit(1)
+		logger.Error("recording degraded", "err", err)
+		return 1
 	}
 	if err := bugnet.SaveReport(*out, rep); err != nil {
-		fmt.Fprintln(os.Stderr, "saving report:", err)
-		os.Exit(1)
+		logger.Error("saving report", "out", *out, "err", err)
+		return 1
 	}
 	fmt.Printf("report saved to %s\n", *out)
 
 	if *submit != "" {
 		if err := upload(*submit, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "submitting report:", err)
-			os.Exit(1)
+			logger.Error("submitting report", "url", *submit, "err", err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // openSpill opens one disk-backed log region for a fresh recording. A

@@ -11,6 +11,7 @@
 //	bugnet-serve -budget 268435456 -workers 8 -scale 100
 //	bugnet-serve -image prog.s -image other.s      # register extra builds
 //	bugnet-serve -gdb :1234 -gdb-report <id>       # real gdb attaches here
+//	bugnet-serve -log-format json                  # machine-readable logs
 //
 // Replay needs the exact binary a report was recorded from, so the server
 // registers the built-in Table 1 and SPEC analogue images (at -scale) plus
@@ -33,7 +34,8 @@
 //
 // Endpoints: POST /reports, GET /reports[?offset=&limit=],
 // GET /reports/{id}[?raw=1], GET /buckets[?offset=&limit=],
-// GET /buckets/{key}, GET /healthz, and the /debug/sessions API.
+// GET /buckets/{key}, GET /healthz (liveness), GET /readyz (readiness),
+// GET /metrics (Prometheus exposition), and the /debug/sessions API.
 package main
 
 import (
@@ -41,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,6 +54,8 @@ import (
 	"bugnet/internal/asm"
 	"bugnet/internal/cli"
 	"bugnet/internal/gdbstub"
+	"bugnet/internal/httpjson"
+	"bugnet/internal/obs"
 	"bugnet/internal/timetravel"
 	"bugnet/internal/triage"
 	"bugnet/internal/workload"
@@ -71,6 +76,8 @@ func main() {
 	depth := flag.Int("backtrace", 16, "backtrace depth in instructions")
 	maxWindow := flag.Uint64("maxwindow", 0, "max replay window per report in instructions (0 = default 100M)")
 	logDir := flag.String("log-dir", "", "disk spool for in-flight uploads (default <dir>/spool); uploads stream here while hashed, then rename into the store")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	accessLog := flag.Bool("access-log", false, "log one line per HTTP request")
 	sessions := flag.Int("debug-sessions", 8, "max concurrent remote debug sessions")
 	idle := flag.Duration("debug-idle", 10*time.Minute, "idle timeout for remote debug sessions")
 	ckptEvery := flag.Uint64("debug-ckpt", 10_000, "debug checkpoint interval in instructions")
@@ -81,6 +88,12 @@ func main() {
 	var images imageList
 	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cli.StartPprof(*pprofAddr)
 
 	reg := triage.NewImageRegistry()
@@ -93,12 +106,12 @@ func main() {
 	for _, path := range images {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("reading image source", "path", path, "err", err)
 			os.Exit(2)
 		}
 		img, err := asm.Assemble(path, string(src))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("assembling image", "path", path, "err", err)
 			os.Exit(2)
 		}
 		reg.Register(img)
@@ -114,7 +127,7 @@ func main() {
 		SpoolDir:        *logDir,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("starting triage service", "dir", *dir, "err", err)
 		os.Exit(1)
 	}
 
@@ -142,7 +155,7 @@ func main() {
 	if *gdbAddr != "" {
 		gl, err := net.Listen("tcp", *gdbAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("gdb listener", "addr", *gdbAddr, "err", err)
 			os.Exit(1)
 		}
 		gs := gdbstub.New(gdbstub.Config{
@@ -153,35 +166,44 @@ func main() {
 		defer gs.Close()
 		go func() {
 			if err := gs.Serve(gl); err != nil {
-				fmt.Fprintln(os.Stderr, "bugnet-serve: gdb listener:", err)
+				logger.Error("gdb listener stopped", "err", err)
 			}
 		}()
-		fmt.Printf("bugnet-serve: gdb remote protocol on %s\n", gl.Addr())
+		logger.Info("gdb remote protocol listening", "addr", gl.Addr().String())
 	}
+
+	// Every request passes the observability middleware: request id,
+	// request/latency/in-flight metrics, optional access log.
+	var requestLogger *slog.Logger
+	if *accessLog {
+		requestLogger = logger
+	}
+	handler := httpjson.Instrument(triage.NewHandlerWithDebug(svc, mgr), requestLogger)
 
 	// Shut down cleanly on SIGINT/SIGTERM: stop accepting uploads, then
 	// drain the replay queue so no verdict is lost mid-flight.
-	srv := &http.Server{Addr: *addr, Handler: triage.NewHandlerWithDebug(svc, mgr)}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	shutdownDone := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Println("bugnet-serve: shutting down, draining triage queue")
+		logger.Info("shutting down, draining triage queue")
 		srv.Shutdown(context.Background())
 		close(shutdownDone)
 	}()
 
-	fmt.Printf("bugnet-serve: %d binaries registered, store %s, listening on %s\n",
-		reg.Len(), *dir, *addr)
+	logger.Info("listening",
+		"addr", *addr, "binaries", reg.Len(), "store", *dir, "workers", *workers)
 	err = srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		// Shutdown closed the listener; wait for it to finish flushing
 		// in-flight responses before draining the replay queue.
 		<-shutdownDone
 	} else if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("http server", "err", err)
 		os.Exit(1)
 	}
 	svc.Close()
+	logger.Info("drained, exiting")
 }

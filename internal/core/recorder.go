@@ -30,9 +30,12 @@ type Recorder struct {
 	mrls *logstore.Store
 
 	// loggedOps / totalOps give the first-load filter rate for the
-	// experiment harness.
-	loggedOps uint64
-	totalOps  uint64
+	// experiment harness. exportedLogged/exportedTotal are the watermarks
+	// already published to the process metrics (see exportCounters).
+	loggedOps      uint64
+	totalOps       uint64
+	exportedLogged uint64
+	exportedTotal  uint64
 
 	// fllMeta/mrlMeta cache the finalized metadata of the *retained*
 	// intervals, keyed by store sequence number, so Report can hand out
@@ -106,6 +109,8 @@ func NewRecorder(m *kernel.Machine, cfg Config) *Recorder {
 	if r.mrls == nil {
 		r.mrls = logstore.New(cfg.MRLBudget)
 	}
+	r.flls.Instrument("fll")
+	r.mrls.Instrument("mrl")
 	r.fllMeta = make(map[uint64]fll.Meta)
 	r.mrlMeta = make(map[uint64]mrl.Meta)
 	r.fllPruned = r.flls.OldestLiveSeq()
@@ -290,6 +295,7 @@ func (r *Recorder) OnFault(tid int, f *cpu.FaultInfo) {
 			r.stageInterval(o, fll.EndExit, nil)
 		}
 	}
+	mRecordFaults.Inc()
 	r.commit()
 }
 
@@ -511,6 +517,7 @@ func (r *Recorder) stageInterval(t *threadRec, end fll.EndKind, fault *fll.Fault
 // for everything the stores have evicted. Store failures are sticky and
 // surface through Err, exactly as on the unbatched path.
 func (r *Recorder) commit() {
+	r.exportCounters()
 	if len(r.fllPend) > 0 {
 		n, _ := r.flls.AppendBatch(r.fllPend)
 		for i := 0; i < n; i++ {

@@ -187,7 +187,10 @@ func readFrame(br *bufio.Reader) (frame, error) {
 // manager's own janitor stays the backstop.
 func (s *Server) serveConn(c net.Conn) {
 	cn := &conn{srv: s}
+	mConnsTotal.Inc()
+	mConnsOpen.Inc()
 	defer func() {
+		mConnsOpen.Dec()
 		cn.detach()
 		c.Close()
 		s.mu.Lock()
@@ -207,6 +210,7 @@ func (s *Server) serveConn(c net.Conn) {
 		if errors.Is(err, ErrChecksum) {
 			// Ask for a retransmit; in no-ack mode the link is assumed
 			// reliable, so a bad checksum is just a dropped packet.
+			mNaks.Inc()
 			if !cn.noAck && !write([]byte{'-'}) {
 				return
 			}
@@ -226,6 +230,7 @@ func (s *Server) serveConn(c net.Conn) {
 		case 3:
 			// Interrupt between packets: the target is always stopped, so
 			// answer with where the replay stands.
+			mPktInterrupt.Inc()
 			rep := errNoSession
 			if out, errRep := cn.do(timetravel.Command{Cmd: "where"}); errRep == "" {
 				rep = stopReply(out)
@@ -236,10 +241,12 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			continue
 		}
+		countPacket(f.payload)
 		reply, kill := cn.handle(f.payload)
 		if f.malformed {
 			reply, kill = errMalformed, false
 		}
+		countErrorReply(reply)
 		var buf []byte
 		if !cn.noAck {
 			buf = append(buf, '+')

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Item is one retained log's retention metadata. The encoded bytes travel
@@ -93,7 +94,8 @@ type Store struct {
 	items   []Item // retained metadata, oldest first
 	nextSeq uint64
 	stats   Stats
-	err     error // first backend failure; the store keeps best-effort serving
+	err     error         // first backend failure; the store keeps best-effort serving
+	metrics *storeMetrics // nil until Instrument; all hooks nil-safe
 }
 
 // New creates a store over the in-memory FIFO backend with the given
@@ -185,10 +187,12 @@ func (s *Store) AppendBatch(entries []AppendEntry) (n int, err error) {
 func (s *Store) appendLocked(it Item, data []byte) error {
 	it.Seq = s.nextSeq
 	it.EncodedBytes = int64(len(data))
+	start := time.Now()
 	if err := s.backend.Append(it, data); err != nil {
 		s.fail(err)
 		return err
 	}
+	s.metrics.observeAppend(start, len(data))
 	s.nextSeq++
 	s.items = append(s.items, it)
 	s.stats.RetainedBytes += it.Bytes
@@ -196,6 +200,7 @@ func (s *Store) appendLocked(it Item, data []byte) error {
 	s.stats.RetainedCount++
 	s.stats.TotalBytes += it.Bytes
 	s.stats.TotalCount++
+	s.metrics.setRetained(uint64(s.stats.RetainedEncodedBytes))
 	return nil
 }
 
@@ -222,6 +227,7 @@ func (s *Store) evictLocked() error {
 	}
 	var firstErr error
 	drop := 0
+	var droppedEnc uint64
 	for s.stats.RetainedBytes > s.budget && drop < len(s.items)-1 {
 		it := s.items[drop]
 		if err := s.backend.Evict(it); err != nil {
@@ -235,10 +241,13 @@ func (s *Store) evictLocked() error {
 		s.stats.RetainedCount--
 		s.stats.EvictedBytes += it.Bytes
 		s.stats.EvictedCount++
+		droppedEnc += uint64(it.EncodedBytes)
 		drop++
 	}
 	if drop > 0 {
 		s.items = append(s.items[:0], s.items[drop:]...)
+		s.metrics.observeEvict(drop, droppedEnc)
+		s.metrics.setRetained(uint64(s.stats.RetainedEncodedBytes))
 	}
 	return firstErr
 }
@@ -263,7 +272,12 @@ func (s *Store) Err() error {
 func (s *Store) Load(seq uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.backend.Load(seq)
+	start := time.Now()
+	data, err := s.backend.Load(seq)
+	if err == nil {
+		s.metrics.observeLoad(start)
+	}
+	return data, err
 }
 
 // Loader returns a function that re-reads one item's encoded bytes — the

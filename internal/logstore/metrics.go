@@ -1,0 +1,96 @@
+package logstore
+
+import (
+	"time"
+
+	"bugnet/internal/obs"
+)
+
+// Package-level families, with the two wire regions preallocated so the
+// series exist at 0 in every binary that links the logstore — a serve
+// instance that has taken no uploads still exposes the full inventory.
+var (
+	mAppendSeconds = obs.Default.HistogramVec("bugnet_logstore_append_seconds",
+		"Backend append latency per interval batch.", nil, "region")
+	mLoadSeconds = obs.Default.HistogramVec("bugnet_logstore_load_seconds",
+		"Backend load latency per interval.", nil, "region")
+	mAppendBytes = obs.Default.CounterVec("bugnet_logstore_appended_bytes_total",
+		"Encoded log bytes appended.", "region")
+	mEvictions = obs.Default.CounterVec("bugnet_logstore_evictions_total",
+		"Intervals evicted to stay inside the budget.", "region")
+	mEvictedBytes = obs.Default.CounterVec("bugnet_logstore_evicted_bytes_total",
+		"Encoded log bytes reclaimed by eviction.", "region")
+	mRetained = obs.Default.GaugeVec("bugnet_logstore_retained_bytes",
+		"Encoded log bytes currently retained.", "region")
+)
+
+// storeMetrics is one region's preallocated handles; nil on stores that
+// never called Instrument (tests, scratch stores), so the hot paths pay
+// one predictable branch.
+type storeMetrics struct {
+	appendSeconds *obs.Histogram
+	loadSeconds   *obs.Histogram
+	appendBytes   *obs.Counter
+	evictions     *obs.Counter
+	evictedBytes  *obs.Counter
+	retained      *obs.Gauge
+}
+
+var regionMetrics = map[string]*storeMetrics{
+	"fll": newStoreMetrics("fll"),
+	"mrl": newStoreMetrics("mrl"),
+}
+
+func newStoreMetrics(region string) *storeMetrics {
+	return &storeMetrics{
+		appendSeconds: mAppendSeconds.With(region),
+		loadSeconds:   mLoadSeconds.With(region),
+		appendBytes:   mAppendBytes.With(region),
+		evictions:     mEvictions.With(region),
+		evictedBytes:  mEvictedBytes.With(region),
+		retained:      mRetained.With(region),
+	}
+}
+
+// Instrument attaches the store to the named metric region ("fll" or
+// "mrl"; other names get their own series). Call once, before traffic.
+func (s *Store) Instrument(region string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := regionMetrics[region]
+	if m == nil {
+		m = newStoreMetrics(region)
+	}
+	s.metrics = m
+	s.metrics.retained.Set(int64(s.stats.RetainedBytes))
+}
+
+func (m *storeMetrics) observeAppend(start time.Time, bytes int) {
+	if m == nil {
+		return
+	}
+	m.appendSeconds.Since(start)
+	m.appendBytes.Add(uint64(bytes))
+}
+
+func (m *storeMetrics) observeEvict(n int, bytes uint64) {
+	if m == nil {
+		return
+	}
+	m.evictions.Add(uint64(n))
+	m.evictedBytes.Add(bytes)
+}
+
+func (m *storeMetrics) setRetained(bytes uint64) {
+	if m == nil {
+		return
+	}
+	m.retained.Set(int64(bytes))
+}
+
+func (m *storeMetrics) observeLoad(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.loadSeconds.Since(start)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label block, durations in seconds. Values are read through the same
+// atomics the hot paths write, so a scrape never blocks an increment.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sorted() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.snapshot() {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.g.Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.key, formatFloat(s.gaugeFunc()))
+			case kindHistogram:
+				writeHistogramText(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshot returns the family's series sorted by label block. Series
+// are immutable once created (GaugeFunc callbacks swap atomically), so
+// the family lock only guards the map walk.
+func (f *family) snapshot() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.series[key])
+	}
+	f.mu.Unlock()
+	for i := 1; i < len(out); i++ { // insertion sort; families are small
+		for j := i; j > 0 && out[j].key < out[j-1].key; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func writeHistogramText(w io.Writer, name string, s *series) {
+	h := s.h
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, formatFloat(b.Seconds())), cum)
+	}
+	count := h.Count()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.key, formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, count)
+}
+
+// withLE merges the le label into an existing label block.
+func withLE(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return key[:len(key)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Handler serves the registry as a /metrics scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Handler serves the Default registry — the GET /metrics endpoint.
+func Handler() http.Handler { return Default.Handler() }
+
+// Snapshot flattens the registry to series-name → value: counters and
+// gauges verbatim, each histogram as its _count, _sum (seconds), _p50
+// and _p99. The flat shape is the -metrics-dump contract — one JSON
+// object, jq-addressable by exact series name.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sorted() {
+		for _, s := range f.snapshot() {
+			switch f.kind {
+			case kindCounter:
+				out[f.name+s.key] = float64(s.c.Value())
+			case kindGauge:
+				out[f.name+s.key] = float64(s.g.Value())
+			case kindGaugeFunc:
+				out[f.name+s.key] = s.gaugeFunc()
+			case kindHistogram:
+				out[f.name+"_count"+s.key] = float64(s.h.Count())
+				out[f.name+"_sum"+s.key] = s.h.Sum().Seconds()
+				out[f.name+"_p50"+s.key] = s.h.Quantile(0.50).Seconds()
+				out[f.name+"_p99"+s.key] = s.h.Quantile(0.99).Seconds()
+			}
+		}
+	}
+	return out
+}
+
+// WriteSnapshot writes the flat snapshot as indented JSON (keys sorted
+// by encoding/json's map ordering, so diffs are stable).
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSnapshotFile dumps the Default registry's snapshot to path
+// ("-" = stdout) — the implementation behind the CLIs' -metrics-dump.
+func WriteSnapshotFile(path string) error {
+	if path == "-" {
+		return Default.WriteSnapshot(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Default.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

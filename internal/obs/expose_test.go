@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact text a scrape sees: stable family
+// order, stable series order, HELP/TYPE lines, cumulative buckets in
+// seconds. Renames here are wire-format breaks for every dashboard.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bugnet_test_events_total", "Events seen.").Add(3)
+	g := r.Gauge("bugnet_test_depth", "Queue depth.")
+	g.Set(7)
+	r.GaugeFunc("bugnet_test_occupancy", "Budget occupancy.", func() float64 { return 0.25 })
+	v := r.CounterVec("bugnet_test_requests_total", "Requests by code.", "code")
+	v.With("500").Inc()
+	v.With("200").Add(2)
+	h := r.HistogramVec("bugnet_test_latency_seconds", "Latency by verb.",
+		[]time.Duration{time.Millisecond, time.Second}, "verb")
+	h.With("step").Observe(500 * time.Microsecond)
+	h.With("step").Observe(2 * time.Second) // overflow bucket
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP bugnet_test_depth Queue depth.
+# TYPE bugnet_test_depth gauge
+bugnet_test_depth 7
+# HELP bugnet_test_events_total Events seen.
+# TYPE bugnet_test_events_total counter
+bugnet_test_events_total 3
+# HELP bugnet_test_latency_seconds Latency by verb.
+# TYPE bugnet_test_latency_seconds histogram
+bugnet_test_latency_seconds_bucket{verb="step",le="0.001"} 1
+bugnet_test_latency_seconds_bucket{verb="step",le="1"} 1
+bugnet_test_latency_seconds_bucket{verb="step",le="+Inf"} 2
+bugnet_test_latency_seconds_sum{verb="step"} 2.0005
+bugnet_test_latency_seconds_count{verb="step"} 2
+# HELP bugnet_test_occupancy Budget occupancy.
+# TYPE bugnet_test_occupancy gauge
+bugnet_test_occupancy 0.25
+# HELP bugnet_test_requests_total Requests by code.
+# TYPE bugnet_test_requests_total counter
+bugnet_test_requests_total{code="200"} 2
+bugnet_test_requests_total{code="500"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1\n") {
+		t.Fatalf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "path").With("a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{path="a\\b\"c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	h := r.Histogram("h_seconds", "", time.Millisecond, time.Second)
+	h.Observe(2 * time.Millisecond)
+	snap := r.Snapshot()
+	if snap["c_total"] != 5 {
+		t.Fatalf("c_total = %v", snap["c_total"])
+	}
+	if snap["h_seconds_count"] != 1 {
+		t.Fatalf("h_seconds_count = %v", snap["h_seconds_count"])
+	}
+	if snap["h_seconds_sum"] != 0.002 {
+		t.Fatalf("h_seconds_sum = %v", snap["h_seconds_sum"])
+	}
+	if _, ok := snap["h_seconds_p99"]; !ok {
+		t.Fatal("snapshot missing p99")
+	}
+}
+
+// TestConcurrentScrape drives writers against scrapers under -race: new
+// series appear, counters move, GaugeFunc callbacks are swapped, all
+// while WriteText and Snapshot run. The assertion is simply that the
+// race detector stays quiet and renders never fail.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("scrape_total", "", "k")
+	hv := r.HistogramVec("scrape_seconds", "", nil, "k")
+	v.With("a").Inc() // at least one series exists before scrapers start
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			keys := []string{"a", "b", "c", "d"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys[(id+n)%len(keys)]
+				v.With(k).Inc()
+				hv.With(k).Observe(time.Duration(n%1000) * time.Microsecond)
+				r.GaugeFunc("scrape_occupancy", "", func() float64 { return float64(n) })
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				var sb strings.Builder
+				if err := r.WriteText(&sb); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				if len(r.Snapshot()) == 0 {
+					t.Error("empty snapshot during concurrent writes")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout: roughly 4x steps from
+// 25µs to 4s. The span covers everything this system times — a logstore
+// append lands in the first buckets, a reverse-continue over a large
+// window in the last — with 10 bounds, so one histogram costs 12 series
+// on the wire (buckets + sum + count) instead of Prometheus' default 14.
+var DefBuckets = []time.Duration{
+	25 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	1 * time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+	64 * time.Millisecond,
+	250 * time.Millisecond,
+	1 * time.Second,
+	4 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are chosen at
+// registration and never change, so Observe is a bounded scan plus three
+// atomic adds — no locks, no allocation, safe from any goroutine.
+// Exposition renders the Prometheus cumulative-bucket form in seconds;
+// Quantile gives the interpolated p50/p99 the -metrics-dump snapshot
+// carries.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds; implicit +Inf after
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Negative durations (a clock step mid
+// measurement) clamp to zero rather than corrupting the sum.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Since observes the time elapsed from start — the idiomatic call at the
+// end of a timed section: defer h.Since(time.Now()) evaluates time.Now()
+// at defer time.
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing it, the same estimate Prometheus'
+// histogram_quantile computes. Observations in the overflow bucket report
+// the largest finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if n == 0 {
+			return hi
+		}
+		frac := (target - cum) / n
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return h.bounds[len(h.bounds)-1]
+}

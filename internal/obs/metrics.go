@@ -1,0 +1,41 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable, but handles should come from a Registry so the series is
+// exposed. Inc/Add are single atomic adds: safe from any goroutine and
+// allocation-free, cheap enough for the recorder wire path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; deltas are unsigned by design.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a level that can move both ways: queue depths, open sessions,
+// retained bytes. All operations are single atomic instructions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind discriminates the metric families a registry can hold.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (family, label-values) combination and its live value.
+// fn is atomic because GaugeFunc callbacks are replaceable while scrapes
+// read them lock-free.
+type series struct {
+	key string // rendered label block `{k="v",...}`, "" when unlabeled
+	c   *Counter
+	g   *Gauge
+	fn  atomic.Pointer[func() float64]
+	h   *Histogram
+}
+
+// gaugeFunc evaluates the callback, or 0 if none has been stored yet (a
+// scrape can land between series creation and the first Store).
+func (s *series) gaugeFunc() float64 {
+	if p := s.fn.Load(); p != nil {
+		return (*p)()
+	}
+	return 0
+}
+
+// family is one named metric and all of its labeled series.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labelKeys []string
+	bounds    []time.Duration // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // series keys, registration order (exposition sorts)
+}
+
+// with returns (creating if needed) the series for the given label
+// values. Registration is idempotent: the same values always return the
+// same handle, so package-level vars and repeated lookups agree.
+func (f *family) with(vals []string) *series {
+	if len(vals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labelKeys), len(vals)))
+	}
+	key := labelBlock(f.labelKeys, vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	s := &series{key: key}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// labelBlock renders `{k="v",...}` with Prometheus escaping; empty for
+// unlabeled series.
+func labelBlock(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(vals[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry holds metric families by name and renders them for scrapes
+// and snapshots. Registration is get-or-create: registering a name twice
+// with the same shape returns the existing family (so tests that rebuild
+// a service share its process-level series), while re-registering under a
+// different kind or label set panics — that is a naming collision bug.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, k kind, keys []string, bounds []time.Duration) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.fams[name]; f != nil {
+		if f.kind != k || !equalKeys(f.labelKeys, keys) {
+			panic(fmt.Sprintf("obs: %s re-registered as %s%v, was %s%v",
+				name, k, keys, f.kind, f.labelKeys))
+		}
+		return f
+	}
+	f := &family{
+		name:      name,
+		help:      help,
+		kind:      k,
+		labelKeys: append([]string(nil), keys...),
+		bounds:    bounds,
+		series:    make(map[string]*series),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sorted returns the families sorted by name; exposition and snapshots
+// iterate it so output order is stable.
+func (r *Registry) sorted() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).with(nil).c
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).with(nil).g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time by
+// fn. Re-registering the same name replaces the callback — the newest
+// instance of a subsystem (a rebuilt manager in tests) owns the series.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.family(name, help, kindGaugeFunc, nil, nil).with(nil).fn.Store(&fn)
+}
+
+// Histogram registers (or finds) an unlabeled latency histogram. Empty
+// bounds select DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds ...time.Duration) *Histogram {
+	return r.family(name, help, kindHistogram, nil, bounds).with(nil).h
+}
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, keys, nil)}
+}
+
+// With returns the preallocated counter for the given label values.
+// Resolve handles once (at package init for hot paths); With itself
+// takes the family lock.
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.with(vals).c }
+
+// GaugeVec is a family of gauges split by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, keys, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.with(vals).g }
+
+// HistogramVec is a family of histograms split by label values; all
+// share the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family. nil
+// bounds select DefBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []time.Duration, keys ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, keys, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.with(vals).h }

@@ -210,6 +210,12 @@ func writeSection(w io.Writer, kind byte, payload []byte) error {
 // window packs in O(largest section) memory. The byte stream is
 // deterministic: packing the same report twice yields identical bytes.
 func PackTo(w io.Writer, rep *core.CrashReport) error {
+	cw := &countingWriter{w: w}
+	w = cw
+	defer func() {
+		mPacks.Inc()
+		mPackBytes.Add(cw.n)
+	}()
 	mj, err := json.Marshal(MetaOf(rep))
 	if err != nil {
 		return err
@@ -325,7 +331,12 @@ func OpenFile(path string) (*Archive, error) {
 // OpenReaderAt scans and validates an archive in src, reading each
 // section once for its checksum and its metadata. Payloads are not
 // retained; Report hands out lazy views that re-read them on demand.
-func OpenReaderAt(src io.ReaderAt, size int64) (*Archive, error) {
+func OpenReaderAt(src io.ReaderAt, size int64) (a *Archive, err error) {
+	defer func() { countOpen(err) }()
+	return openReaderAt(src, size)
+}
+
+func openReaderAt(src io.ReaderAt, size int64) (*Archive, error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(io.NewSectionReader(src, 0, size), hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing header", ErrBadArchive)

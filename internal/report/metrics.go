@@ -1,0 +1,40 @@
+package report
+
+import (
+	"io"
+
+	"bugnet/internal/obs"
+)
+
+// Archive I/O counters: how many BNAR archives move through this
+// process, and how many bytes they carry.
+var (
+	mPacks = obs.Default.Counter("bugnet_report_packs_total",
+		"Crash-report archives packed.")
+	mPackBytes = obs.Default.Counter("bugnet_report_packed_bytes_total",
+		"Archive bytes produced by packing.")
+	openResults = obs.Default.CounterVec("bugnet_report_opens_total",
+		"Archive open attempts.", "result")
+	mOpenOK  = openResults.With("ok")
+	mOpenErr = openResults.With("error")
+)
+
+// countingWriter tallies bytes written through it for the pack counters.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+func countOpen(err error) {
+	if err != nil {
+		mOpenErr.Inc()
+	} else {
+		mOpenOK.Inc()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"bugnet/internal/cpu"
 	"bugnet/internal/isa"
@@ -129,6 +130,13 @@ func (e *Engine) resolveAddr(c Command) (uint32, error) {
 // failures are carried in Outcome.Error: a malformed command must not tear
 // down the session (or the server) it runs in.
 func (e *Engine) Exec(c Command) Outcome {
+	start := time.Now()
+	out := e.exec(c)
+	observeCommand(c.Cmd, start)
+	return out
+}
+
+func (e *Engine) exec(c Command) Outcome {
 	var out Outcome
 	count := c.N
 	if count == 0 {

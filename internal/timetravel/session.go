@@ -154,6 +154,7 @@ func NewManager(src ReportSource, cfg ManagerConfig) *Manager {
 		stop:     make(chan struct{}),
 		now:      time.Now,
 	}
+	m.registerOccupancy()
 	go m.janitor()
 	return m
 }
@@ -205,6 +206,8 @@ func (m *Manager) Sweep() int {
 			m.mu.Lock()
 			delete(m.sessions, s.ID)
 			m.mu.Unlock()
+			mSessionsOpen.Dec()
+			mSessionsReaped.Inc()
 			reaped++
 		}
 		s.mu.Unlock()
@@ -224,12 +227,18 @@ func (m *Manager) Open(reportID string, tid int) (*Session, error) {
 	}
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		m.mu.Unlock()
+		mRejectCap.Inc()
 		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, m.cfg.MaxSessions)
 	}
 	m.mu.Unlock()
 
 	rep, img, release, err := m.src.OpenReport(reportID)
 	if err != nil {
+		if errors.Is(err, ErrUnknownReport) {
+			mRejectUnknown.Inc()
+		} else {
+			mRejectErr.Inc()
+		}
 		return nil, err
 	}
 	var window uint64
@@ -237,6 +246,7 @@ func (m *Manager) Open(reportID string, tid int) (*Session, error) {
 		for _, l := range logs {
 			if l.Length > m.cfg.MaxWindow-window {
 				release()
+				mRejectWindow.Inc()
 				return nil, fmt.Errorf("timetravel: claimed replay window exceeds the %d-instruction budget", m.cfg.MaxWindow)
 			}
 			window += l.Length
@@ -245,12 +255,14 @@ func (m *Manager) Open(reportID string, tid int) (*Session, error) {
 	eng, tid, err := NewEngineForThread(img, rep, tid, m.cfg.Engine)
 	if err != nil {
 		release()
+		mRejectErr.Inc()
 		return nil, err
 	}
 
 	id, err := newSessionID()
 	if err != nil {
 		release()
+		mRejectErr.Inc()
 		return nil, err
 	}
 	s := &Session{ID: id, ReportID: reportID, TID: tid, mgr: m, eng: eng, release: release}
@@ -263,12 +275,16 @@ func (m *Manager) Open(reportID string, tid int) (*Session, error) {
 		m.mu.Unlock()
 		s.close()
 		if closed {
+			mRejectErr.Inc()
 			return nil, ErrClosed
 		}
+		mRejectCap.Inc()
 		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, m.cfg.MaxSessions)
 	}
 	m.sessions[id] = s
 	m.mu.Unlock()
+	mSessionsOpen.Inc()
+	mSessionsOpened.Inc()
 	return s, nil
 }
 
@@ -288,6 +304,7 @@ func (m *Manager) CloseSession(id string) bool {
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	if ok {
+		mSessionsOpen.Dec()
 		s.close()
 	}
 	return ok
@@ -354,6 +371,15 @@ func (m *Manager) Count() int {
 	return len(m.sessions)
 }
 
+// Capacity returns the live session count and the cap — the readiness
+// signal: a manager at capacity rejects every Open until something
+// closes or ages out.
+func (m *Manager) Capacity() (open, max int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions), m.cfg.MaxSessions
+}
+
 // Close shuts the manager down, closing every session and stopping the
 // janitor.
 func (m *Manager) Close() {
@@ -370,6 +396,7 @@ func (m *Manager) Close() {
 	}
 	m.sessions = make(map[string]*Session)
 	m.mu.Unlock()
+	mSessionsOpen.Add(-int64(len(sessions)))
 	for _, s := range sessions {
 		s.close()
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bugnet/internal/httpjson"
+	"bugnet/internal/obs"
 	"bugnet/internal/report"
 	"bugnet/internal/timetravel"
 )
@@ -167,15 +168,54 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Store().Stats()
-		httpjson.Write(w, http.StatusOK, map[string]any{
-			"status":         "ok",
+		status, code := "ok", http.StatusOK
+		body := map[string]any{
 			"reports":        st.RetainedCount,
 			"retained_bytes": st.RetainedBytes,
 			"evicted":        st.EvictedCount,
 			"buckets":        s.BucketCount(),
 			"pending":        s.Pending(),
-		})
+		}
+		if err := s.Err(); err != nil {
+			// The store has swallowed a disk failure: the process is up but
+			// evidence is being lost — degraded, so orchestrators restart it.
+			status, code = "degraded", http.StatusServiceUnavailable
+			body["error"] = err.Error()
+		}
+		body["status"] = status
+		httpjson.Write(w, code, body)
 	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is stricter than liveness: can this instance take an
+		// upload (spool writable, store healthy) and open a debug session
+		// (capacity left) right now?
+		checks := map[string]string{"store": "ok", "spool": "ok"}
+		ready := true
+		if err := s.Err(); err != nil {
+			checks["store"] = err.Error()
+			ready = false
+		}
+		if err := s.SpoolHealthy(); err != nil {
+			checks["spool"] = err.Error()
+			ready = false
+		}
+		if debug != nil {
+			open, max := debug.Capacity()
+			checks["debug_sessions"] = "ok"
+			if open >= max {
+				checks["debug_sessions"] = "at capacity"
+				ready = false
+			}
+		}
+		code := http.StatusOK
+		if !ready {
+			code = http.StatusServiceUnavailable
+		}
+		httpjson.Write(w, code, map[string]any{"ready": ready, "checks": checks})
+	})
+
+	mux.Handle("GET /metrics", obs.Handler())
 
 	return mux
 }

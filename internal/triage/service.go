@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
@@ -359,6 +360,24 @@ func (s *Service) Close() {
 // Store exposes the underlying blob store (read-only use).
 func (s *Service) Store() *Store { return s.store }
 
+// Err returns the first disk failure the archive store has swallowed; a
+// non-nil result means uploads or reclamation are losing evidence and the
+// health endpoint reports degraded.
+func (s *Service) Err() error { return s.store.Err() }
+
+// SpoolHealthy probes whether the upload spool directory is writable —
+// the readiness condition for the streaming ingest path. The probe
+// creates and removes one temp file; failures are returned, not sticky.
+func (s *Service) SpoolHealthy() error {
+	f, err := os.CreateTemp(s.spoolDir, "probe-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
 // Ingest accepts one uploaded archive held in memory: validate, store,
 // bucket, and queue a replay if the content is new. For uploads that
 // should never transit memory whole, see IngestReader.
@@ -382,7 +401,10 @@ func (s *Service) begin() error {
 // while it is hashed, validated section-by-section in place, and renamed
 // into the store — the spill-to-disk ingest path, O(1) memory per upload
 // regardless of archive size.
-func (s *Service) IngestReader(r io.Reader) (*IngestResult, error) {
+func (s *Service) IngestReader(r io.Reader) (res *IngestResult, err error) {
+	start := time.Now()
+	var size int64
+	defer func() { observeIngest(start, size, res, err, false) }()
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
@@ -395,7 +417,7 @@ func (s *Service) IngestReader(r io.Reader) (*IngestResult, error) {
 	tmpPath := tmp.Name()
 	defer os.Remove(tmpPath) // no-op once the store adopts the file
 	h := sha256.New()
-	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	size, err = io.Copy(io.MultiWriter(tmp, h), r)
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -416,7 +438,9 @@ func (s *Service) IngestReader(r io.Reader) (*IngestResult, error) {
 	return s.ingestCore(id, size, put, sig, false)
 }
 
-func (s *Service) ingestBytes(data []byte, recovered bool) (*IngestResult, error) {
+func (s *Service) ingestBytes(data []byte, recovered bool) (res *IngestResult, err error) {
+	start := time.Now()
+	defer func() { observeIngest(start, int64(len(data)), res, err, recovered) }()
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
@@ -480,6 +504,7 @@ func (s *Service) ingestCore(id string, size int64, put func() (bool, error), ge
 			// are back now, so give triage its shot.
 			m.Verdict = &Verdict{State: VerdictPending}
 			s.pending++
+			mQueueDepth.Set(int64(s.pending))
 			enqueue = true
 		case !ok:
 			// The blob (and its metadata) was evicted between the check
@@ -491,6 +516,7 @@ func (s *Service) ingestCore(id string, size int64, put func() (bool, error), ge
 				b.ReportIDs = append(b.ReportIDs, id)
 			}
 			s.pending++
+			mQueueDepth.Set(int64(s.pending))
 			enqueue = true
 		}
 		s.mu.Unlock()
@@ -545,6 +571,7 @@ func (s *Service) ingestCore(id string, size int64, put func() (bool, error), ge
 		}
 		enqueue = true
 		s.pending++
+		mQueueDepth.Set(int64(s.pending))
 	}
 	s.mu.Unlock()
 
@@ -582,6 +609,7 @@ func (s *Service) bucketLocked(key string, sig Signature) *Bucket {
 	}
 	b := &Bucket{Key: key, Signature: sig}
 	s.buckets[key] = b
+	mBuckets.Set(int64(len(s.buckets)))
 	return b
 }
 
@@ -591,7 +619,15 @@ func (s *Service) bucketLocked(key string, sig Signature) *Bucket {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
+		start := time.Now()
 		v := s.triageOne(j.id)
+		mReplaySeconds.Since(start)
+		mReplayInstr.Add(v.Instructions)
+		if v.State == VerdictDone {
+			mVerdictDone.Inc()
+		} else {
+			mVerdictFailed.Inc()
+		}
 		s.mu.Lock()
 		if m := s.reports[j.id]; m != nil {
 			m.Verdict = v
@@ -603,6 +639,7 @@ func (s *Service) worker() {
 			b.Verdict = v
 		}
 		s.pending--
+		mQueueDepth.Set(int64(s.pending))
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}

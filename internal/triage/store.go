@@ -39,6 +39,10 @@ type Store struct {
 	// the service uses it to drop per-report metadata in step.
 	onEvict func(id string)
 
+	// err is the first disk failure (a blob write, rename, or reclaim);
+	// sticky, surfaced by Err and the health endpoints.
+	err error
+
 	// strays are valid-looking blob files found at non-canonical paths
 	// during OpenStore; recovery re-ingests then removes them.
 	strays []string
@@ -130,7 +134,31 @@ func OpenStore(dir string, budget int64) (*Store, error) {
 		s.stats.TotalCount++
 	}
 	s.evictLocked()
+	s.syncStoreGauges()
 	return s, nil
+}
+
+// fail records the first disk failure; the store keeps serving
+// best-effort afterwards. failLocked is for callers holding s.mu.
+func (s *Store) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+func (s *Store) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first disk failure the store has seen — the degraded
+// signal behind GET /healthz. A store that cannot write or reclaim blobs
+// is still readable, but new evidence is being lost.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // path returns the sharded location of a blob.
@@ -163,25 +191,30 @@ func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err e
 	}
 	p := s.path(id)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.fail(err)
 		return "", false, err
 	}
 	// Write-then-rename so a crashed server never leaves a half blob
 	// under a valid content address.
 	tmp, err := os.CreateTemp(filepath.Dir(p), id+".*.tmp")
 	if err != nil {
+		s.fail(err)
 		return "", false, err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		s.fail(err)
 		return "", false, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		s.fail(err)
 		return "", false, err
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		s.fail(err)
 		return "", false, err
 	}
 	s.mu.Lock()
@@ -197,6 +230,7 @@ func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err e
 	s.stats.TotalBytes += int64(len(data))
 	s.stats.TotalCount++
 	s.evictLocked()
+	s.syncStoreGauges()
 	return id, false, nil
 }
 
@@ -219,6 +253,7 @@ func (s *Store) AdoptFile(id string, src string) (existed bool, err error) {
 	}
 	p := s.path(id)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.fail(err)
 		return false, err
 	}
 	if err := os.Rename(src, p); err != nil {
@@ -245,6 +280,7 @@ func (s *Store) AdoptFile(id string, src string) (existed bool, err error) {
 	s.stats.TotalBytes += fi.Size()
 	s.stats.TotalCount++
 	s.evictLocked()
+	s.syncStoreGauges()
 	return false, nil
 }
 
@@ -286,6 +322,7 @@ func (s *Store) Pin(id string) bool {
 		return false
 	}
 	s.pins[id]++
+	mStorePinned.Set(int64(len(s.pins)))
 	return true
 }
 
@@ -302,6 +339,7 @@ func (s *Store) Unpin(id string) {
 		}
 	}
 	s.evictLocked()
+	s.syncStoreGauges()
 }
 
 // Pinned reports whether a blob currently holds pins.
@@ -364,7 +402,11 @@ func (s *Store) Delete(id string) {
 	s.stats.RetainedCount--
 	s.stats.EvictedBytes += bi.bytes
 	s.stats.EvictedCount++
-	os.Remove(s.path(id))
+	mStoreEvictions.Inc()
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		s.failLocked(err)
+	}
+	s.syncStoreGauges()
 }
 
 // evictLocked deletes oldest blobs until the budget is met, sparing the
@@ -388,9 +430,13 @@ func (s *Store) evictLocked() {
 		s.stats.RetainedCount--
 		s.stats.EvictedBytes += bi.bytes
 		s.stats.EvictedCount++
-		os.Remove(s.path(id))
+		mStoreEvictions.Inc()
+		if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+			s.failLocked(err)
+		}
 		if s.onEvict != nil {
 			s.onEvict(id)
 		}
 	}
+	s.syncStoreGauges()
 }
