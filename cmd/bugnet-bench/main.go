@@ -284,8 +284,9 @@ func runMicros(out string, iters, rounds int, baseline string, gatePct float64, 
 }
 
 // pairedReference maps a live-design benchmark name to its in-repo
-// reference twin (the pre-refactor map structures, or the preserved
-// switch interpreter).
+// reference twin (the pre-refactor map structures, the preserved switch
+// interpreter, or the sequential replay pass behind the parallel
+// interval fan-out).
 func pairedReference(name string) (ref string, ok bool) {
 	switch {
 	case strings.HasSuffix(name, "/paged"):
@@ -294,6 +295,8 @@ func pairedReference(name string) (ref string, ok bool) {
 		return strings.TrimSuffix(name, "/machine") + "/map", true
 	case strings.HasSuffix(name, "/blocks"):
 		return strings.TrimSuffix(name, "/blocks") + "/switch", true
+	case name == "ParallelReplay":
+		return "ParallelReplay/seq", true
 	}
 	return "", false
 }

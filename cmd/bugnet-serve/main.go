@@ -9,6 +9,7 @@
 //
 //	bugnet-serve -addr :8080 -dir /var/bugnet/reports
 //	bugnet-serve -budget 268435456 -workers 8 -scale 100
+//	bugnet-serve -replay-workers 8 -verdict-cache 10000
 //	bugnet-serve -image prog.s -image other.s      # register extra builds
 //	bugnet-serve -gdb :1234 -gdb-report <id>       # real gdb attaches here
 //	bugnet-serve -log-format json                  # machine-readable logs
@@ -48,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -71,7 +73,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "bugnet-reports", "report store root directory")
 	budget := flag.Int64("budget", 0, "report store byte budget (0 = unlimited)")
-	workers := flag.Int("workers", 4, "replay worker pool size")
+	workers := flag.Int("workers", 4, "replay worker pool size (concurrent reports)")
+	replayWorkers := flag.Int("replay-workers", 0, "parallel interval-replay fan-out per report (0 = GOMAXPROCS, 1 = sequential)")
+	verdictCache := flag.Int("verdict-cache", 0, "verdict cache bound in entries (0 = default 4096, negative = disabled)")
 	scale := flag.Int("scale", 100, "bug-window scale the fleet's recorders use")
 	depth := flag.Int("backtrace", 16, "backtrace depth in instructions")
 	maxWindow := flag.Uint64("maxwindow", 0, "max replay window per report in instructions (0 = default 100M)")
@@ -117,14 +121,19 @@ func main() {
 		reg.Register(img)
 	}
 
+	if *replayWorkers <= 0 {
+		*replayWorkers = runtime.GOMAXPROCS(0)
+	}
 	svc, err := triage.New(triage.Config{
-		Dir:             *dir,
-		Budget:          *budget,
-		Workers:         *workers,
-		BacktraceDepth:  *depth,
-		MaxReplayWindow: *maxWindow,
-		Resolver:        reg.Resolve,
-		SpoolDir:        *logDir,
+		Dir:               *dir,
+		Budget:            *budget,
+		Workers:           *workers,
+		BacktraceDepth:    *depth,
+		MaxReplayWindow:   *maxWindow,
+		Resolver:          reg.Resolve,
+		SpoolDir:          *logDir,
+		ReplayParallelism: *replayWorkers,
+		VerdictCache:      *verdictCache,
 	})
 	if err != nil {
 		logger.Error("starting triage service", "dir", *dir, "err", err)
@@ -146,6 +155,7 @@ func main() {
 			CheckpointEvery:  *ckptEvery,
 			CheckpointBudget: *ckptBudget,
 			MaxPages:         triage.DefaultMaxReplayPages,
+			ScanParallelism:  *replayWorkers,
 		},
 	})
 	defer mgr.Close()

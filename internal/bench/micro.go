@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
+	"bugnet/internal/fll"
 	"bugnet/internal/mem"
+	"bugnet/internal/parreplay"
 	"bugnet/internal/workload"
 )
 
@@ -325,6 +328,97 @@ func switchHotLoop() (func() time.Duration, error) {
 	}, nil
 }
 
+// --- parallel replay pair: interval fan-out vs one sequential pass ---
+
+// parReplayWorkers is the fan-out of the gated ParallelReplay micro; the
+// CI floor asserts >= 3x over the sequential twin at this width.
+const parReplayWorkers = 8
+
+// parReplayWindow/parReplayInterval size the recorded window: 16 equal
+// checkpoint intervals — two rounds of units per worker, long enough that
+// the fixed per-unit cost (fresh memory image, text copy, block
+// re-predecode) stays a few percent of the interval's execution.
+const (
+	parReplayWindow   = 320_000
+	parReplayInterval = 20_000
+)
+
+// parReplayState records the gzip window once and shares it between the
+// ParallelReplay pair, so both sides replay the identical logs.
+var parReplayState struct {
+	once sync.Once
+	img  *asm.Image
+	logs []*fll.Ref
+	err  error
+}
+
+func parReplayLogs() (*asm.Image, []*fll.Ref, error) {
+	s := &parReplayState
+	s.once.Do(func() {
+		w := workload.ByName("gzip")
+		m := w.Machine(w.Warmup, nil)
+		m.Run()
+		rec := core.NewRecorder(m, core.Config{IntervalLength: parReplayInterval})
+		m.SetMaxSteps(w.Warmup + parReplayWindow)
+		m.Run()
+		rec.Flush()
+		if s.err = rec.Err(); s.err != nil {
+			return
+		}
+		logs := rec.Report().FLLs[0]
+		if len(logs) < parReplayWorkers {
+			s.err = fmt.Errorf("bench: only %d intervals recorded; the fan-out needs slack", len(logs))
+			return
+		}
+		s.img, s.logs = w.Image, logs
+	})
+	return s.img, s.logs, s.err
+}
+
+// parallelReplayMicro measures the parreplay fan-out executor: the whole
+// window replayed as independent per-interval units on a worker pool and
+// merged in interval order.
+func parallelReplayMicro() (func() time.Duration, error) {
+	img, logs, err := parReplayLogs()
+	if err != nil {
+		return nil, err
+	}
+	o := parreplay.Options{Workers: parReplayWorkers}
+	return func() time.Duration {
+		start := time.Now()
+		res, err := parreplay.ReplayThread(img, logs, o)
+		if err != nil {
+			panic(fmt.Sprintf("bench: parallel replay: %v", err))
+		}
+		if res.Instructions != parReplayWindow {
+			panic(fmt.Sprintf("bench: parallel replay covered %d of %d instructions",
+				res.Instructions, parReplayWindow))
+		}
+		return time.Since(start)
+	}, nil
+}
+
+// sequentialReplayMicro is the reference twin: the same logs through one
+// sequential Replayer pass, interval after interval.
+func sequentialReplayMicro() (func() time.Duration, error) {
+	img, logs, err := parReplayLogs()
+	if err != nil {
+		return nil, err
+	}
+	return func() time.Duration {
+		start := time.Now()
+		res, err := core.NewReplayer(img, logs).Run()
+		if err != nil {
+			panic(fmt.Sprintf("bench: sequential replay: %v", err))
+		}
+		if res.Instructions != parReplayWindow {
+			panic(fmt.Sprintf("bench: sequential replay covered %d of %d instructions",
+				res.Instructions, parReplayWindow))
+		}
+		return time.Since(start)
+	}, nil
+}
+
 // recordWindowWindow is the recorded-phase length of the RecordWindow
 // micro, in instructions.
 const recordWindowWindow = 50_000
@@ -397,6 +491,8 @@ func micros() []micro {
 		{"SnapshotRestore/map", mapSnapshotRestore},
 		{"StepVsRun/blocks", blocksHotLoop},
 		{"StepVsRun/switch", switchHotLoop},
+		{"ParallelReplay", parallelReplayMicro},
+		{"ParallelReplay/seq", sequentialReplayMicro},
 		{"RecordPerInstr", recordPerInstrMicro},
 	}
 }

@@ -60,6 +60,19 @@ type Replayer struct {
 	MaxPages int
 	// LogCodeLoads must match the recording configuration.
 	LogCodeLoads bool
+	// InteriorWindow marks these logs as a mid-window slice of a larger
+	// recording (parallel interval replay hands each worker a one-interval
+	// window). The final interval of a recording is allowed to stop one
+	// logged code fetch short under LogCodeLoads (the faulting fetch never
+	// commits); an interior slice must never claim that exemption, or a
+	// hostile log marked EndFault mid-window would replay clean in
+	// parallel while the sequential path reports divergence.
+	InteriorWindow bool
+	// BaseIC seeds the core's committed-instruction counter, so fault
+	// diagnostics from an interior window report window-global instruction
+	// counts — a parallel interval replay must produce the same error
+	// strings the sequential full-window replay would.
+	BaseIC uint64
 	// DictOptions must match the recording configuration (relevant only
 	// for design-space ablations; the zero value is the paper design).
 	DictOptions dict.Options
@@ -142,6 +155,7 @@ func (r *Replayer) newState() *state {
 	}
 	c := cpu.New(m)
 	c.AutoMap = true
+	c.IC = r.BaseIC
 	if r.MaxPages > 0 {
 		// The budget is for replay-touched data pages; the program text
 		// mapped above is a property of the binary, not the logs.
@@ -237,7 +251,7 @@ func (st *state) finishInterval() error {
 		// exactly one logged fetch short of the log. Anything else —
 		// interior intervals a hostile log marks EndFault, or more than
 		// one leftover entry — is divergence.
-		last := st.idx == len(st.logs)
+		last := st.idx == len(st.logs) && !st.r.InteriorWindow
 		if !(st.r.LogCodeLoads && st.cur.End == fll.EndFault && last && st.reader.PendingOne()) {
 			return fmt.Errorf("%w: interval C%d ended with unconsumed log entries", ErrDiverged, st.cur.CID)
 		}

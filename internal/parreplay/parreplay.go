@@ -1,0 +1,371 @@
+// Package parreplay is the parallel interval-replay executor: BugNet's
+// record-once/replay-many economics made concrete.
+//
+// The paper's core property (§4.2) is that every checkpoint interval is
+// independently replayable from its own First-Load Log: the header
+// snapshots the full architectural state at the interval start, and the
+// recorder clears all first-load bits when it creates a checkpoint, so
+// every value the interval observes that its own execution did not produce
+// is in the interval's log. Sequential replay exploits none of that — it
+// walks the intervals one at a time on one goroutine. This package seeds
+// one replay per interval and fans the intervals across a bounded worker
+// pool, then merges the per-interval results in interval order so the
+// outcome is byte-identical to the sequential path:
+//
+//   - Instructions and Injected are sums over intervals;
+//   - Final registers, TID and the fault record come from the last
+//     interval (each interval restores its header state, so the final
+//     state never depends on earlier intervals);
+//   - the backtrace ring is reassembled from the trailing intervals'
+//     rings (each ring holds at least min(TraceDepth, interval length)
+//     entries, so walking intervals backward until TraceDepth entries
+//     accumulate reconstructs the sequential ring exactly);
+//   - the first failure in (thread, interval) order wins, which is the
+//     order the sequential batched schedule encounters failures in, and
+//     later intervals' divergences are discarded exactly as the
+//     sequential path never reaches them.
+//
+// Reports that need race detection are replayed sequentially: the
+// vector-clock detector consumes the reconstructed global interleaving,
+// and its verdict depends on that order, so only the sequential schedule
+// reproduces it. ReplayReport routes such reports (any report carrying
+// MRLs) to core.MultiReplayer unchanged. The fleet-scale common case — a
+// single-threaded crash uploaded by thousands of machines — takes the
+// parallel path.
+//
+// One semantic note: the replay page budget (Options.MaxPages) applies
+// per interval on the parallel path, where the sequential path applies it
+// cumulatively over the whole window. A report whose distinct-page
+// footprint exceeds the budget only cumulatively replays clean in
+// parallel and diverges sequentially; both verdicts are valid statements
+// about an over-budget report, and the budget's purpose — bounding one
+// worker's memory — holds either way (peak memory is MaxPages times the
+// pool width).
+package parreplay
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+	"bugnet/internal/dict"
+	"bugnet/internal/fll"
+)
+
+// Options tunes a parallel replay.
+type Options struct {
+	// Workers bounds the replay worker pool. <= 0 picks GOMAXPROCS; 1
+	// still runs the fan-out machinery on one worker (useful for parity
+	// tests), while callers wanting the literal sequential code path use
+	// core.Replayer / core.MultiReplayer directly.
+	Workers int
+	// TraceDepth is the backtrace ring length (0 = no trace).
+	TraceDepth int
+	// MaxPages caps each interval replay's memory in 4 KB pages (see
+	// core.Replayer.MaxPages; per interval on this path).
+	MaxPages int
+	// LogCodeLoads and DictOptions must match the recording
+	// configuration. ReplayReport overrides them from the report.
+	LogCodeLoads bool
+	DictOptions  dict.Options
+}
+
+func (o *Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// unit is one (thread, interval) replay work item.
+type unit struct {
+	tid    int
+	idx    int // interval index within the thread's window
+	ref    *fll.Ref
+	baseIC uint64 // instructions in the thread's earlier intervals
+	last   bool   // true for the thread's final interval
+	traced bool   // carry a trace ring (the crashing thread)
+}
+
+// unitResult is one finished work item.
+type unitResult struct {
+	unit
+	res      *core.ReplayResult
+	err      error
+	panicked bool
+	panicVal any
+}
+
+// replayUnit replays one interval in isolation. A panic is captured, not
+// propagated: workers run on pool goroutines, and an uncaught panic there
+// would kill the process instead of reaching the caller's recover (triage
+// demotes replay panics to failed verdicts).
+func replayUnit(img *asm.Image, u unit, o Options) (r unitResult) {
+	r.unit = u
+	defer func() {
+		if v := recover(); v != nil {
+			r.panicked, r.panicVal = true, v
+		}
+	}()
+	rep := core.NewReplayer(img, []*fll.Ref{u.ref})
+	rep.LogCodeLoads = o.LogCodeLoads
+	rep.DictOptions = o.DictOptions
+	rep.MaxPages = o.MaxPages
+	rep.InteriorWindow = !u.last
+	rep.BaseIC = u.baseIC
+	if u.traced {
+		rep.TraceDepth = o.TraceDepth
+	}
+	r.res, r.err = rep.Run()
+	return r
+}
+
+// run fans units across the pool and returns every result, sorted by
+// (thread, interval).
+func run(img *asm.Image, units []unit, o Options) []unitResult {
+	workers := o.workers()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	in := make(chan unit)
+	out := make(chan unitResult, len(units))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range in {
+				mWorkersBusy.Inc()
+				r := replayUnit(img, u, o)
+				mWorkersBusy.Dec()
+				mIntervals.Inc()
+				out <- r
+			}
+		}()
+	}
+	for _, u := range units {
+		in <- u
+	}
+	close(in)
+	wg.Wait()
+	close(out)
+	results := make([]unitResult, 0, len(units))
+	for r := range out {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].tid != results[j].tid {
+			return results[i].tid < results[j].tid
+		}
+		return results[i].idx < results[j].idx
+	})
+	return results
+}
+
+// firstFailure scans (thread, interval)-ordered results for the first
+// divergence or panic — the one the sequential schedule would have hit —
+// and surfaces it: panics re-panic on the caller's goroutine so the
+// caller's recover sees the identical value.
+func firstFailure(results []unitResult) error {
+	for _, r := range results {
+		if r.panicked {
+			panic(r.panicVal)
+		}
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// mergeThread folds one thread's interval results (already in interval
+// order, all error-free) into the result sequential replay of the full
+// window produces.
+func mergeThread(results []unitResult, traceDepth int) *core.ReplayResult {
+	last := results[len(results)-1].res
+	merged := &core.ReplayResult{
+		TID:       last.TID,
+		Final:     last.Final,
+		Intervals: len(results),
+		Fault:     last.Fault,
+	}
+	for _, r := range results {
+		merged.Instructions += r.res.Instructions
+		merged.Injected += r.res.Injected
+	}
+	if traceDepth > 0 {
+		// Reassemble the last-TraceDepth ring: walk intervals backward,
+		// prepending each interval's ring until enough entries accumulate.
+		var trace []core.TraceEntry
+		for i := len(results) - 1; i >= 0 && len(trace) < traceDepth; i-- {
+			trace = append(append([]core.TraceEntry(nil), results[i].res.Trace...), trace...)
+		}
+		if len(trace) > traceDepth {
+			trace = trace[len(trace)-traceDepth:]
+		}
+		merged.Trace = trace
+	}
+	return merged
+}
+
+// ReplayThread replays one thread's interval refs across the worker pool
+// and merges the outcome. The result (and any error) is byte-identical to
+// core.NewReplayer(img, logs).Run() with the same options.
+func ReplayThread(img *asm.Image, logs []*fll.Ref, o Options) (*core.ReplayResult, error) {
+	if len(logs) == 0 {
+		r := core.NewReplayer(img, logs)
+		r.LogCodeLoads = o.LogCodeLoads
+		r.DictOptions = o.DictOptions
+		r.MaxPages = o.MaxPages
+		r.TraceDepth = o.TraceDepth
+		return r.Run()
+	}
+	units := make([]unit, len(logs))
+	var cum uint64
+	for i, ref := range logs {
+		units[i] = unit{idx: i, ref: ref, baseIC: cum,
+			last: i == len(logs)-1, traced: o.TraceDepth > 0}
+		cum += ref.Length
+	}
+	results := run(img, units, o)
+	if err := firstFailure(results); err != nil {
+		return nil, err
+	}
+	return mergeThread(results, o.TraceDepth), nil
+}
+
+// ReportOptions tunes ReplayReport.
+type ReportOptions struct {
+	Options
+	// DetectRaces requests the race analysis; it forces the sequential
+	// schedule (the vector-clock detector is interleaving-sensitive).
+	DetectRaces bool
+}
+
+// sequentialFallbacks counts report replays routed to the sequential
+// MultiReplayer (races requested, MRL-carrying report, or a one-worker
+// pool); exported for tests.
+var sequentialFallbacks atomic.Uint64
+
+// SequentialFallbacks returns how many ReplayReport calls took the
+// sequential path.
+func SequentialFallbacks() uint64 { return sequentialFallbacks.Load() }
+
+// ReplayReport replays every thread of a crash report, adopting the
+// recording options the report carries, with the per-thread interval
+// replays fanned across the pool. Reports that need the reconstructed
+// global interleaving — race detection requested, or any MRLs present
+// (their constraint accounting is part of the sequential result) — are
+// replayed by core.MultiReplayer unchanged, so the verdict is always
+// byte-identical to the sequential path.
+func ReplayReport(img *asm.Image, rep *core.CrashReport, o ReportOptions) (*core.MultiReplayResult, error) {
+	if o.DetectRaces || len(rep.MRLs) > 0 || o.workers() == 1 {
+		sequentialFallbacks.Add(1)
+		mSequential.Inc()
+		mr := core.NewMultiReplayer(img, rep)
+		mr.DetectRaces = o.DetectRaces
+		mr.MaxPages = o.MaxPages
+		mr.TraceDepth = o.TraceDepth
+		res, err := mr.Run()
+		return res, err
+	}
+	if rep.Binary.TextLen != 0 {
+		if err := rep.Binary.Matches(img); err != nil {
+			return nil, err
+		}
+	}
+	tids := make([]int, 0, len(rep.FLLs))
+	for tid := range rep.FLLs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	if len(tids) == 0 {
+		return &core.MultiReplayResult{Threads: map[int]*core.ReplayResult{}}, nil
+	}
+
+	opts := o.Options
+	opts.LogCodeLoads = rep.LogCodeLoads
+	opts.DictOptions = rep.DictOptions
+
+	var units []unit
+	for _, tid := range tids {
+		logs := rep.FLLs[tid]
+		traced := opts.TraceDepth > 0 && rep.Crash != nil && tid == rep.Crash.TID
+		var cum uint64
+		for i, ref := range logs {
+			units = append(units, unit{tid: tid, idx: i, ref: ref, baseIC: cum,
+				last: i == len(logs)-1, traced: traced})
+			cum += ref.Length
+		}
+	}
+	results := run(img, units, opts)
+	if err := firstFailure(results); err != nil {
+		// MultiReplayer wraps each thread's failure; match it, using the
+		// failing unit's thread (firstFailure returns the first error in
+		// (thread, interval) order, so re-scan for its owner).
+		for _, r := range results {
+			if r.err != nil {
+				return nil, &threadError{tid: r.tid, err: r.err}
+			}
+		}
+	}
+
+	res := &core.MultiReplayResult{Threads: make(map[int]*core.ReplayResult, len(tids))}
+	at := 0
+	for _, tid := range tids {
+		n := len(rep.FLLs[tid])
+		if n == 0 {
+			// The sequential path still builds a (trivially done) machine
+			// for a thread with no retained logs and records its zero-work
+			// result; an empty sequential run reproduces it.
+			r := core.NewReplayer(img, nil)
+			r.LogCodeLoads = opts.LogCodeLoads
+			r.DictOptions = opts.DictOptions
+			r.MaxPages = opts.MaxPages
+			if opts.TraceDepth > 0 && rep.Crash != nil && tid == rep.Crash.TID {
+				r.TraceDepth = opts.TraceDepth
+			}
+			rr, err := r.Run()
+			if err != nil {
+				return nil, &threadError{tid: tid, err: err}
+			}
+			res.Threads[tid] = rr
+			continue
+		}
+		depth := 0
+		if results[at].traced {
+			depth = opts.TraceDepth
+		}
+		res.Threads[tid] = mergeThread(results[at:at+n], depth)
+		at += n
+	}
+	return res, nil
+}
+
+// threadError mirrors core.MultiReplayer's per-thread error wrapping
+// ("thread %d: <cause>") with the cause unwrappable.
+type threadError struct {
+	tid int
+	err error
+}
+
+func (e *threadError) Error() string { return "thread " + itoa(e.tid) + ": " + e.err.Error() }
+func (e *threadError) Unwrap() error { return e.err }
+
+// itoa avoids pulling fmt onto the error path for a non-negative int.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -21,6 +21,8 @@ package timetravel
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
@@ -56,6 +58,14 @@ type Config struct {
 	// (CrashReport carries them).
 	LogCodeLoads bool
 	DictOptions  dict.Options
+	// ScanParallelism is the number of checkpoint gaps ReverseContinue
+	// scans speculatively in parallel: instead of widening one gap at a
+	// time, it restores up to this many gap-start checkpoints into private
+	// scan machines and re-executes them concurrently, newest-first, with
+	// older gaps cancelled as soon as a newer gap records a stop. The stop
+	// position, reason, and watch transition are identical to the
+	// sequential walk. <= 1 keeps the sequential scan.
+	ScanParallelism int
 }
 
 func (c *Config) fillDefaults() {
@@ -129,9 +139,10 @@ type checkpoint struct {
 //
 // Engine is not safe for concurrent use; Session serializes access.
 type Engine struct {
-	img *asm.Image
-	cfg Config
-	m   *core.ReplayMachine
+	img  *asm.Image
+	cfg  Config
+	logs []*fll.Ref
+	m    *core.ReplayMachine
 
 	ckpts      []*checkpoint // ascending by pos; ckpts[0] is the pos-0 anchor
 	ckptBytes  int64
@@ -141,6 +152,12 @@ type Engine struct {
 	watchAddrs []uint32 // sorted word addresses, for deterministic reporting
 	watchVals  map[uint32]watchVal
 	lastWatch  *WatchHit
+
+	// scanners are the private replay machines the parallel reverse scan
+	// restores gap-start checkpoints into, minted lazily and reused across
+	// ReverseContinue calls. Only the gap scan runs on them concurrently;
+	// snapshot restores stay serialized on the engine's goroutine.
+	scanners []*core.ReplayMachine
 }
 
 // NewEngine opens one thread's logs for time-travel debugging.
@@ -157,6 +174,7 @@ func NewEngine(img *asm.Image, logs []*fll.Ref, cfg Config) (*Engine, error) {
 	e := &Engine{
 		img:       img,
 		cfg:       cfg,
+		logs:      logs,
 		m:         r.Machine(core.MachineOptions{TrackKnown: true}),
 		breaks:    make(map[uint32]bool),
 		watchVals: make(map[uint32]watchVal),
@@ -279,30 +297,42 @@ func (e *Engine) Checkpoints() (count int, bytes int64) {
 	return len(e.ckpts), e.ckptBytes
 }
 
-// primeWatches re-reads every watched word, so motion that is navigation
-// (seeks, restores) rather than execution never fires a watchpoint.
-func (e *Engine) primeWatches() {
-	for _, a := range e.watchAddrs {
-		v, known := e.m.ReadWord(a)
-		e.watchVals[a] = watchVal{known: known, val: v}
+// primeWatchVals (re-)reads every watched word on m into vals, so motion
+// that is navigation (seeks, restores) rather than execution never fires a
+// watchpoint. The parallel reverse scan calls it with a scan machine and a
+// private map; the engine's own machine uses e.watchVals.
+func primeWatchVals(m *core.ReplayMachine, addrs []uint32, vals map[uint32]watchVal) {
+	for _, a := range addrs {
+		v, known := m.ReadWord(a)
+		vals[a] = watchVal{known: known, val: v}
 	}
 }
 
-// checkWatches scans the watched words (in address order) for a change
-// since the last observation, updating the stored state either way.
-func (e *Engine) checkWatches() *WatchHit {
+// checkWatchVals scans the watched words (in address order) for a change
+// since the last observation in vals, updating the stored state either way.
+func checkWatchVals(m *core.ReplayMachine, addrs []uint32, vals map[uint32]watchVal) *WatchHit {
 	var hit *WatchHit
-	for _, a := range e.watchAddrs {
-		v, known := e.m.ReadWord(a)
-		prev := e.watchVals[a]
+	for _, a := range addrs {
+		v, known := m.ReadWord(a)
+		prev := vals[a]
 		if known != prev.known || v != prev.val {
-			e.watchVals[a] = watchVal{known: known, val: v}
+			vals[a] = watchVal{known: known, val: v}
 			if hit == nil {
 				hit = &WatchHit{Addr: a, OldKnown: prev.known, Old: prev.val, NewKnown: known, New: v}
 			}
 		}
 	}
 	return hit
+}
+
+// primeWatches re-primes the engine's watch state from its own machine.
+func (e *Engine) primeWatches() {
+	primeWatchVals(e.m, e.watchAddrs, e.watchVals)
+}
+
+// checkWatches polices the engine's watch state on its own machine.
+func (e *Engine) checkWatches() *WatchHit {
+	return checkWatchVals(e.m, e.watchAddrs, e.watchVals)
 }
 
 // ckptIndexAtOrBefore returns the index of the latest checkpoint with
@@ -490,7 +520,10 @@ func (e *Engine) ReverseStep(n uint64) (StopReason, error) {
 // checkpoint, re-execute forward to the scan limit recording the last
 // stop, and only widen backward when a gap contains none — so the common
 // "the write was recent" case costs one gap, and the worst case is one
-// pass over the window.
+// pass over the window. With Config.ScanParallelism > 1 the gaps are
+// scanned speculatively in parallel on private scan machines (still
+// merged newest-first, older gaps cancelled once a newer one stops), so
+// the worst case costs one pass over the window divided across workers.
 func (e *Engine) ReverseContinue() (StopReason, error) {
 	if len(e.breaks) == 0 && len(e.watchAddrs) == 0 {
 		// Nothing can stop a reverse scan; land on the window start
@@ -499,6 +532,9 @@ func (e *Engine) ReverseContinue() (StopReason, error) {
 			return StopStart, err
 		}
 		return StopStart, nil
+	}
+	if e.cfg.ScanParallelism > 1 {
+		return e.reverseContinueParallel()
 	}
 	limit := e.m.Pos()
 	for {
@@ -513,30 +549,16 @@ func (e *Engine) ReverseContinue() (StopReason, error) {
 		e.nextCkptAt = c.pos + e.cfg.CheckpointEvery
 		e.primeWatches()
 
-		hitPos, hitReason := int64(-1), StopStep
-		var hitWatch *WatchHit
-		if e.breaks[e.m.PC()] && e.m.Pos() < limit {
-			hitPos, hitReason = int64(e.m.Pos()), StopBreak
+		g := scanGap(e.m, e.breaks, e.watchAddrs, e.watchVals, limit, e.forwardOne, nil)
+		if g.err != nil {
+			return StopStep, g.err
 		}
-		for e.m.Pos() < limit && !e.m.Done() {
-			p := e.m.Pos()
-			if err := e.forwardOne(); err != nil {
-				return StopStep, err
+		if g.hitPos >= 0 {
+			if err := e.SeekTo(uint64(g.hitPos)); err != nil {
+				return g.reason, err
 			}
-			if hit := e.checkWatches(); hit != nil {
-				// The instruction at p is the mutator.
-				hitPos, hitReason, hitWatch = int64(p), StopWatch, hit
-			}
-			if e.m.Pos() < limit && e.breaks[e.m.PC()] {
-				hitPos, hitReason, hitWatch = int64(e.m.Pos()), StopBreak, nil
-			}
-		}
-		if hitPos >= 0 {
-			if err := e.SeekTo(uint64(hitPos)); err != nil {
-				return hitReason, err
-			}
-			e.lastWatch = hitWatch
-			return hitReason, nil
+			e.lastWatch = g.watch
+			return g.reason, nil
 		}
 		if c.pos == 0 {
 			if err := e.SeekTo(0); err != nil {
@@ -546,4 +568,162 @@ func (e *Engine) ReverseContinue() (StopReason, error) {
 		}
 		limit = c.pos
 	}
+}
+
+// gapScan is one checkpoint gap's reverse-scan outcome: the last stop the
+// gap contains (hitPos < 0 when none), a forward-execution error, or a
+// cancellation by a newer gap's stop.
+type gapScan struct {
+	hitPos    int64
+	reason    StopReason
+	watch     *WatchHit
+	err       error
+	cancelled bool
+}
+
+// cancelCheckMask throttles the cancellation poll in the scan loop to one
+// atomic load per 512 instructions.
+const cancelCheckMask = 512 - 1
+
+// scanGap re-executes m — already restored to a gap-start checkpoint,
+// with vals primed there — up to limit, recording the LAST break or watch
+// stop in the gap: a watch stop is the pre-step position of the mutating
+// instruction, a break stop the post-step position when it is still below
+// the limit (the limit itself is where the reverse motion started). step
+// advances m one instruction; the engine's own machine checkpoints along
+// the way, scan machines step plainly. An execution error abandons the
+// gap, discarding any stop already recorded in it, exactly as the
+// sequential walk does. A non-nil cancel flag abandons the scan once a
+// newer gap has decided the result.
+func scanGap(m *core.ReplayMachine, breaks map[uint32]bool, addrs []uint32,
+	vals map[uint32]watchVal, limit uint64, step func() error, cancel *atomic.Bool) gapScan {
+	g := gapScan{hitPos: -1, reason: StopStep}
+	if breaks[m.PC()] && m.Pos() < limit {
+		g.hitPos, g.reason = int64(m.Pos()), StopBreak
+	}
+	for n := 0; m.Pos() < limit && !m.Done(); n++ {
+		if cancel != nil && n&cancelCheckMask == 0 && cancel.Load() {
+			g.cancelled = true
+			return g
+		}
+		p := m.Pos()
+		if err := step(); err != nil {
+			g.err = err
+			return g
+		}
+		if hit := checkWatchVals(m, addrs, vals); hit != nil {
+			// The instruction at p is the mutator.
+			g.hitPos, g.reason, g.watch = int64(p), StopWatch, hit
+		}
+		if m.Pos() < limit && breaks[m.PC()] {
+			g.hitPos, g.reason, g.watch = int64(m.Pos()), StopBreak, nil
+		}
+	}
+	return g
+}
+
+// newScanMachine mints a private replay machine over the engine's logs
+// for the speculative gap scan. It mirrors the main machine's build
+// exactly, so any checkpoint snapshot restores into it.
+func (e *Engine) newScanMachine() *core.ReplayMachine {
+	r := core.NewReplayer(e.img, e.logs)
+	r.LogCodeLoads = e.cfg.LogCodeLoads
+	r.DictOptions = e.cfg.DictOptions
+	r.MaxPages = e.cfg.MaxPages
+	r.TraceDepth = e.cfg.TraceDepth
+	return r.Machine(core.MachineOptions{TrackKnown: true})
+}
+
+// reverseContinueParallel is the speculative reverse scan: it decomposes
+// the history below the current position into checkpoint gaps and scans
+// up to ScanParallelism of them concurrently per round, newest-first.
+// Each gap's checkpoint is restored into a private scan machine on the
+// engine's goroutine (snapshot restores share copy-on-write state and
+// must not race), then the gaps re-execute in parallel; once a newer gap
+// records a stop, the older gaps of the round are cancelled. Results
+// merge in gap order, so the stop chosen — and the error surfaced, if a
+// gap fails before any newer gap stops — is exactly the sequential
+// walk's.
+func (e *Engine) reverseContinueParallel() (StopReason, error) {
+	limit := e.m.Pos()
+	i := e.ckptIndexAtOrBefore(limit)
+	if e.ckpts[i].pos == limit && limit > 0 {
+		// The checkpoint sits exactly at the scan limit; the newest gap
+		// to scan is the one before it.
+		i--
+	}
+	// gaps[k] spans [gaps[k].ck.pos, gaps[k].limit), newest first.
+	type gap struct {
+		ck    *checkpoint
+		limit uint64
+	}
+	gaps := make([]gap, 0, i+1)
+	for up := limit; i >= 0; i-- {
+		gaps = append(gaps, gap{e.ckpts[i], up})
+		up = e.ckpts[i].pos
+	}
+
+	workers := min(e.cfg.ScanParallelism, len(gaps))
+	for len(e.scanners) < workers {
+		e.scanners = append(e.scanners, e.newScanMachine())
+	}
+
+	finish := func(g gapScan) (StopReason, error) {
+		if g.err != nil {
+			return StopStep, g.err
+		}
+		if err := e.SeekTo(uint64(g.hitPos)); err != nil {
+			return g.reason, err
+		}
+		e.lastWatch = g.watch
+		return g.reason, nil
+	}
+
+	for start := 0; start < len(gaps); start += workers {
+		batch := gaps[start:min(start+workers, len(gaps))]
+		results := make([]gapScan, len(batch))
+		cancels := make([]atomic.Bool, len(batch))
+		var wg sync.WaitGroup
+		for k := range batch {
+			m := e.scanners[k]
+			// Serialized on this goroutine: restoring shares pages with
+			// the snapshot copy-on-write, mutating its sharing bits.
+			m.Restore(batch[k].ck.snap)
+			vals := make(map[uint32]watchVal, len(e.watchAddrs))
+			primeWatchVals(m, e.watchAddrs, vals)
+			wg.Add(1)
+			go func(k int, m *core.ReplayMachine, vals map[uint32]watchVal) {
+				defer wg.Done()
+				g := scanGap(m, e.breaks, e.watchAddrs, vals, batch[k].limit, m.StepOne, &cancels[k])
+				results[k] = g
+				if !g.cancelled && (g.err != nil || g.hitPos >= 0) {
+					// This gap decides over everything older; stop wasting
+					// cores on gaps whose results cannot win the merge.
+					for o := k + 1; o < len(batch); o++ {
+						cancels[o].Store(true)
+					}
+				}
+			}(k, m, vals)
+		}
+		wg.Wait()
+		for k := range results {
+			g := results[k]
+			if g.cancelled {
+				// Only reachable if the canceller's own result left the
+				// merge undecided — it cannot, but a wrong stop position
+				// would be silent, so rescan this gap sequentially.
+				e.m.Restore(batch[k].ck.snap)
+				e.nextCkptAt = batch[k].ck.pos + e.cfg.CheckpointEvery
+				e.primeWatches()
+				g = scanGap(e.m, e.breaks, e.watchAddrs, e.watchVals, batch[k].limit, e.forwardOne, nil)
+			}
+			if g.err != nil || g.hitPos >= 0 {
+				return finish(g)
+			}
+		}
+	}
+	if err := e.SeekTo(0); err != nil {
+		return StopStart, err
+	}
+	return StopStart, nil
 }

@@ -1,0 +1,295 @@
+package triage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bugnet/internal/asm"
+	"bugnet/internal/core"
+	"bugnet/internal/kernel"
+	"bugnet/internal/report"
+)
+
+// recordBlobAt records the crash demo with a given interval length, so
+// tests can mint distinct archive contents for the same binary.
+func recordBlobAt(t testing.TB, interval uint64) (*asm.Image, []byte) {
+	t.Helper()
+	img, err := asm.Assemble("crash.s", crashSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, _ := core.Record(img, kernel.Config{}, core.Config{IntervalLength: interval})
+	if res.Crash == nil {
+		t.Fatal("program did not crash")
+	}
+	blob, err := report.Pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, blob
+}
+
+// TestVerdictCacheRestartSkipsReplay is the rehydration property: after a
+// restart, the recovery re-index must satisfy known reports from the
+// persisted verdict cache without replaying — proven by giving the second
+// service a resolver that cannot replay anything.
+func TestVerdictCacheRestartSkipsReplay(t *testing.T) {
+	img, _, blob := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+
+	s1, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s1.Ingest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.WaitIdle()
+	m, _ := s1.Report(res.ID)
+	want := m.Verdict
+	if want == nil || want.State != VerdictDone {
+		t.Fatalf("first verdict = %+v", want)
+	}
+	s1.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, "verdicts", res.ID+".json")); err != nil {
+		t.Fatalf("verdict not persisted: %v", err)
+	}
+
+	// The poisoned resolver turns any replay into a failed verdict, so a
+	// done verdict after restart can only have come from the cache.
+	poisoned := func(core.BinaryID) (*asm.Image, error) {
+		return nil, errors.New("resolver must not run: verdict should be cached")
+	}
+	s2, err := New(Config{Dir: dir, Workers: 1, Resolver: poisoned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.WaitIdle()
+	m2, ok := s2.Report(res.ID)
+	if !ok {
+		t.Fatal("restarted service lost the report")
+	}
+	if !reflect.DeepEqual(m2.Verdict, want) {
+		t.Errorf("rehydrated verdict differs:\n got %+v\nwant %+v", m2.Verdict, want)
+	}
+}
+
+// TestVerdictCacheEviction bounds the cache: at capacity 1, a second
+// distinct report must evict the first — from memory and from disk — and
+// the evicted report must replay again on restart.
+func TestVerdictCacheEviction(t *testing.T) {
+	img, blobA := recordBlobAt(t, 16)
+	_, blobB := recordBlobAt(t, 32)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+
+	before := mCacheEvictions.Value()
+	s1, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve, VerdictCache: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := s1.Ingest(blobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.WaitIdle()
+	resB, err := s1.Ingest(blobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.ID == resA.ID {
+		t.Fatal("test needs two distinct archives")
+	}
+	s1.WaitIdle()
+	if n := s1.vcache.len(); n != 1 {
+		t.Errorf("cache holds %d entries at capacity 1", n)
+	}
+	if mCacheEvictions.Value() == before {
+		t.Error("eviction not counted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "verdicts", resA.ID+".json")); !os.IsNotExist(err) {
+		t.Error("evicted verdict file survived")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "verdicts", resB.ID+".json")); err != nil {
+		t.Errorf("retained verdict file missing: %v", err)
+	}
+	s1.Close()
+
+	// Restart: B's verdict rehydrates; A must replay again (and can,
+	// with a working resolver).
+	s2, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve, VerdictCache: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.WaitIdle()
+	for _, id := range []string{resA.ID, resB.ID} {
+		m, ok := s2.Report(id)
+		if !ok || m.Verdict == nil || m.Verdict.State != VerdictDone {
+			t.Errorf("report %s after restart: %+v", id[:8], m.Verdict)
+		}
+	}
+}
+
+// TestVerdictCacheDisabled pins the opt-out: with a negative bound no
+// cache exists and nothing is persisted.
+func TestVerdictCacheDisabled(t *testing.T) {
+	img, _, blob := recordBlob(t)
+	reg := NewImageRegistry()
+	reg.Register(img)
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, Workers: 1, Resolver: reg.Resolve, VerdictCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.vcache != nil {
+		t.Fatal("cache built despite negative bound")
+	}
+	res, err := s.Ingest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WaitIdle()
+	if _, err := os.Stat(filepath.Join(dir, "verdicts", res.ID+".json")); !os.IsNotExist(err) {
+		t.Error("verdict persisted with the cache disabled")
+	}
+}
+
+// TestVerdictCacheIgnoresJunkFiles starts over a verdict directory
+// holding junk: an unparsable entry and a foreign filename must not poison
+// the cache (the junk entry is reclaimed, the foreign file left alone).
+func TestVerdictCacheIgnoresJunkFiles(t *testing.T) {
+	dir := t.TempDir()
+	vdir := filepath.Join(dir, "verdicts")
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	junkID := "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	os.WriteFile(filepath.Join(vdir, junkID+".json"), []byte("not json"), 0o644)
+	os.WriteFile(filepath.Join(vdir, "notes.json"), []byte("keep me"), 0o644)
+
+	s, err := New(Config{Dir: dir, Workers: 1, Resolver: NewImageRegistry().Resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if n := s.vcache.len(); n != 0 {
+		t.Errorf("junk rehydrated into %d entries", n)
+	}
+	if _, err := os.Stat(filepath.Join(vdir, junkID+".json")); !os.IsNotExist(err) {
+		t.Error("unparsable cache entry not reclaimed")
+	}
+	if _, err := os.Stat(filepath.Join(vdir, "notes.json")); err != nil {
+		t.Error("foreign file removed from the verdict directory")
+	}
+}
+
+// TestParallelReplayVerdictParity is the service-level determinism
+// property: the verdict a parallel-replay service produces — state,
+// reproduction, races, backtrace, instruction counts — is byte-identical
+// to the sequential service's, for a single-threaded crash and for a
+// multithreaded racy report.
+func TestParallelReplayVerdictParity(t *testing.T) {
+	img, _, stBlob := recordBlob(t)
+
+	mtImg, err := asm.Assemble("mt.s", racySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtRes, mtRep, _ := core.Record(mtImg, kernel.Config{Cores: 2}, core.Config{IntervalLength: 64})
+	if mtRes.Crash != nil {
+		t.Fatalf("mt program crashed: %v", mtRes.Crash)
+	}
+	if len(mtRep.MRLs) == 0 {
+		t.Fatal("racy program produced no MRLs")
+	}
+	mtBlob, err := report.Pack(mtRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewImageRegistry()
+	reg.Register(img)
+	reg.Register(mtImg)
+
+	verdicts := func(parallelism int) map[string]*Verdict {
+		s, err := New(Config{Dir: t.TempDir(), Workers: 2, Resolver: reg.Resolve,
+			ReplayParallelism: parallelism, VerdictCache: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		out := make(map[string]*Verdict)
+		for _, blob := range [][]byte{stBlob, mtBlob} {
+			res, err := s.Ingest(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.WaitIdle()
+			m, _ := s.Report(res.ID)
+			out[res.ID] = m.Verdict
+		}
+		return out
+	}
+
+	seq := verdicts(1)
+	par := verdicts(8)
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("parallel verdicts differ from sequential:\n par: %+v\n seq: %+v", par, seq)
+	}
+	for id, v := range seq {
+		if v == nil || v.State != VerdictDone {
+			t.Errorf("report %s sequential verdict = %+v", id[:8], v)
+		}
+	}
+}
+
+// racySource shares an unsynchronized counter across two threads so the
+// packed report carries MRLs and the triage replay runs race detection.
+const racySource = `
+        .data
+shared: .word 0
+done:   .word 0
+        .text
+main:   la   a0, worker
+        li   a7, 8
+        syscall
+        li   s2, 30
+ml:     la   t0, shared
+        lw   t1, (t0)
+        addi t1, t1, 1
+        sw   t1, (t0)
+        addi s2, s2, -1
+        bnez s2, ml
+        la   t0, done
+dwait:  amoadd t1, zero, (t0)
+        beqz t1, dwait
+        la   t0, shared
+        lw   a0, (t0)
+        li   a7, 1
+        syscall
+
+worker: li   s2, 30
+wl2:    la   t0, shared
+        lw   t1, (t0)
+        addi t1, t1, 1
+        sw   t1, (t0)
+        addi s2, s2, -1
+        bnez s2, wl2
+        la   t0, done
+        li   t1, 1
+        amoswap t2, t1, (t0)
+        li   a0, 0
+        li   a7, 1
+        syscall
+`

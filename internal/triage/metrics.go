@@ -30,6 +30,15 @@ var (
 	mReplayInstr   = obs.Default.Counter("bugnet_triage_replay_instructions_total",
 		"Instructions executed by triage replays.")
 
+	cacheLookups = obs.Default.CounterVec("bugnet_triage_verdict_cache_total",
+		"Verdict-cache lookups by outcome.", "result")
+	mCacheHits      = cacheLookups.With("hit")
+	mCacheMisses    = cacheLookups.With("miss")
+	mCacheEvictions = obs.Default.Counter("bugnet_triage_verdict_cache_evictions_total",
+		"Verdicts evicted from the cache at its LRU bound.")
+	mCacheEntries = obs.Default.Gauge("bugnet_triage_verdict_cache_entries",
+		"Verdicts currently cached.")
+
 	mQueueDepth = obs.Default.Gauge("bugnet_triage_queue_depth",
 		"Replays queued or running in the worker pool.")
 	mBuckets = obs.Default.Gauge("bugnet_triage_buckets",

@@ -68,7 +68,14 @@ func TestMetricsEndToEnd(t *testing.T) {
 	img, _, blob := recordBlob(t)
 	reg := NewImageRegistry()
 	reg.Register(img)
-	s := newService(t, reg)
+	// Parallel interval replay on, so the scrape covers the parreplay pool
+	// series alongside the triage ones.
+	s, err := New(Config{Dir: t.TempDir(), Workers: 2, Resolver: reg.Resolve,
+		ReplayParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
 	mgr := timetravel.NewManager(s, timetravel.ManagerConfig{
 		MaxSessions: 2,
 		Engine:      timetravel.Config{CheckpointEvery: 64},
@@ -112,6 +119,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	for _, prefix := range []string{
 		"bugnet_triage_", "bugnet_logstore_", "bugnet_debug_", "bugnet_gdb_", "bugnet_http_",
+		"bugnet_parreplay_",
 	} {
 		found := false
 		for name := range after {
@@ -144,6 +152,36 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Replay verdicts and the replayed-instruction counter moved too.
 	if after[`bugnet_triage_verdicts_total{state="done"}`] <= before[`bugnet_triage_verdicts_total{state="done"}`] {
 		t.Error("done-verdict counter did not move")
+	}
+
+	// The per-report replay latency histogram counted our triage replay.
+	if moved := after[`bugnet_triage_replay_seconds_bucket{le="+Inf"}`] -
+		before[`bugnet_triage_replay_seconds_bucket{le="+Inf"}`]; moved < 1 {
+		t.Errorf("replay histogram count moved by %v, want >= 1", moved)
+	}
+
+	// The parallel executor replayed this report's intervals, leaving the
+	// pool idle afterward.
+	if after["bugnet_parreplay_intervals_total"] <= before["bugnet_parreplay_intervals_total"] {
+		t.Error("parreplay interval counter did not move")
+	}
+	if busy, ok := after["bugnet_parreplay_workers_busy"]; !ok || busy != 0 {
+		t.Errorf("workers-busy gauge = %v, %v; want 0 after drain", busy, ok)
+	}
+
+	// A fresh report is a verdict-cache miss; eviction and occupancy
+	// series are exposed alongside.
+	if after[`bugnet_triage_verdict_cache_total{result="miss"}`] <= before[`bugnet_triage_verdict_cache_total{result="miss"}`] {
+		t.Error("verdict-cache miss counter did not move")
+	}
+	for _, series := range []string{
+		`bugnet_triage_verdict_cache_total{result="hit"}`,
+		"bugnet_triage_verdict_cache_evictions_total",
+		"bugnet_triage_verdict_cache_entries",
+	} {
+		if _, ok := after[series]; !ok {
+			t.Errorf("series %q missing from scrape", series)
+		}
 	}
 
 	// Every metric name obeys the naming convention.

@@ -15,6 +15,7 @@ import (
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
+	"bugnet/internal/parreplay"
 	"bugnet/internal/report"
 	"bugnet/internal/timetravel"
 )
@@ -59,7 +60,23 @@ type Config struct {
 	// Dir/spool; point it at the store's filesystem to keep adoption a
 	// pure rename.
 	SpoolDir string
+	// ReplayParallelism is the per-report interval-replay fan-out: > 1
+	// replays a report's checkpoint intervals concurrently on that many
+	// workers (internal/parreplay), <= 1 keeps the sequential path.
+	// Reports needing race detection always replay sequentially; the
+	// verdict is byte-identical either way.
+	ReplayParallelism int
+	// VerdictCache bounds the content-addressed verdict cache in entries
+	// (verdict + backtrace keyed by report ID, persisted under
+	// Dir/verdicts so restarts skip re-replaying known content). 0 uses
+	// the default (4096); negative disables the cache.
+	VerdictCache int
 }
+
+// DefaultVerdictCache is the default verdict-cache bound in entries. A
+// verdict JSON is small (a backtrace and a few counters), so the default
+// costs a few MB of disk against a replay saved per duplicate crash.
+const DefaultVerdictCache = 4096
 
 // DefaultMaxReplayWindow is the default per-report replay budget in
 // instructions, roughly the paper's largest bug window. The interactive
@@ -179,6 +196,9 @@ type Service struct {
 	wg        sync.WaitGroup
 	ingesting sync.WaitGroup // in-flight Ingest calls; Close waits before closing jobs
 
+	// vcache is the content-addressed verdict cache (nil when disabled).
+	vcache *verdictCache
+
 	// recoveryDone closes when startup re-triage of on-disk blobs ends;
 	// WaitIdle waits on it so "idle" includes recovered work.
 	recoveryDone chan struct{}
@@ -215,6 +235,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxBuckets <= 0 {
 		cfg.MaxBuckets = 65536
 	}
+	if cfg.VerdictCache == 0 {
+		cfg.VerdictCache = DefaultVerdictCache
+	}
 	st, err := OpenStore(cfg.Dir, cfg.Budget)
 	if err != nil {
 		return nil, err
@@ -242,6 +265,18 @@ func New(cfg Config) (*Service, error) {
 		jobs:         make(chan job, cfg.MaxQueue),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.VerdictCache > 0 {
+		vc, err := newVerdictCache(cfg.VerdictCache, filepath.Join(cfg.Dir, "verdicts"))
+		if err != nil {
+			return nil, err
+		}
+		// Rehydrate before the workers start: the startup re-index queues a
+		// replay per stored blob, and each of those should find its
+		// persisted verdict already in the cache.
+		vc.rehydrate()
+		s.vcache = vc
+		mCacheEntries.Set(int64(vc.len()))
+	}
 	// When the store ages a blob out, drop its per-report metadata too, so
 	// a long-running daemon's memory tracks the store budget rather than
 	// growing with every distinct upload ever seen. Buckets stay: the
@@ -619,10 +654,20 @@ func (s *Service) bucketLocked(key string, sig Signature) *Bucket {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		start := time.Now()
-		v := s.triageOne(j.id)
-		mReplaySeconds.Since(start)
-		mReplayInstr.Add(v.Instructions)
+		v, cached := s.cachedVerdict(j.id)
+		if !cached {
+			start := time.Now()
+			v = s.triageOne(j.id)
+			mReplaySeconds.Since(start)
+			mReplayInstr.Add(v.Instructions)
+			// Only completed verdicts are cached: failures (unknown binary,
+			// evicted blob, disk trouble) can be transient, and a re-upload
+			// deserves a fresh replay.
+			if s.vcache != nil && v.State == VerdictDone {
+				s.vcache.put(j.id, v)
+				mCacheEntries.Set(int64(s.vcache.len()))
+			}
+		}
 		if v.State == VerdictDone {
 			mVerdictDone.Inc()
 		} else {
@@ -643,6 +688,23 @@ func (s *Service) worker() {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
+}
+
+// cachedVerdict consults the content-addressed cache. The id is the
+// archive's SHA-256, and the verdict is a pure function of those bytes
+// and the content-addressed binary they name, so a hit is exactly the
+// verdict a replay would produce — duplicate crashes never replay twice.
+func (s *Service) cachedVerdict(id string) (*Verdict, bool) {
+	if s.vcache == nil {
+		return nil, false
+	}
+	v, ok := s.vcache.get(id)
+	if ok {
+		mCacheHits.Inc()
+	} else {
+		mCacheMisses.Inc()
+	}
+	return v, ok
 }
 
 // triageOne opens one stored report for streaming replay: the blob stays
@@ -701,20 +763,37 @@ func (s *Service) replay(rep *core.CrashReport) (v *Verdict) {
 		}
 	}
 
-	mr := core.NewMultiReplayer(img, rep)
-	mr.DetectRaces = len(rep.MRLs) > 0
+	detectRaces := len(rep.MRLs) > 0
 	// The page budget is per report: split it across threads so a
 	// max-thread archive cannot multiply it.
+	maxPages := s.cfg.MaxReplayPages
 	if threads := len(rep.FLLs); threads > 1 {
-		mr.MaxPages = s.cfg.MaxReplayPages / threads
+		maxPages /= threads
+	}
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	var res *core.MultiReplayResult
+	if s.cfg.ReplayParallelism > 1 {
+		// Fan the report's checkpoint intervals across the replay pool.
+		// parreplay routes race-detection (MRL-carrying) reports back to
+		// the sequential schedule itself, so the verdict is byte-identical
+		// to the sequential path either way.
+		res, err = parreplay.ReplayReport(img, rep, parreplay.ReportOptions{
+			Options: parreplay.Options{
+				Workers:    s.cfg.ReplayParallelism,
+				TraceDepth: s.cfg.BacktraceDepth,
+				MaxPages:   maxPages,
+			},
+			DetectRaces: detectRaces,
+		})
 	} else {
-		mr.MaxPages = s.cfg.MaxReplayPages
+		mr := core.NewMultiReplayer(img, rep)
+		mr.DetectRaces = detectRaces
+		mr.MaxPages = maxPages
+		mr.TraceDepth = s.cfg.BacktraceDepth
+		res, err = mr.Run()
 	}
-	if mr.MaxPages < 1 {
-		mr.MaxPages = 1
-	}
-	mr.TraceDepth = s.cfg.BacktraceDepth
-	res, err := mr.Run()
 	if err != nil {
 		return &Verdict{State: VerdictFailed, Error: err.Error()}
 	}
