@@ -155,6 +155,7 @@ func parsePcts(s string) (map[string]float64, error) {
 }
 
 func runMicros(out string, iters, rounds int, baseline string, gatePct float64, gateNorm string, requireSpeedup float64, floors, pctOverrides map[string]float64) int {
+	defer bench.ReleaseResources()
 	results, err := bench.RunMicros(iters, rounds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -62,6 +62,7 @@ import (
 	"bugnet"
 	"bugnet/internal/cli"
 	"bugnet/internal/gdbstub"
+	"bugnet/internal/httpjson"
 	"bugnet/internal/obs"
 	"bugnet/internal/timetravel"
 )
@@ -286,12 +287,14 @@ func rspSmoke(addr, report string) error {
 }
 
 func readErr(r io.Reader) string {
-	var e struct {
-		Error string `json:"error"`
-	}
 	data, _ := io.ReadAll(io.LimitReader(r, 4096))
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
+	// Servers answer with the standard error envelope; DecodeError also
+	// understands the legacy {"error": "..."} shape from older servers.
+	if body, ok := httpjson.DecodeError(data); ok {
+		if body.Code != "" {
+			return body.Code + ": " + body.Message
+		}
+		return body.Message
 	}
 	return strings.TrimSpace(string(data))
 }

@@ -36,6 +36,7 @@ import (
 
 	"bugnet"
 	"bugnet/internal/cli"
+	"bugnet/internal/httpjson"
 	"bugnet/internal/logstore"
 	"bugnet/internal/obs"
 )
@@ -178,24 +179,42 @@ func openSpill(dir string, budget int64) (*logstore.Store, error) {
 func upload(base string, rep *bugnet.CrashReport) error {
 	pr, pw := io.Pipe()
 	go func() { pw.CloseWithError(bugnet.PackReportTo(pw, rep)) }()
-	url := strings.TrimRight(base, "/") + "/reports"
+	url := strings.TrimRight(base, "/") + "/api/v1/reports"
 	client := &http.Client{Timeout: 60 * time.Second}
 	resp, err := client.Post(url, "application/octet-stream", pr)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("%s: reading response (%s): %w", url, resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		// The standard error envelope (or the legacy shape from an older
+		// server); 429 means admission control shed us — say so, the
+		// recorder's operator should retry after the hinted delay.
+		msg := strings.TrimSpace(string(data))
+		if body, ok := httpjson.DecodeError(data); ok {
+			msg = body.Message
+			if body.Code != "" {
+				msg = body.Code + ": " + msg
+			}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				msg += " (retry after " + ra + "s)"
+			}
+		}
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
 	var res struct {
 		ID        string `json:"id"`
 		BucketKey string `json:"bucket"`
 		Duplicate bool   `json:"duplicate"`
-		Error     string `json:"error"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+	if err := json.Unmarshal(data, &res); err != nil {
 		return fmt.Errorf("%s: bad response (%s): %w", url, resp.Status, err)
-	}
-	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, res.Error)
 	}
 	state := "new"
 	if res.Duplicate {

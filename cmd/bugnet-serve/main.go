@@ -33,10 +33,23 @@
 // vAttach;<report-id>. RSP connections share the JSON API's session cap
 // and idle janitor.
 //
-// Endpoints: POST /reports, GET /reports[?offset=&limit=],
-// GET /reports/{id}[?raw=1], GET /buckets[?offset=&limit=],
-// GET /buckets/{key}, GET /healthz (liveness), GET /readyz (readiness),
-// GET /metrics (Prometheus exposition), and the /debug/sessions API.
+// With -peers the server joins a static triage fleet: a consistent-hash
+// ring places every report on -replication owner nodes, any node accepts
+// an upload and forwards it to the owners (succeeding at -write-quorum
+// acks, with anti-entropy retrying the rest), reads proxy to a replica
+// owner with read-repair, and admission control (-max-inflight,
+// -spool-budget) sheds overload with 429 + Retry-After. Without -peers
+// the same layer runs as a single-node ring, so admission control always
+// applies. See internal/cluster and DESIGN.md §12.
+//
+//	bugnet-serve -addr :8080 -self http://a:8080 \
+//	    -peers http://a:8080,http://b:8080,http://c:8080
+//
+// Endpoints (all also under /api/v1/...): POST /reports,
+// GET /reports[?cursor=&limit=], GET /reports/{id}[?raw=1],
+// GET /buckets[?cursor=&limit=], GET /buckets/{key}, GET /api/v1/cluster,
+// GET /healthz (liveness), GET /readyz (readiness), GET /metrics
+// (Prometheus exposition), and the /debug/sessions API.
 package main
 
 import (
@@ -49,12 +62,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"bugnet/internal/asm"
 	"bugnet/internal/cli"
+	"bugnet/internal/cluster"
 	"bugnet/internal/gdbstub"
 	"bugnet/internal/httpjson"
 	"bugnet/internal/obs"
@@ -89,6 +105,14 @@ func main() {
 	gdbAddr := flag.String("gdb", "", "listen address for the gdb Remote Serial Protocol (empty = off)")
 	gdbReport := flag.String("gdb-report", "", "report id plain \"target remote\" gdb connections debug (RSP clients can pick any report with vAttach)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (empty = single-node)")
+	self := flag.String("self", "", "this node's base URL exactly as listed in -peers (default http://localhost<addr>)")
+	replication := flag.Int("replication", 3, "replica owners per report (clamped to cluster size)")
+	writeQuorum := flag.Int("write-quorum", 0, "owner acks an ingest needs (0 = majority of replication)")
+	maxInflight := flag.Int("max-inflight", 0, "admission: max concurrent uploads (0 = default 256, negative = unlimited)")
+	spoolBudget := flag.Int64("spool-budget", 0, "admission: max bytes of in-flight spooled uploads (0 = default 1GiB, negative = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	repairInterval := flag.Duration("repair-interval", time.Second, "anti-entropy retry cadence for under-replicated reports")
 	var images imageList
 	flag.Var(&images, "image", "assembly source to register as a known binary (repeatable)")
 	flag.Parse()
@@ -182,13 +206,49 @@ func main() {
 		logger.Info("gdb remote protocol listening", "addr", gl.Addr().String())
 	}
 
+	// The cluster layer wraps the whole API — single-node deployments run
+	// it too (a one-member ring), so admission control and the /api/v1
+	// surface are identical from laptop to fleet.
+	nodeSelf := *self
+	if nodeSelf == "" {
+		host := *addr
+		if strings.HasPrefix(host, ":") {
+			host = "localhost" + host
+		}
+		nodeSelf = "http://" + host
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	node, err := cluster.New(cluster.Config{
+		Self:              nodeSelf,
+		Peers:             peerList,
+		ReplicationFactor: *replication,
+		WriteQuorum:       *writeQuorum,
+		Service:           svc,
+		Inner:             triage.NewHandlerWithDebug(svc, mgr),
+		SpoolDir:          filepath.Join(*dir, "cluster"),
+		MaxSpoolBytes:     *spoolBudget,
+		MaxInflight:       *maxInflight,
+		RetryAfter:        *retryAfter,
+		RetryInterval:     *repairInterval,
+	})
+	if err != nil {
+		logger.Error("starting cluster layer", "self", nodeSelf, "err", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+
 	// Every request passes the observability middleware: request id,
 	// request/latency/in-flight metrics, optional access log.
 	var requestLogger *slog.Logger
 	if *accessLog {
 		requestLogger = logger
 	}
-	handler := httpjson.Instrument(triage.NewHandlerWithDebug(svc, mgr), requestLogger)
+	handler := httpjson.Instrument(node.Handler(), requestLogger)
 
 	// Shut down cleanly on SIGINT/SIGTERM: stop accepting uploads, then
 	// drain the replay queue so no verdict is lost mid-flight.

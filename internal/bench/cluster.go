@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"bugnet/internal/cluster"
+	"bugnet/internal/loadgen"
+	"bugnet/internal/triage"
+)
+
+// clusterTeardown collects cleanups for resources a micro's setup pins
+// (the in-process cluster and its store dirs); ReleaseResources runs them.
+var (
+	clusterTeardownMu sync.Mutex
+	clusterTeardowns  []func()
+)
+
+// ReleaseResources tears down any long-lived state benchmark setups
+// created (in-process cluster nodes, temp store dirs). cmd/bugnet-bench
+// defers it; safe to call multiple times.
+func ReleaseResources() {
+	clusterTeardownMu.Lock()
+	fns := clusterTeardowns
+	clusterTeardowns = nil
+	clusterTeardownMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// clusterIngestMicro measures one coordinated ingest into a 3-node
+// in-process cluster (replication 3, quorum 2): admission, spool + hash,
+// ring placement, two loopback replica forwards, local adoption, quorum
+// accounting. After the first round every post is a byte-identical
+// duplicate — deliberately so: steady-state fleet ingest is dominated by
+// recurring crashes (the dedupe case BugNet's content addressing exists
+// for), and the duplicate path still walks the full coordinator fan-out.
+func clusterIngestMicro() (func() time.Duration, error) {
+	reg := triage.NewImageRegistry()
+	corpus, err := loadgen.Corpus(4, reg)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bugnet-bench-cluster-")
+	if err != nil {
+		return nil, err
+	}
+	lc, err := cluster.SpawnLocal(3, cluster.SpawnOptions{
+		BaseDir:     dir,
+		Resolver:    reg.Resolve,
+		Replication: 3,
+		WriteQuorum: 2,
+		Workers:     1,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	clusterTeardownMu.Lock()
+	clusterTeardowns = append(clusterTeardowns, func() {
+		lc.Close()
+		os.RemoveAll(dir)
+	})
+	clusterTeardownMu.Unlock()
+
+	urls := lc.URLs()
+	client := &http.Client{Timeout: 30 * time.Second}
+	seq := 0
+	return func() time.Duration {
+		target := urls[seq%len(urls)]
+		blob := corpus[seq%len(corpus)]
+		seq++
+		t0 := time.Now()
+		resp, err := client.Post(target+"/api/v1/reports", "application/octet-stream", bytes.NewReader(blob))
+		if err != nil {
+			panic(fmt.Sprintf("bench: cluster ingest: %v", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("bench: cluster ingest: %s", resp.Status))
+		}
+		return time.Since(t0)
+	}, nil
+}

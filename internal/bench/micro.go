@@ -494,6 +494,7 @@ func micros() []micro {
 		{"ParallelReplay", parallelReplayMicro},
 		{"ParallelReplay/seq", sequentialReplayMicro},
 		{"RecordPerInstr", recordPerInstrMicro},
+		{"ClusterIngest", clusterIngestMicro},
 	}
 }
 

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission is the ingest load-shedder: a bounded budget of spooled
+// upload bytes and in-flight ingest requests. When either budget is
+// exhausted the node answers 429 with a Retry-After instead of letting
+// the spool disk fill or the forwarding fan-out pile up unboundedly —
+// shedding early is what keeps a flooded collector serving reads.
+//
+// Byte accounting is reservation-based: an upload reserves its declared
+// Content-Length on admission (or DefaultReservation when the client
+// streams chunked), and the reservation is trued up to the actual spooled
+// size once known. That bounds the worst case — a burst of admitted
+// uploads can never overshoot the budget by more than the in-flight
+// count times the error in their declarations, and oversized declarations
+// are rejected at the door.
+type Admission struct {
+	maxBytes    int64
+	maxInflight int
+	retryAfter  time.Duration
+
+	mu       sync.Mutex
+	bytes    int64
+	inflight int
+}
+
+// Admission defaults: sized for one node absorbing a fleet burst while
+// replay drains — roughly MaxUploadBytes' worth of headroom times the
+// inflight bound.
+const (
+	DefaultMaxSpoolBytes = 1 << 30 // 1 GiB of in-flight spooled uploads
+	DefaultMaxInflight   = 256
+	DefaultRetryAfter    = time.Second
+	// DefaultReservation is charged for chunked uploads that declare no
+	// Content-Length; recorded windows are budgeted to megabytes (paper
+	// §7.2), so 8 MB over-admits modest streams without letting a flood
+	// of undeclared uploads around the byte budget.
+	DefaultReservation = 8 << 20
+)
+
+// NewAdmission builds an admission controller; zero values select the
+// defaults, negative maxBytes/maxInflight mean unlimited.
+func NewAdmission(maxBytes int64, maxInflight int, retryAfter time.Duration) *Admission {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxSpoolBytes
+	}
+	if maxInflight == 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &Admission{maxBytes: maxBytes, maxInflight: maxInflight, retryAfter: retryAfter}
+}
+
+// RetryAfter is the drain estimate handed to shed clients.
+func (a *Admission) RetryAfter() time.Duration { return a.retryAfter }
+
+// Acquire admits one upload of the declared size (contentLength < 0:
+// undeclared, charged DefaultReservation). On admission it returns a
+// release callback taking the actual spooled size (or -1 if never
+// measured) and true; when a budget is exhausted it returns (nil, false)
+// and the caller sheds with 429. release is idempotent-unsafe — call it
+// exactly once.
+func (a *Admission) Acquire(contentLength int64) (release func(actual int64), ok bool) {
+	reserve := contentLength
+	if reserve < 0 {
+		reserve = DefaultReservation
+	}
+	a.mu.Lock()
+	if (a.maxInflight > 0 && a.inflight >= a.maxInflight) ||
+		(a.maxBytes > 0 && a.bytes+reserve > a.maxBytes) {
+		a.mu.Unlock()
+		mShedTotal.Inc()
+		return nil, false
+	}
+	a.inflight++
+	a.bytes += reserve
+	mAdmInflight.Set(int64(a.inflight))
+	mAdmBytes.Set(a.bytes)
+	a.mu.Unlock()
+	return func(actual int64) {
+		// actual is accepted for symmetry with future smoothing; the
+		// reservation model releases exactly what it charged, so the
+		// budget can never leak from mismatched declarations.
+		_ = actual
+		a.mu.Lock()
+		a.inflight--
+		a.bytes -= reserve
+		mAdmInflight.Set(int64(a.inflight))
+		mAdmBytes.Set(a.bytes)
+		a.mu.Unlock()
+	}, true
+}
+
+// Occupancy reports the current reservations, for /api/v1/cluster.
+func (a *Admission) Occupancy() (bytes int64, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bytes, a.inflight
+}

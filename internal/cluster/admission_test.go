@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionByteBudget(t *testing.T) {
+	a := NewAdmission(100, -1, 2*time.Second)
+	rel1, ok := a.Acquire(60)
+	if !ok {
+		t.Fatal("first upload within budget was shed")
+	}
+	// 60 reserved; 50 more would overshoot 100.
+	if _, ok := a.Acquire(50); ok {
+		t.Fatal("upload beyond byte budget was admitted")
+	}
+	// Drain, then the same upload is admitted.
+	rel1(-1)
+	rel2, ok := a.Acquire(50)
+	if !ok {
+		t.Fatal("upload after drain was shed")
+	}
+	rel2(-1)
+	if bytes, inflight := a.Occupancy(); bytes != 0 || inflight != 0 {
+		t.Fatalf("occupancy after full drain = %d bytes, %d inflight", bytes, inflight)
+	}
+	if a.RetryAfter() != 2*time.Second {
+		t.Fatalf("RetryAfter = %v", a.RetryAfter())
+	}
+}
+
+func TestAdmissionInflightCap(t *testing.T) {
+	a := NewAdmission(-1, 2, time.Second)
+	r1, ok1 := a.Acquire(1)
+	r2, ok2 := a.Acquire(1)
+	if !ok1 || !ok2 {
+		t.Fatal("uploads within inflight cap were shed")
+	}
+	if _, ok := a.Acquire(1); ok {
+		t.Fatal("upload beyond inflight cap was admitted")
+	}
+	r1(-1)
+	r3, ok := a.Acquire(1)
+	if !ok {
+		t.Fatal("upload after inflight drain was shed")
+	}
+	r3(-1)
+	r2(-1)
+}
+
+func TestAdmissionChunkedReservation(t *testing.T) {
+	// An upload with no declared length is charged DefaultReservation.
+	a := NewAdmission(DefaultReservation+10, -1, time.Second)
+	rel, ok := a.Acquire(-1)
+	if !ok {
+		t.Fatal("chunked upload within budget was shed")
+	}
+	if _, ok := a.Acquire(-1); ok {
+		t.Fatal("second chunked upload should exceed the budget")
+	}
+	rel(-1)
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(-1, -1, time.Second)
+	for i := 0; i < 1000; i++ {
+		if _, ok := a.Acquire(1 << 40); !ok {
+			t.Fatal("unlimited admission shed an upload")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bugnet/internal/httpjson"
+)
+
+// peerClient is the thin HTTP client behind replica forwarding, proxy
+// reads, and health probes. The internal endpoints are strictly local on
+// the receiving node (they never forward), which is what makes the
+// coordinator's fan-out loop-free.
+type peerClient struct {
+	hc *http.Client
+}
+
+func newPeerClient(timeout time.Duration) *peerClient {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &peerClient{hc: &http.Client{Timeout: timeout}}
+}
+
+// peerError carries the upstream status so callers can distinguish a
+// replica miss (404) from a replica failure.
+type peerError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *peerError) Error() string {
+	return fmt.Sprintf("peer: %d %s: %s", e.status, e.code, e.msg)
+}
+
+func (c *peerClient) decodeFailure(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	body, _ := httpjson.DecodeError(data)
+	if body.Code == "" {
+		body.Code = httpjson.CodeForStatus(resp.StatusCode)
+	}
+	return &peerError{status: resp.StatusCode, code: body.Code, msg: body.Message}
+}
+
+func joinURL(base, path string) string {
+	return strings.TrimRight(base, "/") + path
+}
+
+// putReplica streams one blob to a peer's local-only replica endpoint.
+// The peer verifies the content hash against id and ingests locally; the
+// returned body is the peer's IngestResult JSON.
+func (c *peerClient) putReplica(ctx context.Context, node, id string, body io.Reader, size int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		joinURL(node, "/internal/v1/replicas/"+id), body)
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = size
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return nil, c.decodeFailure(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+
+// getReplica opens a streaming read of a peer's locally held blob. The
+// caller must close the returned body.
+func (c *peerClient) getReplica(ctx context.Context, node, id string) (io.ReadCloser, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		joinURL(node, "/internal/v1/replicas/"+id), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := c.decodeFailure(resp)
+		resp.Body.Close()
+		return nil, 0, err
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// hasReplica asks a peer whether it locally holds id, without the bytes.
+func (c *peerClient) hasReplica(ctx context.Context, node, id string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead,
+		joinURL(node, "/internal/v1/replicas/"+id), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	}
+	return false, &peerError{status: resp.StatusCode, code: httpjson.CodeForStatus(resp.StatusCode)}
+}
+
+// getMeta proxies one report-metadata read from a peer's local state.
+func (c *peerClient) getMeta(ctx context.Context, node, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		joinURL(node, "/internal/v1/reports/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.decodeFailure(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// health probes a peer's liveness endpoint.
+func (c *peerClient) health(ctx context.Context, node string) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, joinURL(node, "/healthz"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer: healthz %s", resp.Status)
+	}
+	return nil
+}

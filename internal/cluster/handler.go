@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"bugnet/internal/httpjson"
+	"bugnet/internal/triage"
+)
+
+// ingestError is a coordinator failure already mapped to wire terms.
+type ingestError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func ingestFailed(err error) *ingestError {
+	return &ingestError{status: http.StatusInternalServerError, code: httpjson.CodeInternal, msg: err.Error()}
+}
+
+func quorumFailed(msg string) *ingestError {
+	return &ingestError{status: http.StatusServiceUnavailable, code: httpjson.CodeReplicaUnavailable, msg: msg}
+}
+
+// Handler returns the node's full HTTP surface: the cluster layer
+// intercepts ingest, per-report reads, and the membership endpoint, adds
+// the strictly-local /internal/v1 replica API, and falls through to the
+// wrapped triage handler for everything else (listings, buckets, debug
+// sessions, health, metrics).
+//
+//	POST /api/v1/reports              — coordinate: place, fan out, quorum (any node)
+//	GET  /api/v1/reports/{id}         — local, else proxy to an owner + read-repair
+//	GET  /api/v1/cluster              — membership, ring, per-node health, admission occupancy
+//	PUT  /internal/v1/replicas/{id}   — owner-local write (hash-verified), never forwards
+//	GET  /internal/v1/replicas/{id}   — owner-local blob read, never forwards
+//	GET  /internal/v1/reports/{id}    — owner-local metadata read, never forwards
+//
+// The /internal/v1 routes being strictly local is the loop-freedom
+// invariant: a public request forwards at most one hop.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	httpjson.Handle(mux, "POST /reports", n.handleIngest)
+	httpjson.Handle(mux, "GET /reports/{id}", n.handleGetReport)
+	httpjson.Handle(mux, "GET /cluster", n.handleClusterInfo)
+
+	mux.HandleFunc("PUT /internal/v1/replicas/{id}", n.handleReplicaPut)
+	mux.HandleFunc("GET /internal/v1/replicas/{id}", n.handleReplicaGet)
+	mux.HandleFunc("GET /internal/v1/reports/{id}", n.handleLocalMeta)
+
+	mux.Handle("/", n.cfg.Inner)
+	return mux
+}
+
+// shed answers an upload the admission controller refused.
+func (n *Node) shed(w http.ResponseWriter, r *http.Request) {
+	httpjson.Overloaded(w, r, n.admission.RetryAfter(),
+		"ingest budget exhausted; retry after the spool drains")
+}
+
+// handleIngest is POST /api/v1/reports: admission, then coordinate.
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	release, ok := n.admission.Acquire(r.ContentLength)
+	if !ok {
+		n.shed(w, r)
+		return
+	}
+	defer release(-1)
+	if r.ContentLength > triage.MaxUploadBytes {
+		httpjson.Fail(w, r, http.StatusRequestEntityTooLarge, httpjson.CodeTooLarge,
+			"report exceeds upload limit")
+		return
+	}
+	res, ierr := n.ingest(r.Context(), http.MaxBytesReader(w, r.Body, triage.MaxUploadBytes))
+	if ierr != nil {
+		httpjson.Fail(w, r, ierr.status, ierr.code, ierr.msg)
+		return
+	}
+	code := http.StatusCreated
+	if res.Duplicate {
+		code = http.StatusOK
+	}
+	httpjson.Write(w, code, res)
+}
+
+// handleGetReport is GET /api/v1/reports/{id}: serve locally when the
+// report is here; otherwise proxy from an owner, read-repairing this
+// node first if the placement says the blob belongs here.
+func (n *Node) handleGetReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw := r.URL.Query().Get("raw") == "1"
+
+	if !n.locallyReadable(id, raw) && n.ring.IsOwner(id, n.self, n.replicas) {
+		// An owner asked for a report it does not hold: it missed the
+		// write (down, or shedding). Pull the blob back before serving —
+		// the read heals the replication factor.
+		n.readRepairLocal(r.Context(), id)
+	}
+	if n.locallyReadable(id, raw) {
+		n.serveLocalReport(w, r, id, raw)
+		return
+	}
+	n.proxyGetReport(w, r, id, raw)
+}
+
+func (n *Node) locallyReadable(id string, raw bool) bool {
+	if raw {
+		return n.cfg.Service.Store().Has(id)
+	}
+	_, ok := n.cfg.Service.Report(id)
+	return ok
+}
+
+func (n *Node) serveLocalReport(w http.ResponseWriter, r *http.Request, id string, raw bool) {
+	if raw {
+		triage.ServeRaw(n.cfg.Service, w, r, id)
+		return
+	}
+	m, ok := n.cfg.Service.Report(id)
+	if !ok {
+		httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such report")
+		return
+	}
+	httpjson.Write(w, http.StatusOK, m)
+}
+
+// proxyGetReport serves id from the first owner that has it. A miss on
+// every reachable owner is a clean 404; owners that errored while none
+// had it means the truth is unknowable right now — 503 replica_unavailable.
+func (n *Node) proxyGetReport(w http.ResponseWriter, r *http.Request, id string, raw bool) {
+	sawError := false
+	for _, o := range n.owners(id) {
+		if o == n.self {
+			continue
+		}
+		if raw {
+			rc, _, err := n.client.getReplica(r.Context(), o, id)
+			if err != nil {
+				if pe, ok := err.(*peerError); !ok || pe.status != http.StatusNotFound {
+					sawError = true
+					mProxyErr.Inc()
+				}
+				continue
+			}
+			mProxyOK.Inc()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			io.Copy(w, rc)
+			rc.Close()
+			return
+		}
+		body, err := n.client.getMeta(r.Context(), o, id)
+		if err != nil {
+			if pe, ok := err.(*peerError); !ok || pe.status != http.StatusNotFound {
+				sawError = true
+				mProxyErr.Inc()
+			}
+			continue
+		}
+		mProxyOK.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
+	if sawError {
+		httpjson.Fail(w, r, http.StatusServiceUnavailable, httpjson.CodeReplicaUnavailable,
+			"no replica owner reachable for "+id)
+		return
+	}
+	mProxyMiss.Inc()
+	httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such report")
+}
+
+// handleReplicaPut is the owner-side half of a coordinated write:
+// admission-bounded spool, content-hash verification against {id}, local
+// adoption. Never forwards.
+func (n *Node) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	release, ok := n.admission.Acquire(r.ContentLength)
+	if !ok {
+		n.shed(w, r)
+		return
+	}
+	defer release(-1)
+	path, gotID, size, err := n.spoolBody(http.MaxBytesReader(w, r.Body, triage.MaxUploadBytes))
+	if !triage.WriteIngestError(w, r, err) {
+		return
+	}
+	defer os.Remove(path)
+	if gotID != id {
+		// The bytes do not hash to the claimed address — a corrupt or
+		// confused coordinator. Refusing here keeps the content-addressed
+		// invariant: a stored id always names exactly its own bytes.
+		httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest,
+			"content hash mismatch: body is "+gotID)
+		return
+	}
+	res, err := n.cfg.Service.IngestFile(id, path, size)
+	if !triage.WriteIngestError(w, r, err) {
+		return
+	}
+	code := http.StatusCreated
+	if res.Duplicate {
+		code = http.StatusOK
+	}
+	httpjson.Write(w, code, res)
+}
+
+// handleReplicaGet streams a locally held blob. Never forwards — a miss
+// is a 404 even when a peer has it, which is what makes proxy reads
+// loop-free.
+func (n *Node) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+	triage.ServeRaw(n.cfg.Service, w, r, r.PathValue("id"))
+}
+
+// handleLocalMeta serves locally known report metadata. Never forwards.
+func (n *Node) handleLocalMeta(w http.ResponseWriter, r *http.Request) {
+	m, ok := n.cfg.Service.Report(r.PathValue("id"))
+	if !ok {
+		httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such report")
+		return
+	}
+	httpjson.Write(w, http.StatusOK, m)
+}
+
+// NodeHealth is one member's probed state in the /api/v1/cluster view.
+type NodeHealth struct {
+	Node    string `json:"node"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ClusterInfo is the GET /api/v1/cluster response.
+type ClusterInfo struct {
+	Self              string       `json:"self"`
+	ReplicationFactor int          `json:"replication_factor"`
+	WriteQuorum       int          `json:"write_quorum"`
+	VirtualNodes      int          `json:"virtual_nodes"`
+	Nodes             []NodeHealth `json:"nodes"`
+	AdmissionBytes    int64        `json:"admission_bytes"`
+	AdmissionInflight int          `json:"admission_inflight"`
+	RepairQueue       int          `json:"repair_queue"`
+}
+
+// handleClusterInfo is GET /api/v1/cluster: static ring facts plus a
+// live health probe of every member (self answers without a round trip).
+func (n *Node) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	members := n.ring.Nodes()
+	health := make([]NodeHealth, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if m == n.self {
+			health[i] = NodeHealth{Node: m, Healthy: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+			defer cancel()
+			if err := n.client.health(ctx, m); err != nil {
+				health[i] = NodeHealth{Node: m, Healthy: false, Error: err.Error()}
+				return
+			}
+			health[i] = NodeHealth{Node: m, Healthy: true}
+		}(i, m)
+	}
+	wg.Wait()
+	bytes, inflight := n.admission.Occupancy()
+	vnodes := n.cfg.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	httpjson.Write(w, http.StatusOK, ClusterInfo{
+		Self:              n.self,
+		ReplicationFactor: n.replicas,
+		WriteQuorum:       n.quorum,
+		VirtualNodes:      vnodes,
+		Nodes:             health,
+		AdmissionBytes:    bytes,
+		AdmissionInflight: inflight,
+		RepairQueue:       n.ae.depth(),
+	})
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bugnet/internal/triage"
+)
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// Self is this node's base URL exactly as it appears in Peers.
+	Self string
+	// Peers is the static membership: every node's base URL, including
+	// Self. Empty means a single-node cluster of {Self}.
+	Peers []string
+	// ReplicationFactor N is how many owners store each report (default
+	// 3, clamped to the membership size).
+	ReplicationFactor int
+	// WriteQuorum W is how many owner acks an ingest needs to succeed
+	// (default majority of the effective replication factor).
+	WriteQuorum int
+	// VirtualNodes per member on the placement ring (default 128).
+	VirtualNodes int
+	// Service is the local triage service (required).
+	Service *triage.Service
+	// Inner serves every route the cluster layer does not intercept —
+	// listings, buckets, debug sessions, health, metrics (required).
+	Inner http.Handler
+	// SpoolDir holds the coordinator's in-flight upload spool and the
+	// hinted-handoff files (required; point it at the store's filesystem
+	// to keep local adoption a pure rename).
+	SpoolDir string
+
+	// Admission budgets: MaxSpoolBytes / MaxInflight bound admitted
+	// uploads (0 = defaults, negative = unlimited); RetryAfter is the
+	// shed response's drain estimate.
+	MaxSpoolBytes int64
+	MaxInflight   int
+	RetryAfter    time.Duration
+
+	// PeerTimeout bounds one replica write or proxy read (default 30s).
+	PeerTimeout time.Duration
+	// RetryInterval paces anti-entropy rounds (default 1s).
+	RetryInterval time.Duration
+}
+
+// Node is the cluster layer wrapped around one triage service: ring
+// placement, coordinator forwarding, replica serving, read-repair, and
+// admission control. A single-node Config degenerates to "admission
+// control in front of the local service" — one code path from laptop to
+// fleet.
+type Node struct {
+	cfg       Config
+	ring      *Ring
+	self      string
+	replicas  int // effective replication (clamped)
+	quorum    int // effective write quorum
+	admission *Admission
+	client    *peerClient
+	hintDir   string
+	ae        *antiEntropy
+}
+
+// New builds the node and starts its anti-entropy worker.
+func New(cfg Config) (*Node, error) {
+	if cfg.Service == nil || cfg.Inner == nil {
+		return nil, errors.New("cluster: Config.Service and Config.Inner are required")
+	}
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	if cfg.SpoolDir == "" {
+		return nil, errors.New("cluster: Config.SpoolDir is required")
+	}
+	peers := cfg.Peers
+	if len(peers) == 0 {
+		peers = []string{cfg.Self}
+	}
+	found := false
+	for _, p := range peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: Self %q is not in Peers %v", cfg.Self, peers)
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	hintDir := filepath.Join(cfg.SpoolDir, "hints")
+	if err := os.MkdirAll(hintDir, 0o755); err != nil {
+		return nil, err
+	}
+	// A crash mid-spool leaves coordinator temp files; reclaim them.
+	// Hint files are NOT reclaimed — they are the only copy of a blob
+	// whose owner write is still owed.
+	if stale, err := filepath.Glob(filepath.Join(cfg.SpoolDir, "ingest-*.tmp")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+	ring := NewRing(peers, cfg.VirtualNodes)
+	replicas := cfg.ReplicationFactor
+	if replicas <= 0 {
+		replicas = 3
+	}
+	if replicas > ring.Len() {
+		replicas = ring.Len()
+	}
+	quorum := cfg.WriteQuorum
+	if quorum <= 0 {
+		quorum = replicas/2 + 1
+	}
+	if quorum > replicas {
+		return nil, fmt.Errorf("cluster: write quorum %d exceeds replication factor %d", quorum, replicas)
+	}
+	n := &Node{
+		cfg:       cfg,
+		ring:      ring,
+		self:      cfg.Self,
+		replicas:  replicas,
+		quorum:    quorum,
+		admission: NewAdmission(cfg.MaxSpoolBytes, cfg.MaxInflight, cfg.RetryAfter),
+		client:    newPeerClient(cfg.PeerTimeout),
+		hintDir:   hintDir,
+	}
+	mRingNodes.Set(int64(ring.Len()))
+	n.ae = newAntiEntropy(n, cfg.RetryInterval)
+	return n, nil
+}
+
+// Close stops the anti-entropy worker. Pending repair tasks are dropped
+// from memory; their hint files survive for the next start.
+func (n *Node) Close() { n.ae.close() }
+
+// Ring exposes the placement ring (read-only use).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// ReplicationFactor returns the effective (clamped) replication factor.
+func (n *Node) ReplicationFactor() int { return n.replicas }
+
+// WriteQuorum returns the effective write quorum.
+func (n *Node) WriteQuorum() int { return n.quorum }
+
+// owners returns the owner set of one report id.
+func (n *Node) owners(id string) []string { return n.ring.Owners(id, n.replicas) }
+
+// spoolBody streams body to a coordinator temp file while hashing,
+// returning the file path, the content address, and the byte count. The
+// caller removes the file (adoption renames it away first).
+func (n *Node) spoolBody(body io.Reader) (path, id string, size int64, err error) {
+	tmp, err := os.CreateTemp(n.cfg.SpoolDir, "ingest-*.tmp")
+	if err != nil {
+		return "", "", 0, err
+	}
+	path = tmp.Name()
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(tmp, h), body)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", "", 0, err
+	}
+	return path, hex.EncodeToString(h.Sum(nil)), size, nil
+}
+
+// forwardResult is one owner's replica-write outcome.
+type forwardResult struct {
+	node string
+	body []byte // IngestResult JSON from a remote owner
+	err  error
+}
+
+// ingest is the coordinator path behind POST /api/v1/reports: spool +
+// hash the upload, place it on the ring, write to every owner (local
+// adoption for self, streaming PUT for remotes), succeed at quorum, and
+// hand the stragglers to anti-entropy.
+func (n *Node) ingest(ctx context.Context, body io.Reader) (*triage.IngestResult, *ingestError) {
+	path, id, size, err := n.spoolBody(body)
+	if err != nil {
+		return nil, ingestFailed(err)
+	}
+	defer os.Remove(path) // no-op once adopted or parked as a hint
+
+	owners := n.owners(id)
+	selfOwner := false
+	var remotes []string
+	for _, o := range owners {
+		if o == n.self {
+			selfOwner = true
+		} else {
+			remotes = append(remotes, o)
+		}
+	}
+
+	// Remote replicas first — they stream from the spool file, which the
+	// local adoption below consumes.
+	results := make([]forwardResult, len(remotes))
+	var wg sync.WaitGroup
+	for i, node := range remotes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			f, err := os.Open(path)
+			if err != nil {
+				results[i] = forwardResult{node: node, err: err}
+				return
+			}
+			defer f.Close()
+			respBody, err := n.client.putReplica(ctx, node, id, f, size)
+			results[i] = forwardResult{node: node, body: respBody, err: err}
+			if err != nil {
+				mForwardErr.Inc()
+			} else {
+				mForwardOK.Inc()
+			}
+		}(i, node)
+	}
+	wg.Wait()
+
+	acks := 0
+	var res *triage.IngestResult
+	var failed []string
+	for _, fr := range results {
+		if fr.err != nil {
+			failed = append(failed, fr.node)
+			continue
+		}
+		acks++
+		if res == nil {
+			if parsed := parseIngestResult(fr.body); parsed != nil {
+				res = parsed
+			}
+		}
+	}
+	if selfOwner {
+		local, err := n.cfg.Service.IngestFile(id, path, size)
+		if err != nil {
+			failed = append(failed, n.self)
+		} else {
+			acks++
+			mForwardSelf.Inc()
+			res = local // the local result wins: it names this node's bucket state
+		}
+	}
+
+	if acks < n.quorum {
+		mQuorumFail.Inc()
+		return nil, quorumFailed(fmt.Sprintf(
+			"wrote %d of %d replicas (need %d): %v unreachable", acks, len(owners), n.quorum, failed))
+	}
+	if len(failed) > 0 {
+		// Quorum met with stragglers: owe them the blob. When this node
+		// is not an owner the spool file is the only local copy — park it
+		// as a hint for the anti-entropy worker.
+		if !selfOwner {
+			hint := filepath.Join(n.hintDir, id)
+			if err := os.Rename(path, hint); err != nil && !os.IsNotExist(err) {
+				// Fall back to leaving repair to a holder-fetch.
+				mRepairErr.Inc()
+			}
+		}
+		for _, node := range failed {
+			n.ae.enqueue(id, node)
+		}
+	}
+	if res == nil {
+		// Quorum met purely by remote acks whose bodies did not parse
+		// (version skew): the write stands, synthesize the result.
+		res = &triage.IngestResult{ID: id, Duplicate: false}
+	}
+	return res, nil
+}
+
+// parseIngestResult decodes a replica endpoint's IngestResult body,
+// tolerating junk (nil).
+func parseIngestResult(data []byte) *triage.IngestResult {
+	if len(data) == 0 {
+		return nil
+	}
+	var res triage.IngestResult
+	if err := json.Unmarshal(data, &res); err != nil || res.ID == "" {
+		return nil
+	}
+	return &res
+}
+
+// readRepairLocal fetches id from another owner and adopts it locally —
+// the read-repair path for an owner serving a read it should hold but
+// does not (a write it missed while down). Returns whether the blob is
+// now local.
+func (n *Node) readRepairLocal(ctx context.Context, id string) bool {
+	for _, o := range n.owners(id) {
+		if o == n.self {
+			continue
+		}
+		rc, size, err := n.client.getReplica(ctx, o, id)
+		if err != nil {
+			continue
+		}
+		path, gotID, gotSize, err := func() (string, string, int64, error) {
+			defer rc.Close()
+			return n.spoolBody(rc)
+		}()
+		if err != nil {
+			mRepairErr.Inc()
+			continue
+		}
+		if gotID != id || (size >= 0 && size != gotSize) {
+			// A peer served bytes that do not hash to the requested id:
+			// corruption or tampering — refuse to launder it into the store.
+			os.Remove(path)
+			mRepairErr.Inc()
+			continue
+		}
+		if _, err := n.cfg.Service.IngestFile(id, path, gotSize); err != nil {
+			os.Remove(path)
+			mRepairErr.Inc()
+			continue
+		}
+		mRepairsTotal.Inc()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 64)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("report-%d", i)
+		oa := a.Owners(key, 2)
+		ob := b.Owners(key, 2)
+		if len(oa) != 2 || len(ob) != 2 || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("key %q: owners differ across peer order: %v vs %v", key, oa, ob)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 32)
+	owners := r.Owners("some-key", 5)
+	if len(owners) != 3 {
+		t.Fatalf("owners clamped to membership: got %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+	if !r.IsOwner("some-key", owners[0], 3) {
+		t.Fatal("IsOwner disagrees with Owners")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := NewRing(nodes, DefaultVirtualNodes)
+	counts := map[string]int{}
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("%064x", i), 1)[0]]++
+	}
+	// 128 virtual nodes keeps the primary load within a loose band; a
+	// node below 20% (fair share 33%) means the circle clumped.
+	for _, n := range nodes {
+		if frac := float64(counts[n]) / keys; frac < 0.20 || frac > 0.50 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", n, frac*100, counts)
+		}
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r := NewRing([]string{"only"}, 8)
+	for i := 0; i < 10; i++ {
+		owners := r.Owners(fmt.Sprintf("k%d", i), 3)
+		if len(owners) != 1 || owners[0] != "only" {
+			t.Fatalf("single-node owners = %v", owners)
+		}
+	}
+}

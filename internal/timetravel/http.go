@@ -13,7 +13,7 @@ import (
 // opens are tiny JSON documents.
 const maxBodyBytes = 1 << 16
 
-// OpenRequest is the body of POST /debug/sessions.
+// OpenRequest is the body of POST /api/v1/debug/sessions.
 type OpenRequest struct {
 	// Report is the stored report id (content address) to debug.
 	Report string `json:"report"`
@@ -21,26 +21,28 @@ type OpenRequest struct {
 	TID *int `json:"tid,omitempty"`
 }
 
-// RegisterRoutes installs the remote-debug API onto mux:
+// RegisterRoutes installs the remote-debug API onto mux (each path also
+// reachable without the /api/v1 prefix as a deprecated alias):
 //
-//	POST   /debug/sessions           — open a session over a stored report
-//	GET    /debug/sessions           — list live sessions
-//	GET    /debug/sessions/{id}      — one session's state
-//	POST   /debug/sessions/{id}/cmd  — execute one Command
-//	DELETE /debug/sessions/{id}      — close a session
+//	POST   /api/v1/debug/sessions           — open a session over a stored report
+//	GET    /api/v1/debug/sessions           — list live sessions
+//	GET    /api/v1/debug/sessions/{id}      — one session's state
+//	POST   /api/v1/debug/sessions/{id}/cmd  — execute one Command
+//	DELETE /api/v1/debug/sessions/{id}      — close a session
 //
-// The routes are transport only; every decision lives in Manager and
-// Engine, so tests drive them in-process and bugnet-serve mounts them
-// next to the triage API.
+// Failures use the standardized httpjson error envelope. The routes are
+// transport only; every decision lives in Manager and Engine, so tests
+// drive them in-process and bugnet-serve mounts them next to the triage
+// API.
 func RegisterRoutes(mux *http.ServeMux, m *Manager) {
-	mux.HandleFunc("POST /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "POST /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req OpenRequest
 		if err := readJSON(w, r, &req); err != nil {
-			httpjson.Error(w, http.StatusBadRequest, err.Error())
+			httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, err.Error())
 			return
 		}
 		if req.Report == "" {
-			httpjson.Error(w, http.StatusBadRequest, "missing report id")
+			httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, "missing report id")
 			return
 		}
 		tid := -1
@@ -50,54 +52,54 @@ func RegisterRoutes(mux *http.ServeMux, m *Manager) {
 		s, err := m.Open(req.Report, tid)
 		switch {
 		case errors.Is(err, ErrUnknownReport):
-			httpjson.Error(w, http.StatusNotFound, err.Error())
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, err.Error())
 			return
 		case errors.Is(err, ErrSessionLimit):
-			httpjson.Error(w, http.StatusTooManyRequests, err.Error())
+			httpjson.Fail(w, r, http.StatusTooManyRequests, httpjson.CodeOverloaded, err.Error())
 			return
 		case errors.Is(err, ErrClosed):
-			httpjson.Error(w, http.StatusServiceUnavailable, err.Error())
+			httpjson.Fail(w, r, http.StatusServiceUnavailable, httpjson.CodeUnavailable, err.Error())
 			return
 		case err != nil:
 			// Undecodable report, unknown binary, oversized window: the
 			// request named something we cannot debug.
-			httpjson.Error(w, http.StatusUnprocessableEntity, err.Error())
+			httpjson.Fail(w, r, http.StatusUnprocessableEntity, httpjson.CodeUnprocessable, err.Error())
 			return
 		}
 		info, _ := m.Info(s.ID)
 		httpjson.Write(w, http.StatusCreated, info)
 	})
 
-	mux.HandleFunc("GET /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "GET /debug/sessions", func(w http.ResponseWriter, r *http.Request) {
 		httpjson.Write(w, http.StatusOK, m.List())
 	})
 
-	mux.HandleFunc("GET /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "GET /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, ok := m.Info(r.PathValue("id"))
 		if !ok {
-			httpjson.Error(w, http.StatusNotFound, "no such session")
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such session")
 			return
 		}
 		httpjson.Write(w, http.StatusOK, info)
 	})
 
-	mux.HandleFunc("POST /debug/sessions/{id}/cmd", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "POST /debug/sessions/{id}/cmd", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			httpjson.Error(w, http.StatusNotFound, "no such session")
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such session")
 			return
 		}
 		var cmd Command
 		if err := readJSON(w, r, &cmd); err != nil {
-			httpjson.Error(w, http.StatusBadRequest, err.Error())
+			httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, err.Error())
 			return
 		}
 		httpjson.Write(w, http.StatusOK, s.Do(cmd))
 	})
 
-	mux.HandleFunc("DELETE /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "DELETE /debug/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !m.CloseSession(r.PathValue("id")) {
-			httpjson.Error(w, http.StatusNotFound, "no such session")
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such session")
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)

@@ -1,10 +1,13 @@
 package triage
 
 import (
+	"encoding/base64"
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"bugnet/internal/httpjson"
@@ -25,42 +28,57 @@ const (
 	maxPageLimit     = 1000
 )
 
-// Page is the envelope of a paginated listing.
-type Page[T any] struct {
-	Total  int `json:"total"`
-	Offset int `json:"offset"`
-	Limit  int `json:"limit"`
-	Items  []T `json:"items"`
+// Listing is the unified envelope of every paginated collection: a page
+// of items plus an opaque cursor naming the next page ("" on the last).
+// Clients must treat the cursor as a black box — the token encodes the
+// store's current iteration order, which is free to change between
+// releases without breaking pagination.
+type Listing[T any] struct {
+	Items      []T    `json:"items"`
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
-// pageParams parses ?offset=&limit= with server-side clamping.
-func pageParams(r *http.Request) (offset, limit int) {
-	q := r.URL.Query()
-	offset, _ = strconv.Atoi(q.Get("offset"))
-	if offset < 0 {
-		offset = 0
+// Cursor tokens are versioned ("r1:"/"b1:") base64 so a format change
+// invalidates old cursors loudly (400 bad_request) instead of silently
+// mis-seeking.
+func encodeCursor(token string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(token))
+}
+
+func decodeCursor(c string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(c)
+	if err != nil {
+		return "", fmt.Errorf("malformed cursor")
 	}
-	limit, _ = strconv.Atoi(q.Get("limit"))
+	return string(raw), nil
+}
+
+// limitParam parses ?limit= with the server-side clamp.
+func limitParam(r *http.Request) int {
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
 	if limit <= 0 {
 		limit = defaultPageLimit
 	}
 	if limit > maxPageLimit {
 		limit = maxPageLimit
 	}
-	return offset, limit
+	return limit
 }
 
-// NewHandler exposes a Service over HTTP:
+// NewHandler exposes a Service over HTTP. The full surface (all paths
+// also reachable without the /api/v1 prefix as deprecated aliases):
 //
-//	POST /reports        — upload one packed archive; responds with the
-//	                       ingest result (201 new, 200 duplicate)
-//	GET  /reports        — paginated report listing (?offset=&limit=)
-//	GET  /reports/{id}   — report metadata and verdict (?raw=1: the blob)
-//	GET  /buckets        — paginated crash buckets, most-populated first
-//	GET  /buckets/{key}  — one bucket
-//	GET  /healthz        — liveness plus occupancy counters
+//	POST /api/v1/reports        — upload one packed archive (201 new, 200 duplicate)
+//	GET  /api/v1/reports        — report listing (?cursor=&limit=, id order)
+//	GET  /api/v1/reports/{id}   — report metadata and verdict (?raw=1: the blob)
+//	GET  /api/v1/buckets        — crash buckets (?cursor=&limit=, most-populated first)
+//	GET  /api/v1/buckets/{key}  — one bucket
+//	GET  /healthz               — liveness plus occupancy counters
+//	GET  /readyz                — readiness (spool writable, capacity left)
+//	GET  /metrics               — Prometheus exposition
 //
-// The handler is transport only; every decision lives in the Service, so
+// Failures all use the httpjson error envelope with stable codes. The
+// handler is transport only; every decision lives in the Service, so
 // tests drive it in-process with httptest and bugnet-serve just wraps it
 // in http.ListenAndServe.
 func NewHandler(s *Service) http.Handler {
@@ -68,8 +86,8 @@ func NewHandler(s *Service) http.Handler {
 }
 
 // NewHandlerWithDebug additionally mounts the remote-debug API
-// (/debug/sessions...) on the same handler — the wiring that turns stored
-// field reports into interactive time-travel sessions.
+// (/api/v1/debug/sessions...) on the same handler — the wiring that turns
+// stored field reports into interactive time-travel sessions.
 func NewHandlerWithDebug(s *Service, debug *timetravel.Manager) http.Handler {
 	return newHandler(s, debug)
 }
@@ -80,28 +98,12 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 		timetravel.RegisterRoutes(mux, debug)
 	}
 
-	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "POST /reports", func(w http.ResponseWriter, r *http.Request) {
 		// The body streams straight to the service's disk spool while it
 		// is hashed — an upload's memory cost is a copy buffer, not the
 		// archive, however large the recorded window was.
 		res, err := s.IngestReader(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
-		var tooBig *http.MaxBytesError
-		switch {
-		case errors.As(err, &tooBig):
-			httpjson.Error(w, http.StatusRequestEntityTooLarge, "report exceeds upload limit")
-			return
-		case errors.Is(err, ErrClosed):
-			httpjson.Error(w, http.StatusServiceUnavailable, err.Error())
-			return
-		case errors.Is(err, report.ErrBadArchive):
-			// Unpack rejected it: the client sent garbage, not us.
-			httpjson.Error(w, http.StatusBadRequest, err.Error())
-			return
-		case err != nil:
-			// Store I/O failure (disk full, permissions): our fault, and a
-			// 4xx would make a well-behaved recorder discard the report
-			// instead of retrying.
-			httpjson.Error(w, http.StatusInternalServerError, err.Error())
+		if !WriteIngestError(w, r, err) {
 			return
 		}
 		code := http.StatusCreated
@@ -111,56 +113,71 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 		httpjson.Write(w, code, res)
 	})
 
-	mux.HandleFunc("GET /reports/{id}", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "GET /reports/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if r.URL.Query().Get("raw") == "1" {
-			// Stream the blob straight from the store file, pinned so
-			// eviction cannot delete it mid-download — a download's
-			// memory cost is a copy buffer, not the archive.
-			if !s.Store().Pin(id) {
-				httpjson.Error(w, http.StatusNotFound, "no stored report "+id)
-				return
-			}
-			defer s.Store().Unpin(id)
-			path, ok := s.Store().Path(id)
-			if !ok {
-				httpjson.Error(w, http.StatusNotFound, "no stored report "+id)
-				return
-			}
-			f, err := os.Open(path)
-			if err != nil {
-				httpjson.Error(w, http.StatusInternalServerError, err.Error())
-				return
-			}
-			defer f.Close()
-			w.Header().Set("Content-Type", "application/octet-stream")
-			http.ServeContent(w, r, id+".bnar", time.Time{}, f)
+			ServeRaw(s, w, r, id)
 			return
 		}
 		m, ok := s.Report(id)
 		if !ok {
-			httpjson.Error(w, http.StatusNotFound, "no such report")
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such report")
 			return
 		}
 		httpjson.Write(w, http.StatusOK, m)
 	})
 
-	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, r *http.Request) {
-		offset, limit := pageParams(r)
-		items, total := s.ReportsPage(offset, limit)
-		httpjson.Write(w, http.StatusOK, Page[ReportMeta]{Total: total, Offset: offset, Limit: limit, Items: items})
+	httpjson.Handle(mux, "GET /reports", func(w http.ResponseWriter, r *http.Request) {
+		after := ""
+		if c := r.URL.Query().Get("cursor"); c != "" {
+			token, err := decodeCursor(c)
+			if err != nil || !strings.HasPrefix(token, "r1:") {
+				httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, "invalid cursor")
+				return
+			}
+			after = token[len("r1:"):]
+		}
+		limit := limitParam(r)
+		items, more := s.ReportsCursor(after, limit)
+		out := Listing[ReportMeta]{Items: items}
+		if more {
+			out.NextCursor = encodeCursor("r1:" + items[len(items)-1].ID)
+		}
+		httpjson.Write(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /buckets", func(w http.ResponseWriter, r *http.Request) {
-		offset, limit := pageParams(r)
-		items, total := s.BucketsPage(offset, limit)
-		httpjson.Write(w, http.StatusOK, Page[Bucket]{Total: total, Offset: offset, Limit: limit, Items: items})
+	httpjson.Handle(mux, "GET /buckets", func(w http.ResponseWriter, r *http.Request) {
+		var afterCount int
+		var afterKey string
+		haveAfter := false
+		if c := r.URL.Query().Get("cursor"); c != "" {
+			token, err := decodeCursor(c)
+			if err != nil || !strings.HasPrefix(token, "b1:") {
+				httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, "invalid cursor")
+				return
+			}
+			countStr, key, ok := strings.Cut(token[len("b1:"):], ":")
+			n, convErr := strconv.Atoi(countStr)
+			if !ok || convErr != nil {
+				httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, "invalid cursor")
+				return
+			}
+			afterCount, afterKey, haveAfter = n, key, true
+		}
+		limit := limitParam(r)
+		items, more := s.BucketsCursor(afterCount, afterKey, haveAfter, limit)
+		out := Listing[Bucket]{Items: items}
+		if more {
+			last := items[len(items)-1]
+			out.NextCursor = encodeCursor(fmt.Sprintf("b1:%d:%s", last.Count, last.Key))
+		}
+		httpjson.Write(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /buckets/{key}", func(w http.ResponseWriter, r *http.Request) {
+	httpjson.Handle(mux, "GET /buckets/{key}", func(w http.ResponseWriter, r *http.Request) {
 		b, ok := s.Bucket(r.PathValue("key"))
 		if !ok {
-			httpjson.Error(w, http.StatusNotFound, "no such bucket")
+			httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no such bucket")
 			return
 		}
 		httpjson.Write(w, http.StatusOK, b)
@@ -218,4 +235,54 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	mux.Handle("GET /metrics", obs.Handler())
 
 	return mux
+}
+
+// WriteIngestError maps an ingest failure onto the error envelope,
+// reporting whether the caller may proceed (err was nil). Shared with the
+// cluster layer so the coordinator's local writes and a single node's
+// direct ingest fail identically on the wire.
+func WriteIngestError(w http.ResponseWriter, r *http.Request, err error) bool {
+	var tooBig *http.MaxBytesError
+	switch {
+	case err == nil:
+		return true
+	case errors.As(err, &tooBig):
+		httpjson.Fail(w, r, http.StatusRequestEntityTooLarge, httpjson.CodeTooLarge, "report exceeds upload limit")
+	case errors.Is(err, ErrClosed):
+		httpjson.Fail(w, r, http.StatusServiceUnavailable, httpjson.CodeUnavailable, err.Error())
+	case errors.Is(err, report.ErrBadArchive):
+		// Unpack rejected it: the client sent garbage, not us.
+		httpjson.Fail(w, r, http.StatusBadRequest, httpjson.CodeBadRequest, err.Error())
+	default:
+		// Store I/O failure (disk full, permissions): our fault, and a
+		// 4xx would make a well-behaved recorder discard the report
+		// instead of retrying.
+		httpjson.Fail(w, r, http.StatusInternalServerError, httpjson.CodeInternal, err.Error())
+	}
+	return false
+}
+
+// ServeRaw streams one stored blob from the store file, pinned so
+// eviction cannot delete it mid-download — a download's memory cost is a
+// copy buffer, not the archive. The cluster layer calls it for locally
+// held replicas.
+func ServeRaw(s *Service, w http.ResponseWriter, r *http.Request, id string) {
+	if !s.Store().Pin(id) {
+		httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no stored report "+id)
+		return
+	}
+	defer s.Store().Unpin(id)
+	path, ok := s.Store().Path(id)
+	if !ok {
+		httpjson.Fail(w, r, http.StatusNotFound, httpjson.CodeNotFound, "no stored report "+id)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		httpjson.Fail(w, r, http.StatusInternalServerError, httpjson.CodeInternal, err.Error())
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, id+".bnar", time.Time{}, f)
 }

@@ -473,6 +473,32 @@ func (s *Service) IngestReader(r io.Reader) (res *IngestResult, err error) {
 	return s.ingestCore(id, size, put, sig, false)
 }
 
+// IngestFile adopts an already-spooled upload whose content address the
+// caller computed while writing path (id must be the hex SHA-256 of the
+// file's bytes, like Store.PutWithID's contract). The cluster layer uses
+// it to ingest the coordinator's spool file without a second disk copy:
+// the file is consumed on success (renamed into the store, or deleted
+// when the content already existed).
+func (s *Service) IngestFile(id, path string, size int64) (res *IngestResult, err error) {
+	start := time.Now()
+	defer func() { observeIngest(start, size, res, err, false) }()
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.ingesting.Done()
+
+	put := func() (bool, error) { return s.store.AdoptFile(id, path) }
+	sig := func() (Signature, error) {
+		a, err := report.OpenFile(path)
+		if err != nil {
+			return Signature{}, err
+		}
+		defer a.Close()
+		return SignatureOf(a.Report()), nil
+	}
+	return s.ingestCore(id, size, put, sig, false)
+}
+
 func (s *Service) ingestBytes(data []byte, recovered bool) (res *IngestResult, err error) {
 	start := time.Now()
 	defer func() { observeIngest(start, int64(len(data)), res, err, recovered) }()
@@ -952,6 +978,84 @@ func (s *Service) ReportsPage(offset, limit int) ([]ReportMeta, int) {
 		out = append(out, cp)
 	}
 	return out, total
+}
+
+// ReportsCursor returns up to limit stored-report metas with id strictly
+// greater than after (lexicographic — ids are fixed-width hex, so this is
+// also hash order), plus whether more remain. It backs the keyset
+// pagination of GET /api/v1/reports: the service iterates in id order
+// today, but clients only ever see opaque cursors, so the order is free
+// to change.
+func (s *Service) ReportsCursor(after string, limit int) (items []ReportMeta, more bool) {
+	if limit <= 0 {
+		limit = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.reports))
+	for id := range s.reports {
+		if id > after {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	more = len(ids) > limit
+	if more {
+		ids = ids[:limit]
+	}
+	items = make([]ReportMeta, 0, len(ids))
+	for _, id := range ids {
+		m := s.reports[id]
+		cp := *m
+		if m.Verdict != nil {
+			v := *m.Verdict
+			cp.Verdict = &v
+		}
+		items = append(items, cp)
+	}
+	return items, more
+}
+
+// BucketsCursor returns up to limit buckets strictly after the position
+// (afterCount, afterKey) in the listing order — most-populated first,
+// ties by key ascending — plus whether more remain. haveAfter false
+// starts from the top. Counts move between pages under concurrent
+// ingest; keyset pagination skips or repeats a moved bucket rather than
+// shearing the whole page the way offsets would.
+func (s *Service) BucketsCursor(afterCount int, afterKey string, haveAfter bool, limit int) (items []Bucket, more bool) {
+	if limit <= 0 {
+		limit = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := make([]*Bucket, 0, len(s.buckets))
+	for _, b := range s.buckets {
+		if haveAfter && !(b.Count < afterCount || (b.Count == afterCount && b.Key > afterKey)) {
+			continue
+		}
+		all = append(all, b)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	more = len(all) > limit
+	if more {
+		all = all[:limit]
+	}
+	items = make([]Bucket, 0, len(all))
+	for _, b := range all {
+		cp := *b
+		cp.ReportIDs = append([]string(nil), b.ReportIDs...)
+		if b.Verdict != nil {
+			v := *b.Verdict
+			cp.Verdict = &v
+		}
+		items = append(items, cp)
+	}
+	return items, more
 }
 
 // page slices a window out of a listing.
