@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"bugnet/internal/httpjson"
 	"bugnet/internal/logstore"
 	"bugnet/internal/obs"
+	"bugnet/internal/retry"
 )
 
 // logger carries all diagnostics; results stay on stdout.
@@ -75,6 +77,8 @@ func run() int {
 	scale := flag.Int("scale", 100, "bug-window scale for -bug workloads")
 	logDir := flag.String("log-dir", "", "spill the FLL/MRL log regions to segment files under this directory")
 	logBudget := flag.Int64("log-budget", 0, "byte budget per log region (0 = unlimited); with -log-dir this bounds disk, not RAM")
+	submitRetries := flag.Int("submit-retries", 4, "retries after a failed -submit upload (429/5xx/transport errors; 0 = one attempt only)")
+	submitTimeout := flag.Duration("submit-timeout", 60*time.Second, "per-attempt timeout for the -submit upload")
 	logFormat := flag.String("log-format", "text", "diagnostic log format: text or json")
 	dump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this path at exit (\"-\" = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while recording (e.g. localhost:6060; empty = off)")
@@ -137,7 +141,7 @@ func run() int {
 	fmt.Printf("report saved to %s\n", *out)
 
 	if *submit != "" {
-		if err := upload(*submit, rep); err != nil {
+		if err := upload(*submit, rep, *submitRetries, *submitTimeout); err != nil {
 			logger.Error("submitting report", "url", *submit, "err", err)
 			return 1
 		}
@@ -176,37 +180,81 @@ func openSpill(dir string, budget int64) (*logstore.Store, error) {
 // upload streams the packed report to a bugnet-serve endpoint: sections
 // flow from the log stores through the packer into the request body, so a
 // disk-spilled multi-gigabyte window uploads in O(section) memory.
-func upload(base string, rep *bugnet.CrashReport) error {
-	pr, pw := io.Pipe()
-	go func() { pw.CloseWithError(bugnet.PackReportTo(pw, rep)) }()
+//
+// Sheds (429) and server-side failures (5xx, transport errors) retry with
+// jittered backoff, honoring the server's Retry-After hint; a 4xx means
+// the report itself was refused and retrying cannot help. Because the
+// body streams from the log stores it cannot be rewound — every attempt
+// re-packs through a fresh pipe.
+func upload(base string, rep *bugnet.CrashReport, retries int, timeout time.Duration) error {
 	url := strings.TrimRight(base, "/") + "/api/v1/reports"
-	client := &http.Client{Timeout: 60 * time.Second}
-	resp, err := client.Post(url, "application/octet-stream", pr)
+	client := &http.Client{}
+	policy := retry.Policy{
+		MaxAttempts:    retries + 1,
+		BaseDelay:      500 * time.Millisecond,
+		MaxDelay:       15 * time.Second,
+		AttemptTimeout: timeout,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			logger.Warn("upload failed, backing off", "url", url, "wait", d)
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+	var data []byte
+	err := policy.Do(context.Background(), func(ctx context.Context) error {
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(bugnet.PackReportTo(pw, rep)) }()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, pr)
+		if err != nil {
+			pr.Close()
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return fmt.Errorf("%s: reading response (%s): %w", url, resp.Status, err)
+		}
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			// The standard error envelope (or the legacy shape from an
+			// older server).
+			msg := strings.TrimSpace(string(body))
+			if eb, ok := httpjson.DecodeError(body); ok {
+				msg = eb.Message
+				if eb.Code != "" {
+					msg = eb.Code + ": " + msg
+				}
+			}
+			ferr := fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusServiceUnavailable:
+				// Shed by admission control or a degraded node: retryable,
+				// waiting at least the server's hinted drain time.
+				if d, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+					return retry.After(ferr, d)
+				}
+				return ferr
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				return retry.Permanent(ferr)
+			}
+			return ferr
+		}
+		data = body
+		return nil
+	})
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return fmt.Errorf("%s: reading response (%s): %w", url, resp.Status, err)
-	}
-	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		// The standard error envelope (or the legacy shape from an older
-		// server); 429 means admission control shed us — say so, the
-		// recorder's operator should retry after the hinted delay.
-		msg := strings.TrimSpace(string(data))
-		if body, ok := httpjson.DecodeError(data); ok {
-			msg = body.Message
-			if body.Code != "" {
-				msg = body.Code + ": " + msg
-			}
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				msg += " (retry after " + ra + "s)"
-			}
-		}
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
 	}
 	var res struct {
 		ID        string `json:"id"`
@@ -214,7 +262,7 @@ func upload(base string, rep *bugnet.CrashReport) error {
 		Duplicate bool   `json:"duplicate"`
 	}
 	if err := json.Unmarshal(data, &res); err != nil {
-		return fmt.Errorf("%s: bad response (%s): %w", url, resp.Status, err)
+		return fmt.Errorf("%s: bad response: %w", url, err)
 	}
 	state := "new"
 	if res.Duplicate {

@@ -235,6 +235,9 @@ func main() {
 		MaxInflight:       *maxInflight,
 		RetryAfter:        *retryAfter,
 		RetryInterval:     *repairInterval,
+		// Readiness folds in debug-session saturation alongside the
+		// store/spool checks; the cluster layer appends breaker reasons.
+		ExtraReady: func() []string { return triage.ReadyReasons(svc, mgr) },
 	})
 	if err != nil {
 		logger.Error("starting cluster layer", "self", nodeSelf, "err", err)

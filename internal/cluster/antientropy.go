@@ -17,8 +17,9 @@ import (
 // growing without limit, because a down node's debt is rediscoverable
 // later via read-repair.
 type antiEntropy struct {
-	n        *Node
-	interval time.Duration
+	n           *Node
+	interval    time.Duration
+	maxAttempts int
 
 	mu      sync.Mutex
 	pending map[repairTask]int // task -> attempts so far
@@ -36,22 +37,26 @@ type repairTask struct {
 const (
 	// maxQueuedRepairs bounds the debt ledger; ~64 bytes a task.
 	maxQueuedRepairs = 4096
-	// maxRepairAttempts is the give-up limit per task. With the default
-	// 1s interval that is ~5 minutes of outage covered; longer outages
-	// heal via read-repair when the node returns.
-	maxRepairAttempts = 300
+	// defaultMaxRepairAttempts is the give-up limit per task. With the
+	// default 1s interval that is ~5 minutes of outage covered; longer
+	// outages heal via read-repair when the node returns.
+	defaultMaxRepairAttempts = 300
 )
 
-func newAntiEntropy(n *Node, interval time.Duration) *antiEntropy {
+func newAntiEntropy(n *Node, interval time.Duration, maxAttempts int) *antiEntropy {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	if maxAttempts <= 0 {
+		maxAttempts = defaultMaxRepairAttempts
+	}
 	ae := &antiEntropy{
-		n:        n,
-		interval: interval,
-		pending:  make(map[repairTask]int),
-		wake:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		n:           n,
+		interval:    interval,
+		maxAttempts: maxAttempts,
+		pending:     make(map[repairTask]int),
+		wake:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
 	}
 	ae.wg.Add(1)
 	go ae.run()
@@ -80,7 +85,7 @@ func (ae *antiEntropy) enqueue(id, node string) {
 		return
 	}
 	if len(ae.pending) >= maxQueuedRepairs {
-		mAntiEntropyDrops.Inc()
+		mAEDropQueueFull.Inc()
 		return
 	}
 	ae.pending[t] = 0
@@ -140,9 +145,12 @@ func (ae *antiEntropy) sweep() {
 			delete(ae.pending, t)
 		} else {
 			ae.pending[t]++
-			if ae.pending[t] >= maxRepairAttempts {
+			if ae.pending[t] >= ae.maxAttempts {
+				// Exhausted: surface the abandonment in the drop counter —
+				// the debt is rediscoverable via read-repair — and stop
+				// burning sweeps on it.
 				delete(ae.pending, t)
-				mAntiEntropyDrops.Inc()
+				mAEDropGaveUp.Inc()
 			}
 		}
 		remaining := ae.hasDebtLocked(t.id)
@@ -182,18 +190,12 @@ func (ae *antiEntropy) repair(t repairTask) bool {
 		return false
 	}
 	defer cleanup()
-	f, err := os.Open(src)
+	fi, err := os.Stat(src)
 	if err != nil {
 		mRepairErr.Inc()
 		return false
 	}
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		mRepairErr.Inc()
-		return false
-	}
-	if _, err := n.client.putReplica(ctx, t.node, t.id, f, fi.Size()); err != nil {
+	if _, err := n.putReplicaFile(ctx, t.node, t.id, src, fi.Size()); err != nil {
 		mRepairErr.Inc()
 		return false
 	}
@@ -202,7 +204,9 @@ func (ae *antiEntropy) repair(t repairTask) bool {
 }
 
 // source finds a local file holding id's bytes: the pinned store blob,
-// the coordinator's hint file, or a copy fetched from another owner.
+// the coordinator's hint file, or a copy fetched from another owner. A
+// hint is only trusted after its content re-hashes to its name — a
+// corrupt or truncated hint is quarantined, not pushed and not retried.
 func (ae *antiEntropy) source(ctx context.Context, id string) (path string, cleanup func(), ok bool) {
 	n := ae.n
 	store := n.cfg.Service.Store()
@@ -214,7 +218,10 @@ func (ae *antiEntropy) source(ctx context.Context, id string) (path string, clea
 	}
 	hint := filepath.Join(n.hintDir, id)
 	if _, err := os.Stat(hint); err == nil {
-		return hint, func() {}, true
+		if got, err := hashFile(hint); err == nil && got == id {
+			return hint, func() {}, true
+		}
+		n.quarantineHint(hint)
 	}
 	for _, o := range n.owners(id) {
 		if o == n.self {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,21 +10,93 @@ import (
 	"time"
 
 	"bugnet/internal/httpjson"
+	"bugnet/internal/retry"
 )
 
 // peerClient is the thin HTTP client behind replica forwarding, proxy
-// reads, and health probes. The internal endpoints are strictly local on
-// the receiving node (they never forward), which is what makes the
-// coordinator's fan-out loop-free.
+// reads, anti-entropy pushes, and health probes. The internal endpoints
+// are strictly local on the receiving node (they never forward), which
+// is what makes the coordinator's fan-out loop-free.
+//
+// Every request carries a context deadline end-to-end — including the
+// streaming body of a replica read — so a peer that dies mid-response
+// can never hang a coordinator goroutine. A per-peer circuit breaker
+// front-runs each call: a peer that keeps failing is shed locally
+// (retry.ErrOpen, wrapped Permanent so retry loops fail fast) until a
+// half-open probe proves it back.
 type peerClient struct {
-	hc *http.Client
+	hc       *http.Client
+	timeout  time.Duration
+	breakers *retry.BreakerSet
 }
 
-func newPeerClient(timeout time.Duration) *peerClient {
+func newPeerClient(timeout time.Duration, transport http.RoundTripper, breakers *retry.BreakerSet) *peerClient {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &peerClient{hc: &http.Client{Timeout: timeout}}
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	return &peerClient{
+		hc:       &http.Client{Transport: transport},
+		timeout:  timeout,
+		breakers: breakers,
+	}
+}
+
+// closeIdle drops the transport's idle connections so a stopped node
+// does not leak per-connection reader goroutines.
+func (c *peerClient) closeIdle() {
+	type idleCloser interface{ CloseIdleConnections() }
+	if t, ok := c.hc.Transport.(idleCloser); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// openBreakers lists the peers currently shed by an open circuit.
+func (c *peerClient) openBreakers() []string {
+	if c.breakers == nil {
+		return nil
+	}
+	return c.breakers.Open()
+}
+
+// start guards one peer call: consult the breaker, then bound the call
+// (headers and body both) with the client deadline.
+func (c *peerClient) start(ctx context.Context, node string) (context.Context, context.CancelFunc, error) {
+	if c.breakers != nil && !c.breakers.For(node).Allow() {
+		return nil, nil, retry.Permanent(fmt.Errorf("%w: %s", retry.ErrOpen, node))
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.timeout)
+	return cctx, cancel, nil
+}
+
+// observe reports one call's outcome to the peer's breaker. A peer that
+// answered — any status, even a 4xx or an admission 429 — is alive;
+// only transport failures and 5xx responses count against the circuit.
+func (c *peerClient) observe(node string, err error) {
+	if c.breakers == nil {
+		return
+	}
+	if isBreakerFailure(err) {
+		c.breakers.For(node).Failure()
+	} else {
+		c.breakers.For(node).Success()
+	}
+}
+
+func isBreakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, retry.ErrOpen) {
+		return false // shed locally; nothing new learned about the peer
+	}
+	var pe *peerError
+	if errors.As(err, &pe) {
+		return pe.status >= 500
+	}
+	return true // transport-level failure: reset, timeout, refused
 }
 
 // peerError carries the upstream status so callers can distinguish a
@@ -38,13 +111,26 @@ func (e *peerError) Error() string {
 	return fmt.Sprintf("peer: %d %s: %s", e.status, e.code, e.msg)
 }
 
+// decodeFailure turns a non-2xx response into an error classified for
+// the retry layer: 429/503 are retryable and carry the server's
+// Retry-After hint; other 4xx are permanent (retrying cannot fix a bad
+// request); 5xx are retryable.
 func (c *peerClient) decodeFailure(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	body, _ := httpjson.DecodeError(data)
 	if body.Code == "" {
 		body.Code = httpjson.CodeForStatus(resp.StatusCode)
 	}
-	return &peerError{status: resp.StatusCode, code: body.Code, msg: body.Message}
+	err := error(&peerError{status: resp.StatusCode, code: body.Code, msg: body.Message})
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		if d, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			err = retry.After(err, d)
+		}
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		err = retry.Permanent(err)
+	}
+	return err
 }
 
 func joinURL(base, path string) string {
@@ -55,7 +141,12 @@ func joinURL(base, path string) string {
 // The peer verifies the content hash against id and ingests locally; the
 // returned body is the peer's IngestResult JSON.
 func (c *peerClient) putReplica(ctx context.Context, node, id string, body io.Reader, size int64) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+	cctx, cancel, err := c.start(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPut,
 		joinURL(node, "/internal/v1/replicas/"+id), body)
 	if err != nil {
 		return nil, err
@@ -64,76 +155,126 @@ func (c *peerClient) putReplica(ctx context.Context, node, id string, body io.Re
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe(node, err)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		return nil, c.decodeFailure(resp)
+		ferr := c.decodeFailure(resp)
+		c.observe(node, ferr)
+		return nil, ferr
 	}
+	c.observe(node, nil)
 	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 }
 
+// cancelBody keeps a streamed response's context deadline alive until
+// the caller closes the body, then releases it.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
 // getReplica opens a streaming read of a peer's locally held blob. The
-// caller must close the returned body.
+// caller must close the returned body; the client deadline covers the
+// whole stream, so a peer dying mid-body unblocks the reader.
 func (c *peerClient) getReplica(ctx context.Context, node, id string) (io.ReadCloser, int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	cctx, cancel, err := c.start(ctx, node)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet,
 		joinURL(node, "/internal/v1/replicas/"+id), nil)
 	if err != nil {
+		cancel()
 		return nil, 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe(node, err)
+		cancel()
 		return nil, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		err := c.decodeFailure(resp)
+		ferr := c.decodeFailure(resp)
+		c.observe(node, ferr)
 		resp.Body.Close()
-		return nil, 0, err
+		cancel()
+		return nil, 0, ferr
 	}
-	return resp.Body, resp.ContentLength, nil
+	c.observe(node, nil)
+	return &cancelBody{ReadCloser: resp.Body, cancel: cancel}, resp.ContentLength, nil
 }
 
 // hasReplica asks a peer whether it locally holds id, without the bytes.
 func (c *peerClient) hasReplica(ctx context.Context, node, id string) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodHead,
+	cctx, cancel, err := c.start(ctx, node)
+	if err != nil {
+		return false, err
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodHead,
 		joinURL(node, "/internal/v1/replicas/"+id), nil)
 	if err != nil {
 		return false, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe(node, err)
 		return false, err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
+	c.observe(node, nil)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return true, nil
 	case http.StatusNotFound:
 		return false, nil
 	}
-	return false, &peerError{status: resp.StatusCode, code: httpjson.CodeForStatus(resp.StatusCode)}
+	perr := &peerError{status: resp.StatusCode, code: httpjson.CodeForStatus(resp.StatusCode)}
+	if perr.status >= 500 {
+		c.observe(node, perr)
+	}
+	return false, perr
 }
 
 // getMeta proxies one report-metadata read from a peer's local state.
 func (c *peerClient) getMeta(ctx context.Context, node, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	cctx, cancel, err := c.start(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet,
 		joinURL(node, "/internal/v1/reports/"+id), nil)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe(node, err)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, c.decodeFailure(resp)
+		ferr := c.decodeFailure(resp)
+		c.observe(node, ferr)
+		return nil, ferr
 	}
+	c.observe(node, nil)
 	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 }
 
-// health probes a peer's liveness endpoint.
+// health probes a peer's liveness endpoint. It bypasses the breaker —
+// the probe IS how an operator learns a shed peer's state — but still
+// carries its own short deadline.
 func (c *peerClient) health(ctx context.Context, node string) error {
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()

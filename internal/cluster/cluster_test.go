@@ -100,6 +100,7 @@ func scrapeCounter(t *testing.T, base, name string) int64 {
 // returned owner heals itself on first read (observable via
 // bugnet_cluster_repairs_total).
 func TestClusterQuorumWriteAndReadRepair(t *testing.T) {
+	checkGoroutineLeaks(t) // registered first: verified after the cluster closes
 	lc, corpus := spawn(t, 3, nil)
 	a, b, c := lc.Nodes[0], lc.Nodes[1], lc.Nodes[2]
 	blob := corpus[0]

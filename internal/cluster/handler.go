@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -49,6 +51,10 @@ func (n *Node) Handler() http.Handler {
 	httpjson.Handle(mux, "GET /reports/{id}", n.handleGetReport)
 	httpjson.Handle(mux, "GET /cluster", n.handleClusterInfo)
 
+	// The cluster layer owns readiness: the service-level reasons plus
+	// peer-level ones (a write quorum no open circuits can reach).
+	mux.HandleFunc("GET /readyz", n.handleReadyz)
+
 	mux.HandleFunc("PUT /internal/v1/replicas/{id}", n.handleReplicaPut)
 	mux.HandleFunc("GET /internal/v1/replicas/{id}", n.handleReplicaGet)
 	mux.HandleFunc("GET /internal/v1/reports/{id}", n.handleLocalMeta)
@@ -63,8 +69,44 @@ func (n *Node) shed(w http.ResponseWriter, r *http.Request) {
 		"ingest budget exhausted; retry after the spool drains")
 }
 
-// handleIngest is POST /api/v1/reports: admission, then coordinate.
+// shedDegraded refuses a write when the local store cannot durably hold
+// it — a 503 with the reason beats an ack the disk would lose. Healthy
+// re-probes the disk, so a healed fault restores ingest by itself.
+func (n *Node) shedDegraded(w http.ResponseWriter, r *http.Request) bool {
+	err := n.cfg.Service.Healthy()
+	if err == nil {
+		return false
+	}
+	mDegradedSheds.Inc()
+	httpjson.Fail(w, r, http.StatusServiceUnavailable, httpjson.CodeUnavailable,
+		"store degraded: "+err.Error())
+	return true
+}
+
+// handleReadyz is GET /readyz: the triage-level reasons (store, spool,
+// debug capacity via Config.ExtraReady) plus the cluster-level one — a
+// write quorum that open circuits make unattainable. A single shed peer
+// leaves the node ready as long as quorum-many owners remain reachable.
+func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if n.cfg.ExtraReady != nil {
+		reasons = n.cfg.ExtraReady()
+	} else {
+		reasons = n.cfg.Service.ReadyReasons()
+	}
+	if open := n.client.openBreakers(); len(open) > 0 && n.ring.Len()-len(open) < n.quorum {
+		reasons = append(reasons, fmt.Sprintf(
+			"write quorum %d unattainable: circuit open to %v", n.quorum, open))
+	}
+	triage.WriteReadiness(w, reasons)
+}
+
+// handleIngest is POST /api/v1/reports: degradation check, admission,
+// then coordinate.
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if n.shedDegraded(w, r) {
+		return
+	}
 	release, ok := n.admission.Acquire(r.ContentLength)
 	if !ok {
 		n.shed(w, r)
@@ -156,7 +198,8 @@ func (n *Node) proxyGetReport(w http.ResponseWriter, r *http.Request, id string,
 		}
 		body, err := n.client.getMeta(r.Context(), o, id)
 		if err != nil {
-			if pe, ok := err.(*peerError); !ok || pe.status != http.StatusNotFound {
+			var pe *peerError
+			if !errors.As(err, &pe) || pe.status != http.StatusNotFound {
 				sawError = true
 				mProxyErr.Inc()
 			}
@@ -181,6 +224,9 @@ func (n *Node) proxyGetReport(w http.ResponseWriter, r *http.Request, id string,
 // admission-bounded spool, content-hash verification against {id}, local
 // adoption. Never forwards.
 func (n *Node) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	if n.shedDegraded(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	release, ok := n.admission.Acquire(r.ContentLength)
 	if !ok {
@@ -246,6 +292,12 @@ type ClusterInfo struct {
 	AdmissionBytes    int64        `json:"admission_bytes"`
 	AdmissionInflight int          `json:"admission_inflight"`
 	RepairQueue       int          `json:"repair_queue"`
+	// Degraded is this node's store-degradation reason (empty = healthy):
+	// why it is shedding writes with 503.
+	Degraded string `json:"degraded,omitempty"`
+	// OpenBreakers lists peers this node currently refuses to call
+	// because their circuit is open.
+	OpenBreakers []string `json:"open_breakers,omitempty"`
 }
 
 // handleClusterInfo is GET /api/v1/cluster: static ring facts plus a
@@ -277,7 +329,7 @@ func (n *Node) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
 	}
-	httpjson.Write(w, http.StatusOK, ClusterInfo{
+	info := ClusterInfo{
 		Self:              n.self,
 		ReplicationFactor: n.replicas,
 		WriteQuorum:       n.quorum,
@@ -286,5 +338,10 @@ func (n *Node) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
 		AdmissionBytes:    bytes,
 		AdmissionInflight: inflight,
 		RepairQueue:       n.ae.depth(),
-	})
+		OpenBreakers:      n.client.openBreakers(),
+	}
+	if err := n.cfg.Service.Healthy(); err != nil {
+		info.Degraded = err.Error()
+	}
+	httpjson.Write(w, http.StatusOK, info)
 }

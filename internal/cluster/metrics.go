@@ -23,8 +23,13 @@ var (
 		"Failed repair attempts (retried by anti-entropy).")
 	mAntiEntropyQueue = obs.Default.Gauge("bugnet_cluster_antientropy_queue",
 		"Replication tasks waiting in the anti-entropy queue.")
-	mAntiEntropyDrops = obs.Default.Counter("bugnet_cluster_antientropy_drops_total",
-		"Replication tasks dropped at the queue bound or give-up limit.")
+	aeDrops = obs.Default.CounterVec("bugnet_cluster_antientropy_drops_total",
+		"Replication tasks dropped, by reason (queue bound hit, or per-task attempt cap exhausted).", "reason")
+	mAEDropQueueFull = aeDrops.With("queue_full")
+	mAEDropGaveUp    = aeDrops.With("gave_up")
+
+	mHintsQuarantined = obs.Default.Counter("bugnet_cluster_hints_quarantined_total",
+		"Hint files moved aside because their name or content could not be trusted.")
 
 	proxyResults = obs.Default.CounterVec("bugnet_cluster_proxy_reads_total",
 		"Reads served by proxying to a replica owner, by outcome.", "result")
@@ -34,6 +39,8 @@ var (
 
 	mShedTotal = obs.Default.Counter("bugnet_cluster_shed_total",
 		"Uploads shed by admission control (429).")
+	mDegradedSheds = obs.Default.Counter("bugnet_cluster_degraded_sheds_total",
+		"Writes refused with 503 because the local store is degraded.")
 	mAdmBytes = obs.Default.Gauge("bugnet_cluster_admission_bytes",
 		"Spool bytes currently reserved by admitted uploads.")
 	mAdmInflight = obs.Default.Gauge("bugnet_cluster_admission_inflight",

@@ -11,9 +11,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sync"
 	"time"
 
+	"bugnet/internal/faultinject"
+	"bugnet/internal/retry"
 	"bugnet/internal/triage"
 )
 
@@ -53,6 +56,27 @@ type Config struct {
 	PeerTimeout time.Duration
 	// RetryInterval paces anti-entropy rounds (default 1s).
 	RetryInterval time.Duration
+	// MaxRepairAttempts is the anti-entropy give-up limit per debt
+	// (default 300; with the default interval ~5 minutes of outage).
+	MaxRepairAttempts int
+
+	// BreakerThreshold / BreakerCooldown tune the per-peer circuit
+	// breaker (defaults 5 consecutive failures / 5s open). A peer behind
+	// an open circuit is skipped without a connection attempt until a
+	// half-open probe proves it back.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Transport, when set, replaces http.DefaultTransport for all peer
+	// traffic — the chaos harness injects partitions and resets here.
+	Transport http.RoundTripper
+	// FS, when set, routes the spool and hint file I/O through a fault
+	// plane. nil costs one nil-check per operation.
+	FS *faultinject.FS
+	// ExtraReady, when set, replaces Service.ReadyReasons as the base
+	// readiness input for GET /readyz — bugnet-serve uses it to fold in
+	// debug-session saturation. Peer-level reasons are appended either way.
+	ExtraReady func() []string
 }
 
 // Node is the cluster layer wrapped around one triage service: ring
@@ -68,9 +92,20 @@ type Node struct {
 	quorum    int // effective write quorum
 	admission *Admission
 	client    *peerClient
+	fsys      *faultinject.FS
 	hintDir   string
 	ae        *antiEntropy
+
+	// fanout retries one replica write inside the coordinator's quorum
+	// window; fetch retries one read-repair pull. Both are short — the
+	// anti-entropy sweep is the long-haul retry.
+	fanout retry.Policy
+	fetch  retry.Policy
 }
+
+// hintIDName matches a well-formed hint filename: the sha256 content
+// address of the blob it holds. Anything else in the hint dir is foreign.
+var hintIDName = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
 // New builds the node and starts its anti-entropy worker.
 func New(cfg Config) (*Node, error) {
@@ -127,6 +162,7 @@ func New(cfg Config) (*Node, error) {
 	if quorum > replicas {
 		return nil, fmt.Errorf("cluster: write quorum %d exceeds replication factor %d", quorum, replicas)
 	}
+	breakers := retry.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	n := &Node{
 		cfg:       cfg,
 		ring:      ring,
@@ -134,17 +170,34 @@ func New(cfg Config) (*Node, error) {
 		replicas:  replicas,
 		quorum:    quorum,
 		admission: NewAdmission(cfg.MaxSpoolBytes, cfg.MaxInflight, cfg.RetryAfter),
-		client:    newPeerClient(cfg.PeerTimeout),
+		client:    newPeerClient(cfg.PeerTimeout, cfg.Transport, breakers),
+		fsys:      cfg.FS,
 		hintDir:   hintDir,
+		fanout: retry.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    time.Second,
+		},
+		fetch: retry.Policy{
+			MaxAttempts: 2,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    time.Second,
+		},
 	}
 	mRingNodes.Set(int64(ring.Len()))
-	n.ae = newAntiEntropy(n, cfg.RetryInterval)
+	n.ae = newAntiEntropy(n, cfg.RetryInterval, cfg.MaxRepairAttempts)
+	n.recoverHints()
 	return n, nil
 }
 
-// Close stops the anti-entropy worker. Pending repair tasks are dropped
-// from memory; their hint files survive for the next start.
-func (n *Node) Close() { n.ae.close() }
+// Close stops the anti-entropy worker and drops the peer transport's
+// idle connections (their reader goroutines would otherwise outlive the
+// node). Pending repair tasks are dropped from memory; their hint files
+// survive for the next start.
+func (n *Node) Close() {
+	n.ae.close()
+	n.client.closeIdle()
+}
 
 // Ring exposes the placement ring (read-only use).
 func (n *Node) Ring() *Ring { return n.ring }
@@ -155,14 +208,79 @@ func (n *Node) ReplicationFactor() int { return n.replicas }
 // WriteQuorum returns the effective write quorum.
 func (n *Node) WriteQuorum() int { return n.quorum }
 
+// RepairDebt returns the number of replica writes still owed — the
+// chaos harness polls it to zero to prove convergence after a storm.
+func (n *Node) RepairDebt() int { return n.ae.depth() }
+
 // owners returns the owner set of one report id.
 func (n *Node) owners(id string) []string { return n.ring.Owners(id, n.replicas) }
+
+// recoverHints re-files the replication debt recorded by hint files from
+// a previous run. A hint is trusted only after its content re-hashes to
+// its name; foreign or corrupt files are quarantined (moved aside with a
+// counter), never deleted and never retried forever.
+func (n *Node) recoverHints() {
+	entries, err := os.ReadDir(n.hintDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue // the quarantine subdir
+		}
+		name := e.Name()
+		path := filepath.Join(n.hintDir, name)
+		if !hintIDName.MatchString(name) {
+			n.quarantineHint(path)
+			continue
+		}
+		got, err := hashFile(path)
+		if err != nil || got != name {
+			n.quarantineHint(path)
+			continue
+		}
+		for _, o := range n.owners(name) {
+			if o != n.self {
+				// Owners that already hold the blob are skipped by the
+				// repair worker's hasReplica check; the hint file itself is
+				// reclaimed once no debt for its id remains.
+				n.ae.enqueue(name, o)
+			}
+		}
+	}
+}
+
+// quarantineHint moves a hint file the node refuses to act on into the
+// quarantine subdir for operator inspection.
+func (n *Node) quarantineHint(path string) {
+	qdir := filepath.Join(n.hintDir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err == nil {
+		mHintsQuarantined.Inc()
+	}
+}
+
+// hashFile returns the hex sha256 of a file's content.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
 
 // spoolBody streams body to a coordinator temp file while hashing,
 // returning the file path, the content address, and the byte count. The
 // caller removes the file (adoption renames it away first).
 func (n *Node) spoolBody(body io.Reader) (path, id string, size int64, err error) {
-	tmp, err := os.CreateTemp(n.cfg.SpoolDir, "ingest-*.tmp")
+	tmp, err := n.fsys.CreateTemp(n.cfg.SpoolDir, "ingest-*.tmp")
 	if err != nil {
 		return "", "", 0, err
 	}
@@ -184,6 +302,26 @@ type forwardResult struct {
 	node string
 	body []byte // IngestResult JSON from a remote owner
 	err  error
+}
+
+// putReplicaFile pushes one spooled blob to a peer under the fan-out
+// retry policy, re-opening the file per attempt so a half-sent body is
+// never resumed mid-stream.
+func (n *Node) putReplicaFile(ctx context.Context, node, id, path string, size int64) ([]byte, error) {
+	var respBody []byte
+	err := n.fanout.Do(ctx, func(ctx context.Context) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return retry.Permanent(err) // local spool gone; retrying cannot help
+		}
+		defer f.Close()
+		body, err := n.client.putReplica(ctx, node, id, f, size)
+		if err == nil {
+			respBody = body
+		}
+		return err
+	})
+	return respBody, err
 }
 
 // ingest is the coordinator path behind POST /api/v1/reports: spool +
@@ -216,13 +354,7 @@ func (n *Node) ingest(ctx context.Context, body io.Reader) (*triage.IngestResult
 		wg.Add(1)
 		go func(i int, node string) {
 			defer wg.Done()
-			f, err := os.Open(path)
-			if err != nil {
-				results[i] = forwardResult{node: node, err: err}
-				return
-			}
-			defer f.Close()
-			respBody, err := n.client.putReplica(ctx, node, id, f, size)
+			respBody, err := n.putReplicaFile(ctx, node, id, path, size)
 			results[i] = forwardResult{node: node, body: respBody, err: err}
 			if err != nil {
 				mForwardErr.Inc()
@@ -270,7 +402,7 @@ func (n *Node) ingest(ctx context.Context, body io.Reader) (*triage.IngestResult
 		// as a hint for the anti-entropy worker.
 		if !selfOwner {
 			hint := filepath.Join(n.hintDir, id)
-			if err := os.Rename(path, hint); err != nil && !os.IsNotExist(err) {
+			if err := n.fsys.Rename(path, hint); err != nil && !os.IsNotExist(err) {
 				// Fall back to leaving repair to a holder-fetch.
 				mRepairErr.Inc()
 			}
@@ -309,32 +441,39 @@ func (n *Node) readRepairLocal(ctx context.Context, id string) bool {
 		if o == n.self {
 			continue
 		}
-		rc, size, err := n.client.getReplica(ctx, o, id)
-		if err != nil {
-			continue
+		repaired := false
+		n.fetch.Do(ctx, func(ctx context.Context) error {
+			rc, size, err := n.client.getReplica(ctx, o, id)
+			if err != nil {
+				return err
+			}
+			path, gotID, gotSize, err := func() (string, string, int64, error) {
+				defer rc.Close()
+				return n.spoolBody(rc)
+			}()
+			if err != nil {
+				mRepairErr.Inc()
+				return err
+			}
+			if gotID != id || (size >= 0 && size != gotSize) {
+				// A peer served bytes that do not hash to the requested id:
+				// corruption or tampering — refuse to launder it into the store.
+				os.Remove(path)
+				mRepairErr.Inc()
+				return retry.Permanent(fmt.Errorf("cluster: replica %s from %s hashed to %s", id, o, gotID))
+			}
+			if _, err := n.cfg.Service.IngestFile(id, path, gotSize); err != nil {
+				os.Remove(path)
+				mRepairErr.Inc()
+				return err
+			}
+			repaired = true
+			return nil
+		})
+		if repaired {
+			mRepairsTotal.Inc()
+			return true
 		}
-		path, gotID, gotSize, err := func() (string, string, int64, error) {
-			defer rc.Close()
-			return n.spoolBody(rc)
-		}()
-		if err != nil {
-			mRepairErr.Inc()
-			continue
-		}
-		if gotID != id || (size >= 0 && size != gotSize) {
-			// A peer served bytes that do not hash to the requested id:
-			// corruption or tampering — refuse to launder it into the store.
-			os.Remove(path)
-			mRepairErr.Inc()
-			continue
-		}
-		if _, err := n.cfg.Service.IngestFile(id, path, gotSize); err != nil {
-			os.Remove(path)
-			mRepairErr.Inc()
-			continue
-		}
-		mRepairsTotal.Inc()
-		return true
 	}
 	return false
 }

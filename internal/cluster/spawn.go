@@ -11,6 +11,7 @@ import (
 
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
+	"bugnet/internal/faultinject"
 	"bugnet/internal/triage"
 )
 
@@ -30,6 +31,16 @@ type SpawnOptions struct {
 	RetryInterval time.Duration
 	// Workers is each node's replay pool size (default 2).
 	Workers int
+
+	// PeerTimeout / MaxRepairAttempts / breaker tuning mirror Config.
+	PeerTimeout       time.Duration
+	MaxRepairAttempts int
+	BreakerThreshold  int
+	BreakerCooldown   time.Duration
+	// FaultPlane, when set, threads each node's disk I/O (tagged
+	// "node<i>") and peer traffic through the fault-injection plane — the
+	// chaos harness's hook into an otherwise production-shaped cluster.
+	FaultPlane *faultinject.Plane
 }
 
 // LocalNode is one member of an in-process cluster: a real triage
@@ -83,10 +94,19 @@ func SpawnLocal(n int, opt SpawnOptions) (*LocalCluster, error) {
 	}
 
 	for i := 0; i < n; i++ {
+		// Each node gets its own fault-plane view: disk faults land on its
+		// tag, partitions on its base URL, and its transport stays private
+		// so closing one node reclaims only its connections.
+		fs := opt.FaultPlane.FS(fmt.Sprintf("node%d", i))
+		var transport http.RoundTripper
+		if opt.FaultPlane != nil {
+			transport = opt.FaultPlane.Transport(peers[i], http.DefaultTransport.(*http.Transport).Clone())
+		}
 		svc, err := triage.New(triage.Config{
 			Dir:      filepath.Join(opt.BaseDir, fmt.Sprintf("node%d", i)),
 			Workers:  opt.Workers,
 			Resolver: opt.Resolver,
+			FS:       fs,
 		})
 		if err != nil {
 			for _, l := range listeners[i:] {
@@ -106,6 +126,12 @@ func SpawnLocal(n int, opt SpawnOptions) (*LocalCluster, error) {
 			MaxInflight:       opt.MaxInflight,
 			RetryAfter:        opt.RetryAfter,
 			RetryInterval:     opt.RetryInterval,
+			PeerTimeout:       opt.PeerTimeout,
+			MaxRepairAttempts: opt.MaxRepairAttempts,
+			BreakerThreshold:  opt.BreakerThreshold,
+			BreakerCooldown:   opt.BreakerCooldown,
+			Transport:         transport,
+			FS:                fs,
 		})
 		if err != nil {
 			svc.Close()

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestNilFSPassthrough checks a nil *FS behaves exactly like the os
+// package — the production fast path.
+func TestNilFSPassthrough(t *testing.T) {
+	var fsys *FS
+	dir := t.TempDir()
+	f, err := fsys.CreateTemp(dir, "x-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := fsys.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fsys.ReadFile(dst)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if _, ok := any(f).(*os.File); !ok {
+		t.Fatalf("nil FS returned %T, want bare *os.File", f)
+	}
+}
+
+// TestDiskFaultEIOAndHeal checks a write fault fires for its tag only
+// and clears on SetDiskFault(nil).
+func TestDiskFaultEIOAndHeal(t *testing.T) {
+	p := NewPlane(1)
+	p.SetDiskFault("a", &DiskFault{Err: ErrInjectedIO})
+	dir := t.TempDir()
+
+	if _, err := p.FS("a").CreateTemp(dir, "a-*.tmp"); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("tagged create err = %v, want injected EIO", err)
+	}
+	if _, err := p.FS("b").CreateTemp(dir, "b-*.tmp"); err != nil {
+		t.Fatalf("untagged create err = %v, want nil", err)
+	}
+	if _, err := p.FS("a").Stat(dir); err != nil {
+		t.Fatalf("read-side op under write-side fault err = %v, want nil", err)
+	}
+
+	p.SetDiskFault("a", nil)
+	f, err := p.FS("a").CreateTemp(dir, "a-*.tmp")
+	if err != nil {
+		t.Fatalf("healed create err = %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("healed write err = %v", err)
+	}
+	f.Close()
+}
+
+// TestTornWrite checks a torn fault lands a strict prefix before the
+// injected error surfaces.
+func TestTornWrite(t *testing.T) {
+	p := NewPlane(7)
+	fsys := p.FS("n")
+	dir := t.TempDir()
+	f, err := fsys.OpenFile(filepath.Join(dir, "seg"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p.SetDiskFault("n", &DiskFault{Err: ErrInjectedIO, Torn: true, Ops: []Op{OpWrite}})
+
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := f.Write(payload); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("torn write err = %v, want injected EIO", err)
+	}
+	p.SetDiskFault("n", nil)
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= int64(len(payload)) {
+		t.Fatalf("size after torn write = %d, want a strict prefix of %d", st.Size(), len(payload))
+	}
+}
+
+// TestPartitionAndHeal checks the transport severs exactly the chosen
+// pair, in both directions, and heals.
+func TestPartitionAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	p := NewPlane(3)
+	clientA := &http.Client{Transport: p.Transport("http://node-a", nil)}
+	clientB := &http.Client{Transport: p.Transport("http://node-b", nil)}
+
+	p.Partition("http://node-a", srv.URL)
+	if _, err := clientA.Get(srv.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned GET err = %v, want ErrPartitioned", err)
+	}
+	if resp, err := clientB.Get(srv.URL); err != nil {
+		t.Fatalf("unpartitioned peer GET err = %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	p.HealPartition("http://node-a", srv.URL)
+	if resp, err := clientA.Get(srv.URL); err != nil {
+		t.Fatalf("healed GET err = %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestResetProbability checks ResetProb=1 fails every request and
+// HealAll restores traffic.
+func TestResetProbability(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	p := NewPlane(5)
+	client := &http.Client{Transport: p.Transport("http://node-a", nil)}
+	p.SetNetFault(&NetFault{ResetProb: 1})
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("reset fault GET succeeded, want error")
+	}
+	p.HealAll()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("after HealAll GET err = %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestSeededDeterminism checks two planes with the same seed make the
+// same sequence of probabilistic draws.
+func TestSeededDeterminism(t *testing.T) {
+	draws := func(seed int64) []bool {
+		p := NewPlane(seed)
+		p.SetDiskFault("n", &DiskFault{Err: ErrInjectedIO, Prob: 0.5, Ops: []Op{OpStat}})
+		fsys := p.FS("n")
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := fsys.Stat(os.TempDir())
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := draws(42), draws(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed planes", i)
+		}
+	}
+}

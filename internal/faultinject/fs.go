@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the bugnet storage layers use. Both the
+// real *os.File and the fault-wrapped file satisfy it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.ReaderAt
+	io.WriterAt
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS routes filesystem calls through one tag's installed disk fault. A
+// nil *FS is valid and passes every call straight to the os package —
+// the single nil-check production builds pay.
+type FS struct {
+	plane *Plane
+	tag   string
+}
+
+func (f *FS) check(op Op, n int) error {
+	if f == nil || f.plane == nil {
+		return nil
+	}
+	d := f.plane.diskCheck(f.tag, op, n)
+	return d.err
+}
+
+func (f *FS) wrap(file *os.File) File {
+	if f == nil || f.plane == nil {
+		return file
+	}
+	return &faultFile{File: file, fs: f}
+}
+
+// Open opens a file for reading.
+func (f *FS) Open(name string) (File, error) {
+	if err := f.check(OpRead, 0); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+// OpenFile is the generalized open; create-class flags draw the
+// create fault.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpRead
+	if flag&(os.O_CREATE|os.O_WRONLY|os.O_RDWR) != 0 {
+		op = OpCreate
+	}
+	if err := f.check(op, 0); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+// CreateTemp mirrors os.CreateTemp.
+func (f *FS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.check(OpCreate, 0); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+// Rename mirrors os.Rename — the durability commit point for the
+// triage store and the hinted-handoff spool.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, 0); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove mirrors os.Remove.
+func (f *FS) Remove(name string) error {
+	if err := f.check(OpRemove, 0); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return os.Remove(name)
+}
+
+// ReadFile mirrors os.ReadFile.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(OpRead, 0); err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: err}
+	}
+	return os.ReadFile(name)
+}
+
+// Stat mirrors os.Stat.
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	if err := f.check(OpStat, 0); err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return os.Stat(name)
+}
+
+// Truncate mirrors os.Truncate.
+func (f *FS) Truncate(name string, size int64) error {
+	if err := f.check(OpTruncate, 0); err != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return os.Truncate(name, size)
+}
+
+// MkdirAll mirrors os.MkdirAll.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, 0); err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// faultFile applies the tag's fault to the per-handle operations. A
+// torn write lands a short prefix before reporting the error, modeling
+// power loss mid-write; recovery code must cope with the partial frame.
+type faultFile struct {
+	*os.File
+	fs *FS
+}
+
+func (f *faultFile) injectWrite(b []byte, writePrefix func(p []byte) error) error {
+	d := f.fs.plane.diskCheck(f.fs.tag, OpWrite, len(b))
+	if d.err == nil {
+		return nil
+	}
+	if d.torn && d.tornLen > 0 {
+		// Best-effort prefix: the injected error wins regardless.
+		_ = writePrefix(b[:d.tornLen])
+	}
+	return &fs.PathError{Op: "write", Path: f.File.Name(), Err: d.err}
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	if err := f.injectWrite(b, func(p []byte) error {
+		_, werr := f.File.Write(p)
+		return werr
+	}); err != nil {
+		return 0, err
+	}
+	return f.File.Write(b)
+}
+
+func (f *faultFile) WriteAt(b []byte, off int64) (int, error) {
+	if err := f.injectWrite(b, func(p []byte) error {
+		_, werr := f.File.WriteAt(p, off)
+		return werr
+	}); err != nil {
+		return 0, err
+	}
+	return f.File.WriteAt(b, off)
+}
+
+func (f *faultFile) Read(b []byte) (int, error) {
+	if err := f.fs.check(OpRead, 0); err != nil {
+		return 0, &fs.PathError{Op: "read", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Read(b)
+}
+
+func (f *faultFile) ReadAt(b []byte, off int64) (int, error) {
+	if err := f.fs.check(OpRead, 0); err != nil {
+		return 0, &fs.PathError{Op: "read", Path: f.File.Name(), Err: err}
+	}
+	return f.File.ReadAt(b, off)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.check(OpTruncate, 0); err != nil {
+		return &fs.PathError{Op: "truncate", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Truncate(size)
+}

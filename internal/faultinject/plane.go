@@ -1,0 +1,279 @@
+// Package faultinject is a seedable fault plane for chaos testing. A
+// Plane hands out filesystem wrappers (FS) and http.RoundTripper
+// wrappers (Transport) that production code threads behind its existing
+// interfaces; with a nil Plane every wrapper collapses to a direct
+// passthrough, so non-chaos builds pay a single nil-check. The chaos
+// harness flips faults on and off through SetDiskFault, SetNetFault,
+// and Partition according to its seeded schedule; the schedule is the
+// deterministic part, while individual probabilistic outcomes draw from
+// the plane's own seeded generator.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"bugnet/internal/obs"
+)
+
+// Injected-fault sentinels. Portable stand-ins for the syscall errnos
+// they mimic; callers match with errors.Is.
+var (
+	// ErrInjectedIO mimics EIO on a faulted disk operation.
+	ErrInjectedIO = errors.New("faultinject: injected I/O error")
+	// ErrNoSpace mimics ENOSPC on a faulted write.
+	ErrNoSpace = errors.New("faultinject: injected no space left on device")
+	// ErrReset mimics a connection reset by the remote peer.
+	ErrReset = errors.New("faultinject: injected connection reset")
+	// ErrPartitioned reports a request refused by an active partition.
+	ErrPartitioned = errors.New("faultinject: network partition")
+)
+
+var (
+	faultsInjected = obs.Default.CounterVec("bugnet_faults_injected_total",
+		"Faults injected by the chaos plane, by kind.", "kind")
+	mFaultEIO       = faultsInjected.With("eio")
+	mFaultENOSPC    = faultsInjected.With("enospc")
+	mFaultTorn      = faultsInjected.With("torn")
+	mFaultDiskLat   = faultsInjected.With("disk_latency")
+	mFaultNetLat    = faultsInjected.With("net_latency")
+	mFaultReset     = faultsInjected.With("reset")
+	mFaultPartition = faultsInjected.With("partition")
+)
+
+// Op names one filesystem operation class a DiskFault can target.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpRename
+	OpTruncate
+	OpRemove
+	OpMkdir
+	OpRead
+	OpStat
+)
+
+// DiskFault describes what a faulted filesystem does to matching
+// operations while it is installed.
+type DiskFault struct {
+	// Err is the injected error: ErrInjectedIO, ErrNoSpace, or any
+	// sentinel the test wants surfaced (default ErrInjectedIO).
+	Err error
+	// Prob is the per-operation injection probability in (0,1]; zero
+	// means 1.0 (every matching operation fails).
+	Prob float64
+	// Torn makes failing writes first land a short prefix of the buffer,
+	// modeling a torn write interrupted by power loss.
+	Torn bool
+	// Latency delays every matching operation, fault or not.
+	Latency time.Duration
+	// Ops limits the fault to these operation classes; nil means the
+	// write side: create, write, rename, truncate.
+	Ops []Op
+}
+
+func (f *DiskFault) matches(op Op) bool {
+	if f.Ops == nil {
+		switch op {
+		case OpCreate, OpWrite, OpRename, OpTruncate:
+			return true
+		}
+		return false
+	}
+	for _, o := range f.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// NetFault describes what the transport wrapper does to every
+// non-partitioned request while installed.
+type NetFault struct {
+	// Latency delays each request before it is sent.
+	Latency time.Duration
+	// ResetProb is the probability in [0,1] of failing the request with
+	// ErrReset instead of sending it.
+	ResetProb float64
+}
+
+// Plane is one seeded fault domain shared by every wrapper it vends.
+type Plane struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	disk       map[string]*DiskFault
+	net        *NetFault
+	partitions map[[2]string]bool
+}
+
+// NewPlane builds a fault plane whose probabilistic draws come from the
+// given seed.
+func NewPlane(seed int64) *Plane {
+	return &Plane{
+		rng:        rand.New(rand.NewSource(seed)),
+		disk:       make(map[string]*DiskFault),
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// FS returns the filesystem wrapper for one tag (typically one node's
+// name). A nil Plane returns a nil *FS, whose methods all pass straight
+// through to the os package.
+func (p *Plane) FS(tag string) *FS {
+	if p == nil {
+		return nil
+	}
+	return &FS{plane: p, tag: tag}
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// plane's network faults as seen from the node self. A nil Plane
+// returns base unchanged.
+func (p *Plane) Transport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p == nil {
+		return base
+	}
+	return &faultTransport{plane: p, self: self, base: base}
+}
+
+// SetDiskFault installs (or with nil clears) the disk fault for a tag.
+func (p *Plane) SetDiskFault(tag string, f *DiskFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f == nil {
+		delete(p.disk, tag)
+		return
+	}
+	p.disk[tag] = f
+}
+
+// SetNetFault installs (or with nil clears) the global network fault.
+func (p *Plane) SetNetFault(f *NetFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.net = f
+}
+
+// Partition severs traffic in both directions between two nodes named
+// by their base URLs.
+func (p *Plane) Partition(a, b string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitions[pairKey(a, b)] = true
+}
+
+// HealPartition restores traffic between two nodes.
+func (p *Plane) HealPartition(a, b string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.partitions, pairKey(a, b))
+}
+
+// HealAll clears every installed fault and partition — the end-of-storm
+// reset before convergence is asserted.
+func (p *Plane) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disk = make(map[string]*DiskFault)
+	p.net = nil
+	p.partitions = make(map[[2]string]bool)
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// diskDecision is one resolved draw against a tag's installed fault.
+type diskDecision struct {
+	latency time.Duration
+	err     error
+	torn    bool
+	// tornLen is the prefix length for a torn write of n bytes.
+	tornLen int
+}
+
+// diskCheck resolves what (if anything) to inject for one operation.
+// n is the buffer length for write-class ops (torn prefix sizing).
+func (p *Plane) diskCheck(tag string, op Op, n int) diskDecision {
+	p.mu.Lock()
+	f := p.disk[tag]
+	if f == nil || !f.matches(op) {
+		p.mu.Unlock()
+		return diskDecision{}
+	}
+	d := diskDecision{latency: f.Latency}
+	prob := f.Prob
+	if prob <= 0 {
+		prob = 1.0
+	}
+	if p.rng.Float64() < prob {
+		d.err = f.Err
+		if d.err == nil {
+			d.err = ErrInjectedIO
+		}
+		if f.Torn && op == OpWrite && n > 0 {
+			d.torn = true
+			d.tornLen = p.rng.Intn(n)
+		}
+	}
+	p.mu.Unlock()
+
+	if d.latency > 0 {
+		mFaultDiskLat.Inc()
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		switch {
+		case d.torn:
+			mFaultTorn.Inc()
+		case errors.Is(d.err, ErrNoSpace):
+			mFaultENOSPC.Inc()
+		default:
+			mFaultEIO.Inc()
+		}
+	}
+	return d
+}
+
+// netCheck resolves (and applies the latency of) one request from self
+// to dst, returning the injected error if any.
+func (p *Plane) netCheck(self, dst string) error {
+	p.mu.Lock()
+	if p.partitions[pairKey(self, dst)] {
+		p.mu.Unlock()
+		mFaultPartition.Inc()
+		return ErrPartitioned
+	}
+	f := p.net
+	if f == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	latency := f.Latency
+	var err error
+	if f.ResetProb > 0 && p.rng.Float64() < f.ResetProb {
+		err = ErrReset
+	}
+	p.mu.Unlock()
+
+	if latency > 0 {
+		mFaultNetLat.Inc()
+		time.Sleep(latency)
+	}
+	if err != nil {
+		mFaultReset.Inc()
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+package faultinject
+
+import (
+	"net/http"
+)
+
+// faultTransport injects the plane's network faults into requests from
+// one node. Partitions are checked against the destination's base URL
+// (scheme://host); injected failures close the request body, per the
+// http.RoundTripper contract.
+type faultTransport struct {
+	plane *Plane
+	self  string
+	base  http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	dst := req.URL.Scheme + "://" + req.URL.Host
+	if err := t.plane.netCheck(t.self, dst); err != nil {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, err
+	}
+	return t.base.RoundTrip(req)
+}
+
+// CloseIdleConnections forwards to the wrapped transport so holders can
+// still reclaim idle-connection goroutines through the fault layer.
+func (t *faultTransport) CloseIdleConnections() {
+	type idleCloser interface{ CloseIdleConnections() }
+	if ic, ok := t.base.(idleCloser); ok {
+		ic.CloseIdleConnections()
+	}
+}

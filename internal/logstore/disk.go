@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"bugnet/internal/faultinject"
 )
 
 // Disk is the spill-to-disk Backend: the log region lives in append-only
@@ -38,7 +40,8 @@ import (
 type Disk struct {
 	dir     string
 	segMax  int64
-	active  *os.File // nil until the first post-open Append rotates
+	fsys    *faultinject.FS  // nil outside chaos runs: direct os calls
+	active  faultinject.File // nil until the first post-open Append rotates
 	actSize int64
 
 	recs map[uint64]diskRec
@@ -64,6 +67,9 @@ type DiskOptions struct {
 	// segments reclaim space sooner under budget pressure, larger ones
 	// make fewer files. Default 1 MiB.
 	SegmentBytes int64
+	// FS routes segment I/O through a fault-injection plane; nil (the
+	// production default) calls the os package directly.
+	FS *faultinject.FS
 }
 
 const (
@@ -92,7 +98,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 	if segMax <= 0 {
 		segMax = defaultSegMax
 	}
-	return &Disk{dir: dir, segMax: segMax, recs: make(map[uint64]diskRec)}, nil
+	return &Disk{dir: dir, segMax: segMax, fsys: opts.FS, recs: make(map[uint64]diskRec)}, nil
 }
 
 // segPath names the segment whose first record has sequence seq.
@@ -122,7 +128,7 @@ func (d *Disk) Recover() ([]Item, error) {
 // When last is true a trailing bad frame is treated as a torn append and
 // truncated away; otherwise it is corruption.
 func (d *Disk) indexSegment(path string, last bool) ([]Item, error) {
-	f, err := os.Open(path)
+	f, err := d.fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +137,7 @@ func (d *Disk) indexSegment(path string, last bool) ([]Item, error) {
 	if _, err := io.ReadFull(f, hdr[:]); err != nil || [4]byte(hdr[:4]) != segMagic || hdr[4] != segVersion {
 		if last && err != nil {
 			// Crash between creating the file and writing its header.
-			return nil, os.Remove(path)
+			return nil, d.fsys.Remove(path)
 		}
 		return nil, fmt.Errorf("%w: %s: bad header", ErrCorruptSegment, path)
 	}
@@ -168,14 +174,14 @@ func (d *Disk) indexSegment(path string, last bool) ([]Item, error) {
 		pos = next
 	}
 	if torn {
-		if err := os.Truncate(path, pos); err != nil {
+		if err := d.fsys.Truncate(path, pos); err != nil {
 			return nil, err
 		}
 	}
 	if seg.live == 0 {
 		// Every record was reclaimed (or the whole tail was torn): the
 		// file carries nothing live.
-		return nil, os.Remove(path)
+		return nil, d.fsys.Remove(path)
 	}
 	d.segs = append(d.segs, seg)
 	return items, nil
@@ -184,7 +190,7 @@ func (d *Disk) indexSegment(path string, last bool) ([]Item, error) {
 // readRecord decodes one framed record at pos, returning the item, its
 // data location, and the offset of the next record. size is the segment
 // file's length, bounding allocation against a garbage length field.
-func readRecord(f *os.File, pos, size int64) (Item, diskRec, int64, error) {
+func readRecord(f faultinject.File, pos, size int64) (Item, diskRec, int64, error) {
 	if pos == size {
 		return Item{}, diskRec{}, 0, io.EOF // record stream ends cleanly
 	}
@@ -229,7 +235,7 @@ func readRecord(f *os.File, pos, size int64) (Item, diskRec, int64, error) {
 // NOT torn: a complete in-bounds frame that failed its checksum with
 // further data behind it — that is in-place corruption, and truncating
 // would silently destroy the valid records after it.
-func tornTail(f *os.File, pos, size int64) bool {
+func tornTail(f faultinject.File, pos, size int64) bool {
 	const minFrame = 4 + recFixedLen + 4
 	if size-pos < minFrame {
 		return true
@@ -295,13 +301,13 @@ func (d *Disk) rotate(seq uint64) error {
 		d.active = nil
 		if prev := d.activeSeg(); prev != nil && prev.live == 0 {
 			d.segs = d.segs[:len(d.segs)-1]
-			if err := os.Remove(prev.path); err != nil {
+			if err := d.fsys.Remove(prev.path); err != nil {
 				return err
 			}
 		}
 	}
 	path := d.segPath(seq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	f, err := d.fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -331,7 +337,7 @@ func (d *Disk) Load(seq uint64) ([]byte, error) {
 		}
 		return buf, nil
 	}
-	f, err := os.Open(rec.seg.path)
+	f, err := d.fsys.Open(rec.seg.path)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +375,7 @@ func (d *Disk) Evict(it Item) error {
 			break
 		}
 	}
-	return os.Remove(rec.seg.path)
+	return d.fsys.Remove(rec.seg.path)
 }
 
 // SegmentCount returns the number of live segment files (for tests and

@@ -1,0 +1,188 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"bugnet/internal/obs"
+)
+
+// ErrOpen reports a call refused because the target's circuit is open.
+// Callers usually wrap it with Permanent so a Policy fails fast instead
+// of spinning against a peer the breaker already condemned.
+var ErrOpen = errors.New("retry: circuit open")
+
+// breakerStates is the 0/1/2 encoding exported as bugnet_breaker_state:
+// 0 closed (healthy), 1 half-open (probing), 2 open (shedding).
+var breakerStates = obs.Default.GaugeVec("bugnet_breaker_state",
+	"Per-peer circuit state: 0 closed, 1 half-open, 2 open.", "peer")
+
+// State is one breaker's position.
+type State int32
+
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a per-target circuit breaker: consecutive failures past the
+// threshold open it, opened it sheds calls for a cooldown, then admits a
+// single half-open probe whose outcome closes or re-opens the circuit.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	gauge    *obs.Gauge
+}
+
+// NewBreaker builds a standalone breaker (threshold <= 0 defaults to 5
+// consecutive failures, cooldown <= 0 to 5s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed. In the open state it refuses
+// until the cooldown elapses, then admits exactly one probe (half-open);
+// further calls are refused until that probe's Success or Failure lands.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(HalfOpen)
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call: the circuit closes and the failure
+// run resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.setState(Closed)
+}
+
+// Failure records a failed call: a failed half-open probe re-opens the
+// circuit immediately; in the closed state the run of consecutive
+// failures opens it at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+		b.openedAt = b.now()
+		b.setState(Open)
+		return
+	}
+	b.failures++
+	if b.state == Closed && b.failures >= b.threshold {
+		b.openedAt = b.now()
+		b.setState(Open)
+	}
+}
+
+// CurrentState returns the breaker's position (cooldown expiry is only
+// observed by Allow, so an idle open breaker reports Open).
+func (b *Breaker) CurrentState() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) setState(s State) {
+	b.state = s
+	if b.gauge != nil {
+		switch s {
+		case Closed:
+			b.gauge.Set(0)
+		case HalfOpen:
+			b.gauge.Set(1)
+		default:
+			b.gauge.Set(2)
+		}
+	}
+}
+
+// BreakerSet is a lazily grown family of per-target breakers sharing one
+// configuration, each exported as a bugnet_breaker_state{peer=...} series.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds the family (zero arguments take NewBreaker's
+// defaults).
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	return &BreakerSet{threshold: threshold, cooldown: cooldown,
+		m: make(map[string]*Breaker)}
+}
+
+// For returns (creating if needed) the breaker guarding one target.
+func (s *BreakerSet) For(target string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[target]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown)
+		b.gauge = breakerStates.With(target)
+		b.gauge.Set(0)
+		s.m[target] = b
+	}
+	return b
+}
+
+// Open returns the targets whose circuits are currently open — the
+// degraded-peers readiness signal.
+func (s *BreakerSet) Open() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for target, b := range s.m {
+		if b.CurrentState() == Open {
+			out = append(out, target)
+		}
+	}
+	return out
+}

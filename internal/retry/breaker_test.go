@@ -1,0 +1,102 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's notion of now without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpensAtThreshold checks the closed→open transition on a
+// run of consecutive failures, with a success resetting the run.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets the run
+	b.Failure()
+	b.Failure()
+	if b.CurrentState() != Closed {
+		t.Fatalf("state = %v after reset run, want closed", b.CurrentState())
+	}
+	b.Failure()
+	if b.CurrentState() != Open {
+		t.Fatalf("state = %v after threshold failures, want open", b.CurrentState())
+	}
+	if b.Allow() {
+		t.Fatal("Allow() = true inside cooldown, want false")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe checks the cooldown admits exactly one
+// probe, whose success closes the circuit.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.CurrentState() != Open {
+		t.Fatal("want open after one failure at threshold 1")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("Allow() = false after cooldown, want one probe admitted")
+	}
+	if b.CurrentState() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.CurrentState())
+	}
+	if b.Allow() {
+		t.Fatal("Allow() = true with a probe in flight, want false")
+	}
+	b.Success()
+	if b.CurrentState() != Closed || !b.Allow() {
+		t.Fatalf("state = %v after probe success, want closed and allowing", b.CurrentState())
+	}
+}
+
+// TestBreakerProbeFailureReopens checks a failed probe re-opens the
+// circuit for a fresh cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("want probe admitted")
+	}
+	b.Failure()
+	if b.CurrentState() != Open {
+		t.Fatalf("state = %v after probe failure, want open", b.CurrentState())
+	}
+	if b.Allow() {
+		t.Fatal("Allow() = true right after re-open, want false")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("want a new probe after the second cooldown")
+	}
+}
+
+// TestBreakerSet checks lazy creation and the open-targets listing.
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet(2, time.Minute)
+	a := s.For("http://a")
+	if a != s.For("http://a") {
+		t.Fatal("For returned distinct breakers for one target")
+	}
+	s.For("http://b")
+	a.Failure()
+	a.Failure()
+	open := s.Open()
+	if len(open) != 1 || open[0] != "http://a" {
+		t.Fatalf("Open() = %v, want [http://a]", open)
+	}
+}

@@ -1,0 +1,235 @@
+// Package retry is the one retry policy used everywhere a bugnet
+// component talks to something that can transiently fail: cluster
+// replica fan-out, read-repair fetches, anti-entropy offers, and
+// bugnet-record's report upload. A Policy is jittered exponential
+// backoff with per-attempt timeouts and a bounded overall budget;
+// server-supplied Retry-After hints override the computed backoff, and
+// errors wrapped with Permanent stop the loop immediately. The per-peer
+// circuit breaker lives in breaker.go.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"bugnet/internal/obs"
+)
+
+// Outcome counters: one increment per Do call for its final outcome
+// (ok/exhausted/aborted), plus one per individual retried attempt.
+var (
+	retryResults = obs.Default.CounterVec("bugnet_retry_total",
+		"Retrying operations by outcome: ok (eventual success), retry (one backed-off re-attempt), exhausted (attempts used up), aborted (permanent error or context cancellation).",
+		"outcome")
+	mRetryOK        = retryResults.With("ok")
+	mRetryRetried   = retryResults.With("retry")
+	mRetryExhausted = retryResults.With("exhausted")
+	mRetryAborted   = retryResults.With("aborted")
+)
+
+// Policy is one retry schedule. The zero value is usable: 3 attempts,
+// 100ms base delay doubling to a 5s cap, 20% jitter, no per-attempt
+// timeout, no overall budget.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, first try included
+	// (default 3; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter fraction so a fleet of
+	// retriers never synchronizes (default 0.2; negative disables).
+	Jitter float64
+	// AttemptTimeout bounds each attempt's context (0 = none beyond the
+	// caller's).
+	AttemptTimeout time.Duration
+	// Budget bounds the whole Do call — attempts plus waits — with a
+	// context deadline (0 = none beyond the caller's).
+	Budget time.Duration
+
+	// Sleep replaces the backoff wait (tests). nil uses a context-aware
+	// timer sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// permanentError marks a failure retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do stops immediately and returns err
+// unwrapped — 4xx responses, validation failures, open circuits.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// afterError carries a server-specified minimum wait (Retry-After).
+type afterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After wraps a retryable err with the server's Retry-After hint; Do
+// waits at least d before the next attempt.
+func After(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, after: d}
+}
+
+// RetryAfter extracts a Retry-After hint attached with After.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ae *afterError
+	if errors.As(err, &ae) {
+		return ae.after, true
+	}
+	return 0, false
+}
+
+// ParseRetryAfter parses an HTTP Retry-After header in its delta-seconds
+// form (the form bugnet servers emit). Dates and junk report false.
+func ParseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// unwrapFinal strips the retry-control wrappers so callers get the
+// underlying failure back from Do.
+func unwrapFinal(err error) error {
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return pe.err
+	}
+	var ae *afterError
+	if errors.As(err, &ae) {
+		return ae.err
+	}
+	return err
+}
+
+// Do runs op under the policy until it succeeds, exhausts its attempts,
+// hits a Permanent error, or the context dies. The returned error is the
+// last attempt's, unwrapped from the retry-control markers.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := p.BaseDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	if p.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Budget)
+		defer cancel()
+	}
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(nil)
+		if p.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = op(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			mRetryOK.Inc()
+			return nil
+		}
+		if IsPermanent(err) {
+			mRetryAborted.Inc()
+			return unwrapFinal(err)
+		}
+		if ctx.Err() != nil {
+			mRetryAborted.Inc()
+			return unwrapFinal(err)
+		}
+		if attempt >= attempts {
+			mRetryExhausted.Inc()
+			return fmt.Errorf("retry: %d attempts: %w", attempts, unwrapFinal(err))
+		}
+		wait := jittered(delay, jitter)
+		if ra, ok := RetryAfter(err); ok && ra > wait {
+			wait = ra
+		}
+		mRetryRetried.Inc()
+		if serr := sleep(ctx, wait); serr != nil {
+			mRetryAborted.Inc()
+			return unwrapFinal(err)
+		}
+		delay = time.Duration(float64(delay) * mult)
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// jittered spreads d by ±frac so synchronized retriers decorrelate.
+func jittered(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	spread := 1 + frac*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// sleepCtx waits d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,201 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collectSleeps returns a Sleep hook recording each wait.
+func collectSleeps(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return ctx.Err()
+	}
+}
+
+// TestDoBackoffGrowth checks the exponential schedule: with jitter
+// disabled the waits are base, base*mult, ... capped at MaxDelay.
+func TestDoBackoffGrowth(t *testing.T) {
+	var waits []time.Duration
+	boom := errors.New("boom")
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1,
+		Sleep:       collectSleeps(&waits),
+	}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 5 {
+		t.Fatalf("calls = %d, want 5", calls)
+	}
+	want := []time.Duration{100, 200, 400, 400}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v, want 4 entries", waits)
+	}
+	for i, w := range want {
+		if waits[i] != w*time.Millisecond {
+			t.Errorf("wait[%d] = %v, want %v", i, waits[i], w*time.Millisecond)
+		}
+	}
+}
+
+// TestDoJitterBounds checks jittered delays stay within ±Jitter of the
+// nominal value.
+func TestDoJitterBounds(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		d := jittered(time.Second, 0.2)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("jittered(1s, 0.2) = %v, outside [800ms, 1200ms]", d)
+		}
+	}
+}
+
+// TestDoEventualSuccess checks a transient failure run ends in nil.
+func TestDoEventualSuccess(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	p := Policy{MaxAttempts: 4, Jitter: -1, Sleep: collectSleeps(&waits)}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v calls = %d, want nil after 3", err, calls)
+	}
+}
+
+// TestDoPermanentStops checks a Permanent error ends the loop at once
+// and comes back unwrapped.
+func TestDoPermanentStops(t *testing.T) {
+	fatal := errors.New("bad request")
+	calls := 0
+	p := Policy{MaxAttempts: 5, Sleep: collectSleeps(new([]time.Duration))}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fatal)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err != fatal {
+		t.Fatalf("err = %v, want the unwrapped original", err)
+	}
+}
+
+// TestDoRetryAfterOverridesBackoff checks a server hint larger than the
+// computed backoff wins.
+func TestDoRetryAfterOverridesBackoff(t *testing.T) {
+	var waits []time.Duration
+	shed := errors.New("shed")
+	calls := 0
+	p := Policy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond,
+		Jitter: -1, Sleep: collectSleeps(&waits)}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return After(shed, 3*time.Second)
+	})
+	if !errors.Is(err, shed) {
+		t.Fatalf("err = %v, want wrapped shed", err)
+	}
+	if len(waits) != 1 || waits[0] != 3*time.Second {
+		t.Fatalf("waits = %v, want [3s]", waits)
+	}
+}
+
+// TestDoContextCancellation checks a dead context aborts between
+// attempts with the op's error, not a bare context error.
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opErr := errors.New("peer down")
+	calls := 0
+	p := Policy{MaxAttempts: 10, Sleep: sleepCtx, BaseDelay: time.Millisecond}
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return opErr
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, opErr) {
+		t.Fatalf("err = %v, want the op error", err)
+	}
+}
+
+// TestDoAttemptTimeout checks each attempt gets its own deadline.
+func TestDoAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, AttemptTimeout: 20 * time.Millisecond,
+		BaseDelay: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		dl, ok := ctx.Deadline()
+		if !ok || time.Until(dl) > 25*time.Millisecond {
+			t.Fatalf("attempt %d deadline = %v ok=%v, want ~20ms", calls, dl, ok)
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if calls != 2 || err == nil {
+		t.Fatalf("calls = %d err = %v, want 2 attempts then failure", calls, err)
+	}
+}
+
+// TestDoBudget checks the overall budget bounds attempts plus waits.
+func TestDoBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond,
+		Jitter: -1, Budget: 60 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errors.New("always")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls >= 100 {
+		t.Fatalf("calls = %d, want budget to stop the loop early", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("elapsed = %v, want well under the attempt limit's worth", elapsed)
+	}
+}
+
+// TestParseRetryAfter covers the delta-seconds form and the junk cases.
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("7"); !ok || d != 7*time.Second {
+		t.Fatalf("ParseRetryAfter(7) = %v %v", d, ok)
+	}
+	for _, bad := range []string{"", "-3", "soon", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		if _, ok := ParseRetryAfter(bad); ok {
+			t.Errorf("ParseRetryAfter(%q) parsed, want false", bad)
+		}
+	}
+}
+
+// TestRetryAfterThroughWrapping checks the hint survives fmt wrapping.
+func TestRetryAfterThroughWrapping(t *testing.T) {
+	err := fmt.Errorf("context: %w", After(errors.New("x"), 2*time.Second))
+	if d, ok := RetryAfter(err); !ok || d != 2*time.Second {
+		t.Fatalf("RetryAfter = %v %v, want 2s true", d, ok)
+	}
+	if !IsPermanent(fmt.Errorf("context: %w", Permanent(errors.New("y")))) {
+		t.Fatal("IsPermanent lost through wrapping")
+	}
+}

@@ -99,6 +99,13 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	}
 
 	httpjson.Handle(mux, "POST /reports", func(w http.ResponseWriter, r *http.Request) {
+		// A degraded store sheds instead of acking writes it would lose;
+		// Healthy re-probes the disk so a healed fault restores service.
+		if err := s.Healthy(); err != nil {
+			httpjson.Fail(w, r, http.StatusServiceUnavailable, httpjson.CodeUnavailable,
+				"store degraded: "+err.Error())
+			return
+		}
 		// The body streams straight to the service's disk spool while it
 		// is hashed — an upload's memory cost is a copy buffer, not the
 		// archive, however large the recorded window was.
@@ -193,9 +200,10 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 			"buckets":        s.BucketCount(),
 			"pending":        s.Pending(),
 		}
-		if err := s.Err(); err != nil {
-			// The store has swallowed a disk failure: the process is up but
-			// evidence is being lost — degraded, so orchestrators restart it.
+		if err := s.Healthy(); err != nil {
+			// The store has seen a disk failure the re-probe could not
+			// clear: the process is up but evidence is being lost —
+			// degraded, so orchestrators restart (or drain) it.
 			status, code = "degraded", http.StatusServiceUnavailable
 			body["error"] = err.Error()
 		}
@@ -206,35 +214,45 @@ func newHandler(s *Service, debug *timetravel.Manager) http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness is stricter than liveness: can this instance take an
 		// upload (spool writable, store healthy) and open a debug session
-		// (capacity left) right now?
-		checks := map[string]string{"store": "ok", "spool": "ok"}
-		ready := true
-		if err := s.Err(); err != nil {
-			checks["store"] = err.Error()
-			ready = false
-		}
-		if err := s.SpoolHealthy(); err != nil {
-			checks["spool"] = err.Error()
-			ready = false
-		}
-		if debug != nil {
-			open, max := debug.Capacity()
-			checks["debug_sessions"] = "ok"
-			if open >= max {
-				checks["debug_sessions"] = "at capacity"
-				ready = false
-			}
-		}
-		code := http.StatusOK
-		if !ready {
-			code = http.StatusServiceUnavailable
-		}
-		httpjson.Write(w, code, map[string]any{"ready": ready, "checks": checks})
+		// (capacity left) right now? Each failing condition contributes a
+		// structured reason so operators see why traffic is being shed.
+		WriteReadiness(w, ReadyReasons(s, debug))
 	})
 
 	mux.Handle("GET /metrics", obs.Handler())
 
 	return mux
+}
+
+// Readiness is the structured document GET /readyz serves: ready, or
+// not with the reasons traffic is being shed.
+type Readiness struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// ReadyReasons collects every reason this instance should not take
+// traffic — the service-level conditions plus debug-session saturation.
+// The cluster layer reuses it (appending peer-level reasons) so a
+// node's /readyz means the same thing with or without a ring.
+func ReadyReasons(s *Service, debug *timetravel.Manager) []string {
+	reasons := s.ReadyReasons()
+	if debug != nil {
+		if open, max := debug.Capacity(); open >= max {
+			reasons = append(reasons, fmt.Sprintf("debug sessions at capacity (%d/%d)", open, max))
+		}
+	}
+	return reasons
+}
+
+// WriteReadiness serves a readiness document: 200 when no reasons
+// remain, 503 listing them otherwise.
+func WriteReadiness(w http.ResponseWriter, reasons []string) {
+	code := http.StatusOK
+	if len(reasons) > 0 {
+		code = http.StatusServiceUnavailable
+	}
+	httpjson.Write(w, code, Readiness{Ready: len(reasons) == 0, Reasons: reasons})
 }
 
 // WriteIngestError maps an ingest failure onto the error envelope,

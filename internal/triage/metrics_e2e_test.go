@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -251,14 +252,52 @@ func TestHealthzDegradedAndReadyz(t *testing.T) {
 		t.Fatalf("readyz after session close = %d, want 200", code)
 	}
 
-	// A sticky store failure degrades liveness.
+	// A store failure degrades liveness. Healthy() re-probes the disk, so
+	// a fabricated error on a healthy disk would clear itself; fail the
+	// probe for real by removing the store root (probeEvery=0 probes on
+	// every call).
+	s.Store().mu.Lock()
+	s.Store().probeEvery = 0
+	root := s.Store().root
+	s.Store().mu.Unlock()
+	if err := os.RemoveAll(root); err != nil {
+		t.Fatal(err)
+	}
 	s.Store().fail(fmt.Errorf("disk on fire"))
 	code, m := get("/healthz")
 	if code != http.StatusServiceUnavailable || m["status"] != "degraded" {
 		t.Fatalf("degraded healthz = %d %v", code, m)
 	}
-	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
-		t.Fatalf("degraded readyz = %d, want 503", code)
+	if code, m := get("/readyz"); code != http.StatusServiceUnavailable || m["ready"] != false {
+		t.Fatalf("degraded readyz = %d %v, want 503 not-ready", code, m)
+	} else if rs, ok := m["reasons"].([]any); !ok || len(rs) == 0 {
+		t.Fatalf("degraded readyz reasons = %v, want a non-empty list", m["reasons"])
+	}
+	// A degraded POST sheds with 503 instead of acking a write the store
+	// would lose.
+	resp, err := http.Post(srv.URL+"/api/v1/reports", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded POST = %d, want 503", resp.StatusCode)
+	}
+
+	// Healing the disk brings the node back without a restart: the next
+	// Healthy() probe succeeds and clears the degraded state. The spool
+	// lives under the store root, so restore it too.
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.spoolDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if code, m := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healed healthz = %d %v, want 200", code, m)
+	}
+	if code, m := get("/readyz"); code != http.StatusOK || m["ready"] != true {
+		t.Fatalf("healed readyz = %d %v, want 200 ready", code, m)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"bugnet/internal/asm"
 	"bugnet/internal/core"
 	"bugnet/internal/cpu"
+	"bugnet/internal/faultinject"
 	"bugnet/internal/parreplay"
 	"bugnet/internal/report"
 	"bugnet/internal/timetravel"
@@ -71,6 +72,10 @@ type Config struct {
 	// Dir/verdicts so restarts skip re-replaying known content). 0 uses
 	// the default (4096); negative disables the cache.
 	VerdictCache int
+	// FS routes the store's and spool's write-side I/O through a
+	// fault-injection plane; nil (the production default) calls the os
+	// package directly.
+	FS *faultinject.FS
 }
 
 // DefaultVerdictCache is the default verdict-cache bound in entries. A
@@ -181,6 +186,7 @@ type Service struct {
 	cfg      Config
 	store    *Store
 	spoolDir string
+	fsys     *faultinject.FS // nil outside chaos runs
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -238,7 +244,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.VerdictCache == 0 {
 		cfg.VerdictCache = DefaultVerdictCache
 	}
-	st, err := OpenStore(cfg.Dir, cfg.Budget)
+	st, err := openStore(cfg.Dir, cfg.Budget, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +265,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:          cfg,
 		store:        st,
 		spoolDir:     cfg.SpoolDir,
+		fsys:         cfg.FS,
 		buckets:      make(map[string]*Bucket),
 		reports:      make(map[string]*ReportMeta),
 		evictedEarly: make(map[string]bool),
@@ -395,22 +402,43 @@ func (s *Service) Close() {
 // Store exposes the underlying blob store (read-only use).
 func (s *Service) Store() *Store { return s.store }
 
-// Err returns the first disk failure the archive store has swallowed; a
+// Err returns the most recent disk failure the archive store has seen; a
 // non-nil result means uploads or reclamation are losing evidence and the
 // health endpoint reports degraded.
 func (s *Service) Err() error { return s.store.Err() }
+
+// Healthy reports whether the archive store can accept writes. A
+// degraded store re-probes the disk (rate limited), so a healed disk
+// restores service without a restart. Ingest handlers shed with 503
+// while this returns non-nil.
+func (s *Service) Healthy() error { return s.store.Healthy() }
 
 // SpoolHealthy probes whether the upload spool directory is writable —
 // the readiness condition for the streaming ingest path. The probe
 // creates and removes one temp file; failures are returned, not sticky.
 func (s *Service) SpoolHealthy() error {
-	f, err := os.CreateTemp(s.spoolDir, "probe-*.tmp")
+	f, err := s.fsys.CreateTemp(s.spoolDir, "probe-*.tmp")
 	if err != nil {
 		return err
 	}
 	name := f.Name()
 	f.Close()
 	return os.Remove(name)
+}
+
+// ReadyReasons collects the service-level reasons this node should not
+// take traffic: a degraded archive store and an unwritable spool. The
+// HTTP layer appends its own (debug-session saturation) and the cluster
+// layer its peers' (open breakers, unreachable quorum).
+func (s *Service) ReadyReasons() []string {
+	var reasons []string
+	if err := s.Healthy(); err != nil {
+		reasons = append(reasons, "store degraded: "+err.Error())
+	}
+	if err := s.SpoolHealthy(); err != nil {
+		reasons = append(reasons, "spool unwritable: "+err.Error())
+	}
+	return reasons
 }
 
 // Ingest accepts one uploaded archive held in memory: validate, store,
@@ -445,7 +473,7 @@ func (s *Service) IngestReader(r io.Reader) (res *IngestResult, err error) {
 	}
 	defer s.ingesting.Done()
 
-	tmp, err := os.CreateTemp(s.spoolDir, "upload-*.tmp")
+	tmp, err := s.fsys.CreateTemp(s.spoolDir, "upload-*.tmp")
 	if err != nil {
 		return nil, err
 	}

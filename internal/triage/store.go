@@ -7,7 +7,9 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"time"
 
+	"bugnet/internal/faultinject"
 	"bugnet/internal/report"
 )
 
@@ -27,7 +29,8 @@ import (
 type Store struct {
 	mu     sync.Mutex
 	root   string
-	budget int64 // <= 0: unlimited
+	budget int64           // <= 0: unlimited
+	fsys   *faultinject.FS // nil outside chaos runs: direct os calls
 
 	index map[string]*blobInfo
 	order []string // insertion order, oldest first; eviction order key
@@ -39,9 +42,17 @@ type Store struct {
 	// the service uses it to drop per-report metadata in step.
 	onEvict func(id string)
 
-	// err is the first disk failure (a blob write, rename, or reclaim);
-	// sticky, surfaced by Err and the health endpoints.
+	// err is the most recent disk failure (a blob write, rename, or
+	// reclaim). It clears when a later write succeeds or when Healthy's
+	// probe finds the disk writable again, so a node degraded by a
+	// transient fault recovers without a restart.
 	err error
+
+	// probeEvery rate-limits Healthy's disk probe on a degraded store;
+	// lastProbe is the previous probe time. Tests set probeEvery to zero
+	// to probe on every call.
+	probeEvery time.Duration
+	lastProbe  time.Time
 
 	// strays are valid-looking blob files found at non-canonical paths
 	// during OpenStore; recovery re-ingests then removes them.
@@ -74,11 +85,17 @@ var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 // modification time, so a restarted server resumes with its evidence
 // intact.
 func OpenStore(dir string, budget int64) (*Store, error) {
+	return openStore(dir, budget, nil)
+}
+
+// openStore is OpenStore with an optional fault-injection filesystem.
+func openStore(dir string, budget int64, fsys *faultinject.FS) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{root: dir, budget: budget, index: make(map[string]*blobInfo),
-		pins: make(map[string]int)}
+	s := &Store{root: dir, budget: budget, fsys: fsys,
+		index: make(map[string]*blobInfo), pins: make(map[string]int),
+		probeEvery: time.Second}
 	type existing struct {
 		id    string
 		bytes int64
@@ -138,8 +155,9 @@ func OpenStore(dir string, budget int64) (*Store, error) {
 	return s, nil
 }
 
-// fail records the first disk failure; the store keeps serving
-// best-effort afterwards. failLocked is for callers holding s.mu.
+// fail records a disk failure; the store keeps serving best-effort
+// afterwards and sheds writes until the disk proves healthy again.
+// failLocked is for callers holding s.mu.
 func (s *Store) fail(err error) {
 	s.mu.Lock()
 	s.failLocked(err)
@@ -147,18 +165,74 @@ func (s *Store) fail(err error) {
 }
 
 func (s *Store) failLocked(err error) {
-	if s.err == nil {
-		s.err = err
-	}
+	s.err = err
 }
 
-// Err returns the first disk failure the store has seen — the degraded
-// signal behind GET /healthz. A store that cannot write or reclaim blobs
-// is still readable, but new evidence is being lost.
+// clearErr records a successful write: whatever was wrong with the disk
+// is no longer, so the degraded signal drops.
+func (s *Store) clearErr() {
+	s.mu.Lock()
+	s.err = nil
+	s.mu.Unlock()
+}
+
+// Err returns the most recent disk failure the store has seen — the
+// degraded signal behind GET /healthz. A store that cannot write or
+// reclaim blobs is still readable, but new evidence is being lost.
 func (s *Store) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// Healthy reports whether the store can accept writes, returning the
+// degrading error otherwise. A degraded store re-probes the disk (rate
+// limited to one probe per probeEvery) with a small create/write/remove
+// cycle in the store root; a successful probe clears the error so a
+// healed disk brings the node back without a restart. Shedding on
+// Healthy rather than on Err alone matters under degradation: a node
+// that sheds all writes would otherwise never see the success that
+// clears the error.
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	if s.err == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	now := time.Now()
+	if s.probeEvery > 0 && now.Sub(s.lastProbe) < s.probeEvery {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.lastProbe = now
+	s.mu.Unlock()
+
+	if perr := s.probe(); perr != nil {
+		s.fail(perr)
+		return perr
+	}
+	s.clearErr()
+	return nil
+}
+
+// probe checks disk writability with a create/write/remove cycle.
+func (s *Store) probe() error {
+	f, err := s.fsys.CreateTemp(s.root, "probe-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	rerr := s.fsys.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return rerr
 }
 
 // path returns the sharded location of a blob.
@@ -190,13 +264,13 @@ func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err e
 		return id, true, nil
 	}
 	p := s.path(id)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := s.fsys.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		s.fail(err)
 		return "", false, err
 	}
 	// Write-then-rename so a crashed server never leaves a half blob
 	// under a valid content address.
-	tmp, err := os.CreateTemp(filepath.Dir(p), id+".*.tmp")
+	tmp, err := s.fsys.CreateTemp(filepath.Dir(p), id+".*.tmp")
 	if err != nil {
 		s.fail(err)
 		return "", false, err
@@ -212,11 +286,12 @@ func (s *Store) PutWithID(id string, data []byte) (_ string, existed bool, err e
 		s.fail(err)
 		return "", false, err
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
+	if err := s.fsys.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
 		s.fail(err)
 		return "", false, err
 	}
+	s.clearErr()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.index[id]; ok {
@@ -252,11 +327,11 @@ func (s *Store) AdoptFile(id string, src string) (existed bool, err error) {
 		return false, err
 	}
 	p := s.path(id)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := s.fsys.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		s.fail(err)
 		return false, err
 	}
-	if err := os.Rename(src, p); err != nil {
+	if err := s.fsys.Rename(src, p); err != nil {
 		// Cross-device spool (operator pointed -log-dir at another disk):
 		// fall back to a copy through memory.
 		data, rerr := os.ReadFile(src)
@@ -267,6 +342,7 @@ func (s *Store) AdoptFile(id string, src string) (existed bool, err error) {
 		_, existed, perr := s.PutWithID(id, data)
 		return existed, perr
 	}
+	s.clearErr()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.index[id]; ok {
@@ -403,7 +479,7 @@ func (s *Store) Delete(id string) {
 	s.stats.EvictedBytes += bi.bytes
 	s.stats.EvictedCount++
 	mStoreEvictions.Inc()
-	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fsys.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
 		s.failLocked(err)
 	}
 	s.syncStoreGauges()
@@ -431,7 +507,7 @@ func (s *Store) evictLocked() {
 		s.stats.EvictedBytes += bi.bytes
 		s.stats.EvictedCount++
 		mStoreEvictions.Inc()
-		if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		if err := s.fsys.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
 			s.failLocked(err)
 		}
 		if s.onEvict != nil {
